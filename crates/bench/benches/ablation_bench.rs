@@ -1,0 +1,124 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * split-bucket selection policy (the paper's linear pointer vs the
+//!   abstract's direct range bisection of the overflowing node);
+//! * attribute hasher (locality-preserving identity vs Fibonacci
+//!   scrambling);
+//! * scheduler node-selection policy;
+//! * chunk size (the paper fixes 10 000 tuples);
+//! * network generation (the paper's future-work axis);
+//! * simulated vs threaded backend on one configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehj_bench::scenarios;
+use ehj_cluster::SelectionPolicy;
+use ehj_core::{Algorithm, Backend, JoinRunner, SplitPolicy};
+use ehj_data::Distribution;
+use ehj_hash::AttrHasher;
+use ehj_sim::NetConfig;
+
+const SCALE: u64 = 2000;
+
+fn split_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_split_policy");
+    for (name, policy) in [
+        ("linear_pointer", SplitPolicy::LinearPointer),
+        ("range_bisect", SplitPolicy::RangeBisect),
+    ] {
+        for (dist_name, dist) in [
+            ("uniform", Distribution::Uniform),
+            ("sigma1e-4", Distribution::gaussian_extreme()),
+        ] {
+            let mut cfg = scenarios::skew(Algorithm::Split, SCALE, dist);
+            cfg.split_policy = policy;
+            g.bench_with_input(
+                BenchmarkId::new(name, dist_name),
+                &cfg,
+                |b, cfg| b.iter(|| JoinRunner::run(cfg).expect("join runs")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn hasher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hasher");
+    for (name, hasher) in [
+        ("identity", AttrHasher::Identity),
+        ("fibonacci", AttrHasher::Fibonacci),
+    ] {
+        let mut cfg = scenarios::skew(Algorithm::Hybrid, SCALE, Distribution::gaussian_extreme());
+        cfg.hasher = hasher;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        });
+    }
+    g.finish();
+}
+
+fn selection_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_selection_policy");
+    for (name, policy) in [
+        ("largest_free_memory", SelectionPolicy::LargestFreeMemory),
+        ("first_fit", SelectionPolicy::FirstFit),
+        ("round_robin", SelectionPolicy::RoundRobin),
+    ] {
+        let mut cfg = scenarios::base(Algorithm::Replicated, SCALE);
+        cfg.selection_policy = policy;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        });
+    }
+    g.finish();
+}
+
+fn chunk_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_chunk_size");
+    for chunk in [64usize, 256, 1024] {
+        let mut cfg = scenarios::base(Algorithm::Hybrid, SCALE);
+        cfg.chunk_tuples = chunk;
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &cfg, |b, cfg| {
+            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        });
+    }
+    g.finish();
+}
+
+fn network_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_network");
+    for (name, net) in [
+        ("fast_ethernet", NetConfig::fast_ethernet_100mbps()),
+        ("gigabit", NetConfig::gigabit_ethernet()),
+    ] {
+        let mut cfg = scenarios::base(Algorithm::Split, SCALE);
+        cfg.net = net;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        });
+    }
+    g.finish();
+}
+
+fn backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_backend");
+    g.sample_size(10);
+    let cfg = scenarios::base(Algorithm::Hybrid, 5000);
+    g.bench_function("simulated", |b| {
+        b.iter(|| JoinRunner::run_on(&cfg, Backend::Simulated).expect("join runs"));
+    });
+    g.bench_function("threaded", |b| {
+        b.iter(|| JoinRunner::run_on(&cfg, Backend::Threaded).expect("join runs"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    split_policy,
+    hasher,
+    selection_policy,
+    chunk_size,
+    network_generation,
+    backend
+);
+criterion_main!(ablations);

@@ -1,0 +1,110 @@
+//! Figure-regeneration harness.
+//!
+//! ```text
+//! figures <fig2|fig3|...|fig13|all> [--scale N] [--csv]
+//! ```
+//!
+//! `--scale N` divides the paper's workload by `N` (default 100: 10M-tuple
+//! relations become 100k, node memory shrinks accordingly, expansion
+//! factors and communication ratios are preserved). `--scale 1` runs the
+//! paper's full-size workload. `--csv` additionally emits each figure's
+//! data as CSV after the table.
+
+use ehj_bench::{all_figures, figure, Figure, ALL_FIGURE_IDS};
+
+struct Args {
+    targets: Vec<String>,
+    scale: u64,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut targets = Vec::new();
+    let mut scale = ehj_bench::scenarios::DEFAULT_SCALE;
+    let mut csv = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid scale: {v}"))?;
+                if scale == 0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_owned());
+    }
+    Ok(Args {
+        targets,
+        scale,
+        csv,
+    })
+}
+
+fn usage() -> String {
+    format!(
+        "usage: figures <{}|all> [--scale N] [--csv]",
+        ALL_FIGURE_IDS.join("|")
+    )
+}
+
+fn print_figure(f: &Figure, csv: bool) {
+    println!("{}", f.render());
+    if csv {
+        println!("{}", f.table.to_csv());
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# EHJA figure harness — scale 1/{} of the paper's workload\n",
+        args.scale
+    );
+    let mut failures = 0usize;
+    for target in &args.targets {
+        if target == "all" {
+            for f in all_figures(args.scale) {
+                print_figure(&f, args.csv);
+                failures += f.checks.iter().filter(|c| !c.pass).count();
+            }
+        } else {
+            match figure(target, args.scale) {
+                Some(f) => {
+                    print_figure(&f, args.csv);
+                    failures += f.checks.iter().filter(|c| !c.pass).count();
+                }
+                None => {
+                    eprintln!("unknown figure '{target}'\n{}", usage());
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        println!(
+            "{failures} shape check(s) diverge from the paper — see EXPERIMENTS.md for discussion."
+        );
+    } else {
+        println!("All shape checks match the paper.");
+    }
+}

@@ -1,0 +1,258 @@
+//! Hand-rolled argument parsing for `ehjoin` (no external dependencies).
+
+use ehj_core::{Algorithm, SplitPolicy};
+
+/// Output formats for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable text table.
+    #[default]
+    Text,
+    /// Comma-separated values.
+    Csv,
+    /// One JSON object (hand-emitted; no external crates).
+    Json,
+}
+
+/// Subcommands of `ehjoin`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one join with one algorithm.
+    Run,
+    /// Run all four algorithms on the same workload and compare.
+    Compare,
+    /// Sweep one axis across its paper values.
+    Sweep {
+        /// `initial-nodes`, `skew`, or `size`.
+        axis: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// What to do.
+    pub command: Command,
+    /// Algorithm for `run`.
+    pub algorithm: Algorithm,
+    /// Split policy for the split algorithm.
+    pub split_policy: SplitPolicy,
+    /// Workload scale divisor relative to the paper's 10M-tuple relations.
+    pub scale: u64,
+    /// Override R's tuple count (post-scale).
+    pub r_tuples: Option<u64>,
+    /// Override S's tuple count (post-scale).
+    pub s_tuples: Option<u64>,
+    /// Gaussian sigma (None = uniform).
+    pub sigma: Option<f64>,
+    /// Zipf theta (None = not zipfian); mutually exclusive with sigma.
+    pub zipf: Option<f64>,
+    /// Initial join nodes.
+    pub initial_nodes: Option<usize>,
+    /// Tuple payload bytes.
+    pub payload: Option<u32>,
+    /// RNG seed override.
+    pub seed: Option<u64>,
+    /// Output format.
+    pub format: Format,
+    /// Verify the result against the reference oracle.
+    pub verify: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            command: Command::Help,
+            algorithm: Algorithm::Hybrid,
+            split_policy: SplitPolicy::default(),
+            scale: 100,
+            r_tuples: None,
+            s_tuples: None,
+            sigma: None,
+            zipf: None,
+            initial_nodes: None,
+            payload: None,
+            seed: None,
+            format: Format::default(),
+            verify: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ehjoin — expanding hash-based joins (Zhang et al., HPDC 2004)
+
+USAGE:
+  ehjoin run     [options]        run one join
+  ehjoin compare [options]        run all four algorithms, compare
+  ehjoin sweep <axis> [options]   sweep initial-nodes | skew | size
+
+OPTIONS:
+  --algorithm <replicated|split|hybrid|ooc>   (run only; default hybrid)
+  --split-policy <linear|bisect>              split-bucket policy
+  --scale <N>            divide the paper's 10M-tuple workload by N (default 100)
+  --r-tuples <N>         override R's size (after scaling)
+  --s-tuples <N>         override S's size (after scaling)
+  --sigma <F>            gaussian skew (fraction of the domain); omit = uniform
+  --zipf <THETA>         zipfian duplication skew, theta in (0,1)
+  --initial-nodes <N>    join nodes allocated up front (default 4)
+  --payload <BYTES>      tuple payload size (default 100)
+  --seed <N>             RNG seed
+  --format <text|csv|json>
+  --verify               check the result against the reference oracle
+  --help
+";
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+/// Returns a message suitable for printing to stderr.
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.into_iter().peekable();
+    match it.next().as_deref() {
+        Some("run") => args.command = Command::Run,
+        Some("compare") => args.command = Command::Compare,
+        Some("sweep") => {
+            let axis = it
+                .next()
+                .ok_or("sweep needs an axis: initial-nodes | skew | size")?;
+            if !["initial-nodes", "skew", "size"].contains(&axis.as_str()) {
+                return Err(format!("unknown sweep axis '{axis}'"));
+            }
+            args.command = Command::Sweep { axis };
+        }
+        Some("help" | "--help" | "-h") | None => {
+            args.command = Command::Help;
+            return Ok(args);
+        }
+        Some(other) => return Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+
+    fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("invalid value for {flag}: {v}"))
+    }
+
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--algorithm" => {
+                let v = value(&mut it, "--algorithm")?;
+                args.algorithm = match v.as_str() {
+                    "replicated" | "replication" => Algorithm::Replicated,
+                    "split" => Algorithm::Split,
+                    "hybrid" => Algorithm::Hybrid,
+                    "ooc" | "out-of-core" => Algorithm::OutOfCore,
+                    _ => return Err(format!("unknown algorithm '{v}'")),
+                };
+            }
+            "--split-policy" => {
+                let v = value(&mut it, "--split-policy")?;
+                args.split_policy = match v.as_str() {
+                    "linear" | "linear-pointer" => SplitPolicy::LinearPointer,
+                    "bisect" | "range-bisect" => SplitPolicy::RangeBisect,
+                    _ => return Err(format!("unknown split policy '{v}'")),
+                };
+            }
+            "--scale" => {
+                args.scale = parse_num(&value(&mut it, "--scale")?, "--scale")?;
+                if args.scale == 0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--r-tuples" => args.r_tuples = Some(parse_num(&value(&mut it, "--r-tuples")?, "--r-tuples")?),
+            "--s-tuples" => args.s_tuples = Some(parse_num(&value(&mut it, "--s-tuples")?, "--s-tuples")?),
+            "--sigma" => args.sigma = Some(parse_num(&value(&mut it, "--sigma")?, "--sigma")?),
+            "--zipf" => args.zipf = Some(parse_num(&value(&mut it, "--zipf")?, "--zipf")?),
+            "--initial-nodes" => {
+                args.initial_nodes =
+                    Some(parse_num(&value(&mut it, "--initial-nodes")?, "--initial-nodes")?);
+            }
+            "--payload" => args.payload = Some(parse_num(&value(&mut it, "--payload")?, "--payload")?),
+            "--seed" => args.seed = Some(parse_num(&value(&mut it, "--seed")?, "--seed")?),
+            "--format" => {
+                let v = value(&mut it, "--format")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    _ => return Err(format!("unknown format '{v}'")),
+                };
+            }
+            "--verify" => args.verify = true,
+            "--help" | "-h" => {
+                args.command = Command::Help;
+                return Ok(args);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Result<Args, String> {
+        parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let a = p("run --algorithm split --scale 50 --sigma 0.001 --initial-nodes 8 --verify")
+            .expect("valid");
+        assert_eq!(a.command, Command::Run);
+        assert_eq!(a.algorithm, Algorithm::Split);
+        assert_eq!(a.scale, 50);
+        assert_eq!(a.sigma, Some(0.001));
+        assert_eq!(a.initial_nodes, Some(8));
+        assert!(a.verify);
+    }
+
+    #[test]
+    fn parses_compare_and_sweep() {
+        assert_eq!(p("compare").expect("valid").command, Command::Compare);
+        assert_eq!(
+            p("sweep skew").expect("valid").command,
+            Command::Sweep { axis: "skew".into() }
+        );
+        assert!(p("sweep bogus").is_err());
+        assert!(p("sweep").is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(p("help").expect("valid").command, Command::Help);
+        assert_eq!(p("").expect("valid").command, Command::Help);
+        assert_eq!(p("run --help").expect("valid").command, Command::Help);
+    }
+
+    #[test]
+    fn rejects_nonsense() {
+        assert!(p("frobnicate").is_err());
+        assert!(p("run --algorithm quantum").is_err());
+        assert!(p("run --scale 0").is_err());
+        assert!(p("run --scale").is_err());
+        assert!(p("run --format yaml").is_err());
+        assert!(p("run --bogus 3").is_err());
+    }
+
+    #[test]
+    fn zipf_flag_parses() {
+        let a = p("run --zipf 0.9").expect("valid");
+        assert_eq!(a.zipf, Some(0.9));
+        assert!(p("run --zipf").is_err());
+    }
+
+    #[test]
+    fn formats_parse() {
+        assert_eq!(p("run --format json").expect("valid").format, Format::Json);
+        assert_eq!(p("run --format csv").expect("valid").format, Format::Csv);
+    }
+}

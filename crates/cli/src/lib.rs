@@ -1,0 +1,263 @@
+//! # ehj-cli — the `ehjoin` command-line driver
+//!
+//! Turns command-line options into [`ehj_core::JoinConfig`]s, runs them on
+//! the simulated cluster and renders reports as text, CSV or JSON:
+//!
+//! ```text
+//! ehjoin run --algorithm split --sigma 0.0001 --initial-nodes 4 --verify
+//! ehjoin compare --scale 200
+//! ehjoin sweep initial-nodes --format csv
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod output;
+
+use args::{Args, Command, Format};
+use ehj_core::{
+    expected_matches_for, Algorithm, JoinConfig, JoinError, JoinReport, JoinRunner,
+};
+use ehj_data::Distribution;
+
+/// Builds the configuration an [`Args`] describes for `algorithm`.
+#[must_use]
+pub fn config_from_args(args: &Args, algorithm: Algorithm) -> JoinConfig {
+    let mut cfg = JoinConfig::paper_scaled(algorithm, args.scale);
+    cfg.split_policy = args.split_policy;
+    if let Some(n) = args.r_tuples {
+        cfg.r.tuples = n;
+    }
+    if let Some(n) = args.s_tuples {
+        cfg.s.tuples = n;
+    }
+    if let Some(sigma) = args.sigma {
+        let dist = Distribution::Gaussian { mean: 0.5, sigma };
+        cfg.r.dist = dist;
+        cfg.s.dist = dist;
+    }
+    if let Some(theta) = args.zipf {
+        let dist = Distribution::Zipf { theta };
+        cfg.r.dist = dist;
+        cfg.s.dist = dist;
+    }
+    if let Some(n) = args.initial_nodes {
+        cfg.initial_nodes = n;
+    }
+    if let Some(p) = args.payload {
+        cfg.r = cfg.r.with_payload(p);
+        cfg.s = cfg.s.with_payload(p);
+    }
+    if let Some(seed) = args.seed {
+        cfg.r.seed = seed;
+        cfg.s.seed = seed ^ 0x0BAD_CAFE;
+    }
+    cfg
+}
+
+/// Runs one configuration, optionally verifying against the oracle.
+///
+/// # Errors
+/// Propagates [`JoinError`]; verification failures become
+/// [`JoinError::Config`] with an explanatory message.
+pub fn run_one(cfg: &JoinConfig, verify: bool) -> Result<JoinReport, JoinError> {
+    let report = JoinRunner::run(cfg)?;
+    if verify {
+        let expect = expected_matches_for(cfg);
+        if report.matches != expect {
+            return Err(JoinError::Config(format!(
+                "verification FAILED: {} matches, reference says {expect}",
+                report.matches
+            )));
+        }
+    }
+    Ok(report)
+}
+
+/// Executes a parsed command line, returning the full output text.
+///
+/// # Errors
+/// Returns a printable error message.
+pub fn execute(args: &Args) -> Result<String, String> {
+    match &args.command {
+        Command::Help => Ok(args::USAGE.to_owned()),
+        Command::Run => {
+            let cfg = config_from_args(args, args.algorithm);
+            let report = run_one(&cfg, args.verify).map_err(|e| e.to_string())?;
+            Ok(render(args.format, &report))
+        }
+        Command::Compare => {
+            let mut reports = Vec::new();
+            for alg in Algorithm::ALL {
+                let cfg = config_from_args(args, alg);
+                reports.push(run_one(&cfg, args.verify).map_err(|e| e.to_string())?);
+            }
+            match args.format {
+                Format::Json => Ok(format!(
+                    "[{}]",
+                    reports
+                        .iter()
+                        .map(output::render_json)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )),
+                Format::Csv => {
+                    let mut out = output::REPORT_COLUMNS.join(",");
+                    out.push('\n');
+                    for r in &reports {
+                        out.push_str(&output::report_row(r).join(","));
+                        out.push('\n');
+                    }
+                    Ok(out)
+                }
+                Format::Text => Ok(output::render_comparison(
+                    &format!("all algorithms, scale 1/{}", args.scale),
+                    &reports,
+                )),
+            }
+        }
+        Command::Sweep { axis } => sweep(args, axis),
+    }
+}
+
+fn sweep(args: &Args, axis: &str) -> Result<String, String> {
+    let mut reports: Vec<JoinReport> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    match axis {
+        "initial-nodes" => {
+            for init in [1usize, 2, 4, 8, 16] {
+                let mut a = args.clone();
+                a.initial_nodes = Some(init);
+                let cfg = config_from_args(&a, args.algorithm);
+                reports.push(run_one(&cfg, args.verify).map_err(|e| e.to_string())?);
+                labels.push(format!("initial={init}"));
+            }
+        }
+        "skew" => {
+            for sigma in [None, Some(0.001), Some(0.0001)] {
+                let mut a = args.clone();
+                a.sigma = sigma;
+                let cfg = config_from_args(&a, args.algorithm);
+                reports.push(run_one(&cfg, args.verify).map_err(|e| e.to_string())?);
+                labels.push(match sigma {
+                    None => "uniform".to_owned(),
+                    Some(s) => format!("sigma={s}"),
+                });
+            }
+        }
+        "size" => {
+            for mult in [1u64, 2, 4, 8] {
+                let mut a = args.clone();
+                let base = config_from_args(args, args.algorithm);
+                a.r_tuples = Some(base.r.tuples * mult);
+                a.s_tuples = Some(base.s.tuples * mult);
+                let cfg = config_from_args(&a, args.algorithm);
+                reports.push(run_one(&cfg, args.verify).map_err(|e| e.to_string())?);
+                labels.push(format!("{}x", mult));
+            }
+        }
+        other => return Err(format!("unknown sweep axis '{other}'")),
+    }
+    match args.format {
+        Format::Json => Ok(format!(
+            "[{}]",
+            reports
+                .iter()
+                .map(output::render_json)
+                .collect::<Vec<_>>()
+                .join(",")
+        )),
+        _ => {
+            let mut t = ehj_metrics::TextTable::new(
+                format!(
+                    "{} sweep over {axis} (scale 1/{})",
+                    args.algorithm.label(),
+                    args.scale
+                ),
+                &["case", "total_secs", "build_secs", "final_nodes", "matches"],
+            );
+            for (label, r) in labels.iter().zip(&reports) {
+                t.row(vec![
+                    label.clone(),
+                    format!("{:.4}", r.times.total_secs),
+                    format!("{:.4}", r.times.build_secs),
+                    r.final_nodes.to_string(),
+                    r.matches.to_string(),
+                ]);
+            }
+            Ok(if args.format == Format::Csv {
+                t.to_csv()
+            } else {
+                t.render()
+            })
+        }
+    }
+}
+
+fn render(format: Format, report: &JoinReport) -> String {
+    match format {
+        Format::Text => output::render_text(report),
+        Format::Csv => output::render_csv(report),
+        Format::Json => output::render_json(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        args::parse(s.split_whitespace().map(str::to_owned)).expect("valid args")
+    }
+
+    #[test]
+    fn run_command_produces_text() {
+        let a = parse("run --scale 2000 --verify");
+        let out = execute(&a).expect("runs");
+        assert!(out.contains("Hybrid"));
+        assert!(out.contains("total execution time"));
+    }
+
+    #[test]
+    fn compare_runs_all_four() {
+        let a = parse("compare --scale 2000");
+        let out = execute(&a).expect("runs");
+        for label in ["Replicated", "Split", "Hybrid", "Out of Core"] {
+            assert!(out.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn sweep_skew_emits_three_rows() {
+        let a = parse("sweep skew --scale 2000 --format csv");
+        let out = execute(&a).expect("runs");
+        assert_eq!(out.lines().count(), 4); // header + 3 cases
+        assert!(out.contains("uniform"));
+        assert!(out.contains("sigma=0.0001"));
+    }
+
+    #[test]
+    fn json_run_is_parseable_shape() {
+        let a = parse("run --scale 2000 --format json");
+        let out = execute(&a).expect("runs");
+        assert!(out.starts_with('{') && out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn verify_catches_nothing_on_correct_runs() {
+        let a = parse("run --scale 2000 --algorithm split --verify");
+        assert!(execute(&a).is_ok());
+    }
+
+    #[test]
+    fn overrides_flow_into_config() {
+        let a = parse("run --scale 100 --r-tuples 123 --s-tuples 456 --payload 200 --initial-nodes 7 --seed 9");
+        let cfg = config_from_args(&a, Algorithm::Split);
+        assert_eq!(cfg.r.tuples, 123);
+        assert_eq!(cfg.s.tuples, 456);
+        assert_eq!(cfg.schema().tuple_bytes(), 216);
+        assert_eq!(cfg.initial_nodes, 7);
+        assert_eq!(cfg.r.seed, 9);
+    }
+}

@@ -1,0 +1,15 @@
+//! # ehj-cluster — cluster model for the EHJA reproduction
+//!
+//! Node descriptors and the scheduler's bookkeeping over them: the
+//! working / potential / full join-node lists of §4.1.1–4.1.2 and the
+//! new-node selection policies (the paper's largest-available-memory rule
+//! plus ablation alternatives).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod book;
+pub mod node;
+
+pub use book::{SchedulerBook, SelectionPolicy};
+pub use node::{ClusterSpec, NodeId, NodeSpec};

@@ -1,0 +1,148 @@
+//! The paper's closed-form overhead model (§4.2.4).
+//!
+//! With bucket size `B` bytes, `M` initial buckets, `K` final buckets,
+//! expansion factor `E = K / M` and per-byte network time `t_b`:
+//!
+//! * split-based overhead: each split ships half a bucket, and reaching
+//!   expansion `E` takes `log2(E)` doubling rounds per bucket —
+//!   `T_split = log2(E) · (B / 2) · t_b`;
+//! * hybrid (reshuffle) overhead: each tuple is re-homed at most once, and
+//!   a fraction `(E − 1) / E` of every bucket moves —
+//!   `T_hybrid = ((E − 1) / E) · B · t_b`.
+//!
+//! The split overhead grows with `E` while the hybrid's saturates below
+//! `B · t_b`, which is the paper's analytical argument for the hybrid and
+//! what Figure 5 measures. [`OverheadModel::crossover_expansion`] locates the expansion
+//! factor where split starts losing.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the §4.2.4 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Bucket size in bytes (`B`).
+    pub bucket_bytes: f64,
+    /// Seconds to move one byte across the network (`t_b`).
+    pub secs_per_byte: f64,
+}
+
+impl OverheadModel {
+    /// Model over 100 Mb/s Ethernet (12.5 MB/s).
+    #[must_use]
+    pub fn fast_ethernet(bucket_bytes: f64) -> Self {
+        Self {
+            bucket_bytes,
+            secs_per_byte: 1.0 / 12_500_000.0,
+        }
+    }
+
+    /// `T_split(E) = log2(E) · B/2 · t_b` (zero when `E ≤ 1`).
+    #[must_use]
+    pub fn split_overhead_secs(&self, expansion: f64) -> f64 {
+        if expansion <= 1.0 {
+            return 0.0;
+        }
+        expansion.log2() * self.bucket_bytes / 2.0 * self.secs_per_byte
+    }
+
+    /// `T_hybrid(E) = (E−1)/E · B · t_b` (zero when `E ≤ 1`).
+    #[must_use]
+    pub fn hybrid_overhead_secs(&self, expansion: f64) -> f64 {
+        if expansion <= 1.0 {
+            return 0.0;
+        }
+        (expansion - 1.0) / expansion * self.bucket_bytes * self.secs_per_byte
+    }
+
+    /// The expansion factor above which the split-based overhead exceeds
+    /// the hybrid's, found by bisection on `E ∈ (1, limit]`. Returns `None`
+    /// if split never loses within the limit.
+    #[must_use]
+    pub fn crossover_expansion(&self, limit: f64) -> Option<f64> {
+        let diff =
+            |e: f64| self.split_overhead_secs(e) - self.hybrid_overhead_secs(e);
+        // Split starts below hybrid for E slightly above 1
+        // (log2(E)/2 < (E-1)/E near 1... actually compare numerically).
+        let mut lo = 1.0 + 1e-9;
+        let mut hi = limit;
+        if diff(hi) < 0.0 {
+            return None;
+        }
+        if diff(lo) > 0.0 {
+            return Some(lo);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if diff(mid) > 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OverheadModel {
+        OverheadModel::fast_ethernet(100.0e6)
+    }
+
+    #[test]
+    fn no_expansion_no_overhead() {
+        let m = model();
+        assert_eq!(m.split_overhead_secs(1.0), 0.0);
+        assert_eq!(m.hybrid_overhead_secs(1.0), 0.0);
+        assert_eq!(m.split_overhead_secs(0.5), 0.0);
+    }
+
+    #[test]
+    fn split_grows_without_bound_hybrid_saturates() {
+        let m = model();
+        let s16 = m.split_overhead_secs(16.0);
+        let s256 = m.split_overhead_secs(256.0);
+        assert!(s256 > s16 * 1.9, "split overhead must keep growing");
+        let h16 = m.hybrid_overhead_secs(16.0);
+        let h256 = m.hybrid_overhead_secs(256.0);
+        let cap = m.bucket_bytes * m.secs_per_byte;
+        assert!(h16 < cap && h256 < cap, "hybrid overhead is capped at B·t_b");
+        assert!(h256 - h16 < 0.1 * cap, "hybrid overhead saturates");
+    }
+
+    #[test]
+    fn split_overhead_doubles_per_squaring() {
+        // log2(E²) = 2·log2(E).
+        let m = model();
+        let a = m.split_overhead_secs(4.0);
+        let b = m.split_overhead_secs(16.0);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_exists_and_matches_formula() {
+        let m = model();
+        let e = m.crossover_expansion(1024.0).expect("must cross");
+        // At the crossover: log2(E)/2 == (E-1)/E.
+        let lhs = e.log2() / 2.0;
+        let rhs = (e - 1.0) / e;
+        assert!((lhs - rhs).abs() < 1e-6, "E={e}: {lhs} vs {rhs}");
+        // log2(E)/2 == (E−1)/E has its positive root at exactly E = 2:
+        // doubling the node count once is where split starts losing.
+        assert!((e - 2.0).abs() < 1e-6, "crossover at {e}");
+    }
+
+    #[test]
+    fn paper_claim_split_grows_faster() {
+        // "The overhead for the split-based algorithm grows faster than
+        // that of the hybrid algorithm as the expansion factor increases."
+        let m = model();
+        for e in [4.0, 8.0, 16.0, 32.0] {
+            let ds = m.split_overhead_secs(e * 2.0) - m.split_overhead_secs(e);
+            let dh = m.hybrid_overhead_secs(e * 2.0) - m.hybrid_overhead_secs(e);
+            assert!(ds > dh, "at E={e}: split delta {ds} vs hybrid delta {dh}");
+        }
+    }
+}

@@ -1,0 +1,1043 @@
+//! The join-process actor.
+//!
+//! §4.1.3: a join process builds and maintains a portion of the hash table
+//! and performs the join on it. This actor implements the node-side
+//! behaviour of all four algorithms:
+//!
+//! * inserting build tuples with byte-accurate memory accounting and
+//!   raising `memory full` exactly when an insert cannot be allocated;
+//! * queueing unhoused tuples ("pending buffers") and, on each routing
+//!   update, re-forwarding the ones whose range moved to a new node —
+//!   the replication-based hand-off of §4.2.2;
+//! * performing linear-pointer bucket splits (§4.2.1) and range-bisect
+//!   splits (the ablation policy);
+//! * answering reshuffle histogram queries and shipping reshuffle
+//!   extractions (§4.2.3);
+//! * probing with per-comparison CPU accounting; and
+//! * spilling to local disk Grace-style — the whole job of the out-of-core
+//!   baseline, and the fallback of any EHJA once the cluster has no
+//!   potential nodes left.
+
+use crate::config::{Algorithm, JoinConfig};
+use crate::msg::{Histogram, Msg, NodeReport};
+use crate::routing::RoutingTable;
+use ehj_data::Tuple;
+use ehj_hash::{HashRange, JoinHashTable, PositionSpace, SplitStep};
+use ehj_metrics::{CommCategory, CommCounters, Phase};
+use ehj_sim::{Actor, ActorId, Context};
+use ehj_storage::{GraceJoin, GraceResult, SpillBackend};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// One join process. `B` selects the spill backend: in-memory under the
+/// discrete-event simulator (I/O cost charged through the engine's disk
+/// model), real files under the threaded runtime.
+pub struct JoinNode<B: SpillBackend + Default + Send> {
+    cfg: Arc<JoinConfig>,
+    scheduler: ActorId,
+    me: ActorId,
+    space: PositionSpace,
+    capacity_bytes: u64,
+    active: bool,
+    boot_queue: Vec<(ActorId, Msg)>,
+    table: JoinHashTable,
+    pending: VecDeque<Tuple>,
+    awaiting_relief: bool,
+    /// Whether a MemoryFull report may still be queued at the scheduler.
+    reported_full: bool,
+    routing: Option<RoutingTable>,
+    routing_version: u64,
+    recv_chunks: [u64; 3],
+    fwd_chunks: [u64; 3],
+    comm: CommCounters,
+    matches: u64,
+    compares: u64,
+    spill: Option<GraceJoin<B>>,
+    spill_build_tuples: u64,
+    grace_result: Option<GraceResult>,
+    reported: bool,
+}
+
+impl<B: SpillBackend + Default + Send> JoinNode<B> {
+    /// Creates an (initially inactive) join process for the node with
+    /// `capacity_bytes` of hash-table memory.
+    #[must_use]
+    pub fn new(cfg: Arc<JoinConfig>, scheduler: ActorId, me: ActorId, capacity_bytes: u64) -> Self {
+        let space = PositionSpace::new(cfg.positions, cfg.r.domain, cfg.hasher);
+        let table = JoinHashTable::new(space, cfg.schema(), capacity_bytes);
+        let chunk = cfg.chunk_tuples as u64;
+        Self {
+            cfg,
+            scheduler,
+            me,
+            space,
+            capacity_bytes,
+            active: false,
+            boot_queue: Vec::new(),
+            table,
+            pending: VecDeque::new(),
+            awaiting_relief: false,
+            reported_full: false,
+            routing: None,
+            routing_version: 0,
+            recv_chunks: [0; 3],
+            fwd_chunks: [0; 3],
+            comm: CommCounters::new(chunk),
+            matches: 0,
+            compares: 0,
+            spill: None,
+            spill_build_tuples: 0,
+            grace_result: None,
+            reported: false,
+        }
+    }
+
+    /// Tuples currently resident in the in-memory table (post-run
+    /// inspection).
+    #[must_use]
+    pub fn resident_tuples(&self) -> u64 {
+        self.table.len()
+    }
+
+    fn tuple_bytes(&self) -> u64 {
+        self.cfg.schema().tuple_bytes()
+    }
+
+    /// The category used when this node forwards build tuples it cannot or
+    /// should not house (pending hand-off / stale routing).
+    fn forward_category(&self) -> CommCategory {
+        match self.cfg.algorithm {
+            Algorithm::Replicated | Algorithm::Hybrid => CommCategory::ReplicaForward,
+            Algorithm::Split => CommCategory::OwnershipForward,
+            Algorithm::OutOfCore => CommCategory::OwnershipForward,
+        }
+    }
+
+    /// Ships `tuples` to `to` in chunk-sized data messages, recording the
+    /// traffic under `cat`.
+    fn send_tuples(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        to: ActorId,
+        phase: Phase,
+        cat: CommCategory,
+        tuples: Vec<Tuple>,
+    ) {
+        if tuples.is_empty() {
+            return;
+        }
+        let tb = self.tuple_bytes();
+        for chunk in tuples.chunks(self.cfg.chunk_tuples) {
+            let n = chunk.len() as u64;
+            self.comm.record(phase, cat, n, n * tb);
+            self.fwd_chunks[phase.index()] += 1;
+            ctx.send(
+                to,
+                Msg::Data {
+                    phase,
+                    category: cat,
+                    tuples: chunk.to_vec(),
+                    tuple_bytes: tb,
+                },
+            );
+        }
+    }
+
+    fn activate(&mut self, ctx: &mut dyn Context<Msg>, routing: RoutingTable, version: u64) {
+        if self.active {
+            // Re-activation of a warm spare: just refresh routing.
+            if version > self.routing_version {
+                self.routing = Some(routing);
+                self.routing_version = version;
+            }
+            return;
+        }
+        self.active = true;
+        ctx.consume_cpu(self.cfg.costs.recruit_latency);
+        self.routing = Some(routing);
+        self.routing_version = version;
+        let queued = std::mem::take(&mut self.boot_queue);
+        for (from, msg) in queued {
+            self.dispatch(ctx, from, msg);
+        }
+    }
+
+    /// Begins spilling: drains the in-memory table into Grace fragments.
+    fn activate_spill(&mut self, ctx: &mut dyn Context<Msg>) {
+        if self.spill.is_some() {
+            return;
+        }
+        let range = HashRange::new(0, self.cfg.positions);
+        let mut grace = GraceJoin::new(
+            self.space,
+            self.cfg.schema(),
+            range,
+            self.capacity_bytes,
+            self.cfg.grace,
+            B::default(),
+        );
+        let drained = self.table.drain_all();
+        let n = drained.len() as u64;
+        ctx.consume_cpu(self.cfg.costs.route_per_tuple * n);
+        let bytes = grace.append_build(&drained);
+        ctx.disk_write(bytes); // first spill positions the fragment files
+        self.spill = Some(grace);
+        // Pending tuples finally have a home.
+        let pending: Vec<Tuple> = std::mem::take(&mut self.pending).into();
+        self.spill_append_build(ctx, &pending);
+        self.awaiting_relief = false;
+        self.retract_full_report(ctx);
+        ctx.send(self.scheduler, Msg::Spilled);
+    }
+
+    fn spill_append_build(&mut self, ctx: &mut dyn Context<Msg>, tuples: &[Tuple]) {
+        if tuples.is_empty() {
+            return;
+        }
+        let grace = self.spill.as_mut().expect("spill active");
+        ctx.consume_cpu(self.cfg.costs.route_per_tuple * tuples.len() as u64);
+        let bytes = grace.append_build(tuples);
+        ctx.disk_append(bytes);
+    }
+
+    fn handle_build(&mut self, ctx: &mut dyn Context<Msg>, tuples: Vec<Tuple>) {
+        let costs = self.cfg.costs;
+        let routing = self.routing.take().expect("active node has routing");
+        let mut forwards: BTreeMap<ActorId, Vec<Tuple>> = BTreeMap::new();
+        let mut to_spill: Vec<Tuple> = Vec::new();
+        let mut inserted: u64 = 0;
+        let mut newly_pending: u64 = 0;
+        for t in tuples {
+            let dest = routing.build_dest(&self.space, t.join_attr);
+            if dest != self.me {
+                forwards.entry(dest).or_default().push(t);
+                continue;
+            }
+            if self.spill.is_some() {
+                to_spill.push(t);
+                continue;
+            }
+            match self.table.insert(t) {
+                Ok(()) => inserted += 1,
+                Err(_) => {
+                    if self.cfg.algorithm == Algorithm::OutOfCore {
+                        // The baseline never expands: go out of core now.
+                        self.activate_spill(ctx);
+                        to_spill.push(t);
+                    } else {
+                        self.pending.push_back(t);
+                        newly_pending += 1;
+                    }
+                }
+            }
+        }
+        self.routing = Some(routing);
+        ctx.consume_cpu(costs.insert_per_tuple * inserted);
+        self.spill_append_build(ctx, &to_spill);
+        let fwd_cat = self.forward_category();
+        for (dest, group) in forwards {
+            ctx.consume_cpu(costs.route_per_tuple * group.len() as u64);
+            self.send_tuples(ctx, dest, Phase::Build, fwd_cat, group);
+        }
+        if newly_pending > 0 && !self.awaiting_relief {
+            self.awaiting_relief = true;
+            self.reported_full = true;
+            ctx.send(
+                self.scheduler,
+                Msg::MemoryFull {
+                    pending: self.pending.len() as u64,
+                },
+            );
+        }
+    }
+
+    /// Notifies the scheduler that this node no longer needs relief, so a
+    /// stale queued overflow report does not trigger a pointless split.
+    fn retract_full_report(&mut self, ctx: &mut dyn Context<Msg>) {
+        if self.reported_full {
+            self.reported_full = false;
+            ctx.send(self.scheduler, Msg::Relieved);
+        }
+    }
+
+    /// Re-examines pending tuples after a routing change: forward the ones
+    /// that now belong elsewhere, retry the rest, and escalate again if the
+    /// table is still full.
+    fn drain_pending(&mut self, ctx: &mut dyn Context<Msg>) {
+        if self.pending.is_empty() {
+            self.awaiting_relief = false;
+            self.retract_full_report(ctx);
+            return;
+        }
+        if self.spill.is_some() {
+            let pending: Vec<Tuple> = std::mem::take(&mut self.pending).into();
+            self.spill_append_build(ctx, &pending);
+            self.awaiting_relief = false;
+            self.retract_full_report(ctx);
+            return;
+        }
+        let costs = self.cfg.costs;
+        let routing = self.routing.take().expect("active node has routing");
+        let mut forwards: BTreeMap<ActorId, Vec<Tuple>> = BTreeMap::new();
+        let mut still = VecDeque::new();
+        let mut inserted: u64 = 0;
+        for t in std::mem::take(&mut self.pending) {
+            let dest = routing.build_dest(&self.space, t.join_attr);
+            if dest != self.me {
+                forwards.entry(dest).or_default().push(t);
+            } else {
+                match self.table.insert(t) {
+                    Ok(()) => inserted += 1,
+                    Err(_) => still.push_back(t),
+                }
+            }
+        }
+        self.routing = Some(routing);
+        self.pending = still;
+        ctx.consume_cpu(costs.insert_per_tuple * inserted);
+        let fwd_cat = self.forward_category();
+        for (dest, group) in forwards {
+            ctx.consume_cpu(costs.route_per_tuple * group.len() as u64);
+            self.send_tuples(ctx, dest, Phase::Build, fwd_cat, group);
+        }
+        if self.pending.is_empty() {
+            self.awaiting_relief = false;
+            self.retract_full_report(ctx);
+        } else {
+            // Still full after relief: report again (one split per report,
+            // the uncontrolled-split discipline of linear hashing).
+            self.awaiting_relief = true;
+            self.reported_full = true;
+            ctx.send(
+                self.scheduler,
+                Msg::MemoryFull {
+                    pending: self.pending.len() as u64,
+                },
+            );
+        }
+    }
+
+    fn handle_probe(&mut self, ctx: &mut dyn Context<Msg>, tuples: Vec<Tuple>) {
+        let costs = self.cfg.costs;
+        if let Some(grace) = self.spill.as_mut() {
+            ctx.consume_cpu(costs.route_per_tuple * tuples.len() as u64);
+            let bytes = grace.append_probe(&tuples);
+            ctx.disk_append(bytes);
+            return;
+        }
+        let mut compared: u64 = 0;
+        let mut found: u64 = 0;
+        for t in &tuples {
+            let r = self.table.probe(t.join_attr);
+            compared += r.compared;
+            found += r.matches;
+        }
+        self.matches += found;
+        self.compares += compared;
+        ctx.consume_cpu(
+            costs.probe_per_tuple * tuples.len() as u64
+                + costs.probe_per_compare * compared
+                + costs.per_match * found,
+        );
+    }
+
+    fn handle_reshuffle_data(&mut self, ctx: &mut dyn Context<Msg>, tuples: Vec<Tuple>) {
+        // Reshuffle receivers insert without a capacity check: the greedy
+        // plan equalizes loads, and the paper redistributes unconditionally.
+        ctx.consume_cpu(self.cfg.costs.insert_per_tuple * tuples.len() as u64);
+        for t in tuples {
+            self.table.insert_unchecked(t);
+        }
+    }
+
+    fn handle_split_request(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        step: SplitStep,
+        new_node: ActorId,
+    ) {
+        // Scan the bucket (this node's whole table under linear hashing:
+        // every node owns exactly one bucket) and extract the upper half of
+        // its subrange. Linear hashing subdivides the position space,
+        // matching the routing table.
+        let scanned = self.table.len();
+        let space = self.space;
+        let moved = self
+            .table
+            .drain_filter(|t| step.moves_to_new(space.position_of(t.join_attr) as u64));
+        ctx.consume_cpu(self.cfg.costs.route_per_tuple * scanned);
+        let moved_count = moved.len() as u64;
+        self.send_tuples(
+            ctx,
+            new_node,
+            Phase::Build,
+            CommCategory::SplitTransfer,
+            moved,
+        );
+        ctx.send(
+            self.scheduler,
+            Msg::SplitDone {
+                step,
+                moved_tuples: moved_count,
+            },
+        );
+    }
+
+    fn handle_range_split(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        new_node: ActorId,
+        range: HashRange,
+    ) {
+        // Cut at the load median of this node's histogram.
+        let hist = self.table.position_histogram(range.start, range.end);
+        let total: u64 = hist.iter().sum();
+        ctx.consume_cpu(self.cfg.costs.probe_per_compare * total);
+        let mut cut = range.start;
+        if total > 0 {
+            let mut prefix = 0u64;
+            for (i, &c) in hist.iter().enumerate() {
+                if prefix * 2 >= total {
+                    cut = range.start + i as u32;
+                    break;
+                }
+                prefix += c;
+                cut = range.start + i as u32 + 1;
+            }
+        }
+        let usable = cut > range.start && cut < range.end;
+        if !usable {
+            ctx.send(
+                self.scheduler,
+                Msg::RangeSplitDone {
+                    cut: range.start,
+                    moved_tuples: 0,
+                    ok: false,
+                },
+            );
+            return;
+        }
+        let moved = self.table.extract_range(cut, range.end);
+        let moved_count = moved.len() as u64;
+        ctx.consume_cpu(self.cfg.costs.route_per_tuple * moved_count);
+        self.send_tuples(
+            ctx,
+            new_node,
+            Phase::Build,
+            CommCategory::SplitTransfer,
+            moved,
+        );
+        // Apply the cut to this node's own routing immediately: tuples for
+        // the upper half that arrive before the scheduler's broadcast must
+        // be forwarded, not silently re-inserted into a table the probe
+        // phase will no longer consult for that subrange.
+        if let Some(RoutingTable::Disjoint(m)) = self.routing.as_mut() {
+            m.replace_range(
+                range,
+                vec![
+                    (HashRange::new(range.start, cut), self.me),
+                    (HashRange::new(cut, range.end), new_node),
+                ],
+            );
+        }
+        ctx.send(
+            self.scheduler,
+            Msg::RangeSplitDone {
+                cut,
+                moved_tuples: moved_count,
+                ok: true,
+            },
+        );
+    }
+
+    fn handle_reshuffle_plan(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        group: u32,
+        assignments: Vec<(HashRange, ActorId)>,
+    ) {
+        let mut sent: u64 = 0;
+        for (subrange, owner) in assignments {
+            if owner == self.me || subrange.is_empty() {
+                continue;
+            }
+            let extracted = self.table.extract_range(subrange.start, subrange.end);
+            if extracted.is_empty() {
+                continue;
+            }
+            sent += extracted.len() as u64;
+            ctx.consume_cpu(self.cfg.costs.route_per_tuple * extracted.len() as u64);
+            self.send_tuples(
+                ctx,
+                owner,
+                Phase::Reshuffle,
+                CommCategory::ReshuffleTransfer,
+                extracted,
+            );
+        }
+        ctx.send(self.scheduler, Msg::ReshuffleDone { group, sent_tuples: sent });
+    }
+
+    fn handle_report_request(&mut self, ctx: &mut dyn Context<Msg>) {
+        if self.reported {
+            return;
+        }
+        self.reported = true;
+        if let Some(grace) = self.spill.take() {
+            self.spill_build_tuples = grace.build_tuples();
+            let result = grace.finalize();
+            ctx.disk_read(result.bytes_read);
+            ctx.disk_write(result.bytes_rewritten);
+            let costs = self.cfg.costs;
+            ctx.consume_cpu(
+                costs.insert_per_tuple * result.build_inserts
+                    + costs.probe_per_compare * result.compares
+                    + costs.per_match * result.matches,
+            );
+            self.matches += result.matches;
+            self.compares += result.compares;
+            self.grace_result = Some(result);
+        }
+        let build_tuples = self.table.len() + self.spill_build_tuples;
+        ctx.send(
+            self.scheduler,
+            Msg::Report(Box::new(NodeReport {
+                build_tuples,
+                matches: self.matches,
+                compares: self.compares,
+                comm: self.comm.clone(),
+                spilled: self.grace_result.is_some(),
+                grace: self.grace_result,
+            })),
+        );
+    }
+
+    fn dispatch(&mut self, ctx: &mut dyn Context<Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Data {
+                phase,
+                tuples,
+                ..
+            } => {
+                self.recv_chunks[phase.index()] += 1;
+                ctx.consume_cpu(self.cfg.costs.chunk_handling);
+                // Flow-control credit back to the sender (sources gate on
+                // these; node-to-node senders ignore them).
+                ctx.send(from, Msg::DataAck);
+                match phase {
+                    Phase::Build => self.handle_build(ctx, tuples),
+                    Phase::Probe => self.handle_probe(ctx, tuples),
+                    Phase::Reshuffle => self.handle_reshuffle_data(ctx, tuples),
+                }
+            }
+            Msg::RoutingUpdate { routing, version } => {
+                if version > self.routing_version {
+                    self.routing = Some(routing);
+                    self.routing_version = version;
+                }
+                self.drain_pending(ctx);
+            }
+            Msg::SplitRequest { step, new_node } => {
+                self.handle_split_request(ctx, step, new_node);
+            }
+            Msg::RangeSplitRequest { new_node, range } => {
+                self.handle_range_split(ctx, new_node, range);
+            }
+            Msg::ReshuffleQuery { group, range } => {
+                let counts = self.table.position_histogram(range.start, range.end);
+                let total: u64 = counts.iter().sum();
+                ctx.consume_cpu(self.cfg.costs.probe_per_compare * total);
+                ctx.send(
+                    self.scheduler,
+                    Msg::ReshuffleCounts {
+                        group,
+                        histogram: Histogram { counts },
+                    },
+                );
+            }
+            Msg::ReshufflePlan { group, assignments } => {
+                self.handle_reshuffle_plan(ctx, group, assignments);
+            }
+            Msg::NoMoreNodes => {
+                if self.cfg.allow_spill_fallback {
+                    self.activate_spill(ctx);
+                } else {
+                    panic!(
+                        "join node {} cannot be relieved and spill fallback is disabled",
+                        self.me
+                    );
+                }
+            }
+            Msg::FlushQuery { epoch, phase } => {
+                ctx.send(
+                    self.scheduler,
+                    Msg::FlushAck {
+                        epoch,
+                        recv_chunks: self.recv_chunks[phase.index()],
+                        fwd_chunks: self.fwd_chunks[phase.index()],
+                        pending: self.pending.len() as u64,
+                    },
+                );
+            }
+            Msg::ReportRequest => self.handle_report_request(ctx),
+            // Activation handled in on_message before dispatch.
+            _ => {}
+        }
+    }
+}
+
+impl<B: SpillBackend + Default + Send> Actor<Msg> for JoinNode<B> {
+    fn on_message(&mut self, ctx: &mut dyn Context<Msg>, from: ActorId, msg: Msg) {
+        if let Msg::Activate { routing, version } = msg {
+            self.activate(ctx, routing, version);
+            return;
+        }
+        if !self.active {
+            // Data can outrun activation (the scheduler's Activate and a
+            // source's first chunk race through independent links); queue
+            // until the join process is up.
+            self.boot_queue.push((from, msg));
+            return;
+        }
+        self.dispatch(ctx, from, msg);
+    }
+
+    // Delay charging for queued boot messages: they were already paid for
+    // when dispatched from `activate`.
+}
+
+
+#[cfg(test)]
+mod tests {
+    //! Unit tests drive the node through a scripted context; full-protocol
+    //! coverage lives in the runner/integration tests.
+
+    use super::*;
+    use crate::config::JoinConfig;
+    use crate::testutil::ScriptCtx;
+    use ehj_hash::RangeMap;
+    use ehj_storage::MemBackend;
+
+    const SCHED: ActorId = 0;
+    const ME: ActorId = 10;
+    const OTHER: ActorId = 11;
+
+    fn test_cfg(algorithm: Algorithm) -> Arc<JoinConfig> {
+        let mut cfg = JoinConfig::paper_scaled(algorithm, 1000);
+        // positions == domain: position == attribute value, which keeps the
+        // expected routing in these tests easy to read.
+        cfg.positions = 1000;
+        cfg.r = cfg.r.with_domain(1000);
+        cfg.s = cfg.s.with_domain(1000);
+        cfg.chunk_tuples = 8;
+        Arc::new(cfg)
+    }
+
+    fn capacity_tuples(cfg: &JoinConfig, n: u64) -> u64 {
+        n * (cfg.schema().tuple_bytes() + ehj_hash::ENTRY_OVERHEAD_BYTES)
+    }
+
+    /// Routing: positions [0,500) → ME, [500,1000) → OTHER.
+    fn two_node_routing() -> RoutingTable {
+        RoutingTable::Disjoint(RangeMap::partitioned(1000, &[ME, OTHER]))
+    }
+
+    fn activated_node(
+        algorithm: Algorithm,
+        cap_tuples: u64,
+    ) -> (JoinNode<MemBackend>, ScriptCtx) {
+        let cfg = test_cfg(algorithm);
+        let cap = capacity_tuples(&cfg, cap_tuples);
+        let mut node = JoinNode::<MemBackend>::new(cfg, SCHED, ME, cap);
+        let mut ctx = ScriptCtx::new(ME);
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::Activate {
+                routing: two_node_routing(),
+                version: 1,
+            },
+        );
+        ctx.sent.clear();
+        (node, ctx)
+    }
+
+    fn build_data(tuples: Vec<Tuple>) -> Msg {
+        Msg::Data {
+            phase: Phase::Build,
+            category: CommCategory::SourceDelivery,
+            tuples,
+            tuple_bytes: 116,
+        }
+    }
+
+    #[test]
+    fn inserts_owned_tuples_and_forwards_stale_ones() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 100);
+        // Attr 100 → position 100 (ours); attr 700 → position 700 (OTHER's).
+        node.on_message(
+            &mut ctx,
+            1,
+            build_data(vec![Tuple::new(1, 100), Tuple::new(2, 700)]),
+        );
+        assert_eq!(node.resident_tuples(), 1);
+        // One DataAck back to the sender plus one forwarded chunk.
+        assert!(ctx
+            .sent
+            .iter()
+            .any(|(to, m)| *to == 1 && matches!(m, Msg::DataAck)));
+        let data: Vec<_> = ctx
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::Data { .. }))
+            .collect();
+        assert_eq!(data.len(), 1);
+        let (to, msg) = data[0];
+        assert_eq!(*to, OTHER);
+        match msg {
+            Msg::Data {
+                phase: Phase::Build,
+                category: CommCategory::ReplicaForward,
+                tuples,
+                ..
+            } => assert_eq!(tuples, &vec![Tuple::new(2, 700)]),
+            other => panic!("expected forwarded data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_raises_memory_full_once() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 2);
+        let tuples: Vec<Tuple> = (0..5).map(|i| Tuple::new(i, 100 + i)).collect();
+        node.on_message(&mut ctx, 1, build_data(tuples));
+        assert_eq!(node.resident_tuples(), 2);
+        assert_eq!(node.pending.len(), 3);
+        let fulls: Vec<_> = ctx
+            .sent
+            .iter()
+            .filter(|(to, m)| *to == SCHED && matches!(m, Msg::MemoryFull { .. }))
+            .collect();
+        assert_eq!(fulls.len(), 1, "exactly one memory-full report");
+        // A second overflowing chunk must not re-report while awaiting.
+        ctx.sent.clear();
+        node.on_message(&mut ctx, 1, build_data(vec![Tuple::new(9, 120)]));
+        assert!(ctx
+            .sent
+            .iter()
+            .all(|(_, m)| !matches!(m, Msg::MemoryFull { .. })));
+    }
+
+    #[test]
+    fn routing_update_forwards_pending_to_new_owner() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 2);
+        let tuples: Vec<Tuple> = (0..5).map(|i| Tuple::new(i, 100 + i)).collect();
+        node.on_message(&mut ctx, 1, build_data(tuples));
+        ctx.sent.clear();
+        // New routing: our whole old range now actively owned by node 12.
+        let routing = RoutingTable::Disjoint(RangeMap::partitioned(1000, &[12, OTHER]));
+        node.on_message(&mut ctx, SCHED, Msg::RoutingUpdate { routing, version: 2 });
+        assert!(node.pending.is_empty());
+        assert!(!node.awaiting_relief);
+        let forwarded: u64 = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Msg::Data { tuples, .. } if *to == 12 => Some(tuples.len() as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(forwarded, 3);
+    }
+
+    #[test]
+    fn still_full_after_update_reports_again() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Split, 2);
+        let tuples: Vec<Tuple> = (0..5).map(|i| Tuple::new(i, 100 + i)).collect();
+        node.on_message(&mut ctx, 1, build_data(tuples));
+        ctx.sent.clear();
+        // Routing update that does not move our range: pending stays.
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::RoutingUpdate {
+                routing: two_node_routing(),
+                version: 2,
+            },
+        );
+        assert_eq!(node.pending.len(), 3);
+        assert!(node.awaiting_relief);
+        assert!(ctx
+            .sent
+            .iter()
+            .any(|(to, m)| *to == SCHED && matches!(m, Msg::MemoryFull { .. })));
+    }
+
+    #[test]
+    fn probe_counts_matches_and_compares() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 100);
+        node.on_message(
+            &mut ctx,
+            1,
+            build_data(vec![Tuple::new(1, 100), Tuple::new(2, 100), Tuple::new(3, 105)]),
+        );
+        node.on_message(
+            &mut ctx,
+            1,
+            Msg::Data {
+                phase: Phase::Probe,
+                category: CommCategory::SourceDelivery,
+                tuples: vec![Tuple::new(9, 100), Tuple::new(10, 101)],
+                tuple_bytes: 116,
+            },
+        );
+        assert_eq!(node.matches, 2);
+        // Probe 100 scans its 2-element chain; probe 101 hits an empty one.
+        assert_eq!(node.compares, 2);
+    }
+
+    #[test]
+    fn data_before_activation_is_queued() {
+        let cfg = test_cfg(Algorithm::Replicated);
+        let cap = capacity_tuples(&cfg, 10);
+        let mut node = JoinNode::<MemBackend>::new(cfg, SCHED, ME, cap);
+        let mut ctx = ScriptCtx::new(ME);
+        node.on_message(&mut ctx, 1, build_data(vec![Tuple::new(1, 100)]));
+        assert_eq!(node.resident_tuples(), 0);
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::Activate {
+                routing: two_node_routing(),
+                version: 1,
+            },
+        );
+        assert_eq!(node.resident_tuples(), 1, "boot queue replayed");
+    }
+
+    #[test]
+    fn split_request_moves_matching_tuples() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Split, 100);
+        // Identity hashing, positions == domain → position = attr.
+        // Bucket 0 covers positions [0,500); its split halves that into
+        // [0,250) (stays) and [250,500) (moves to the new bucket).
+        for (i, v) in [(1u64, 100u64), (2, 300), (3, 240), (4, 499)] {
+            node.on_message(&mut ctx, 1, build_data(vec![Tuple::new(i, v)]));
+        }
+        ctx.sent.clear();
+        let step = SplitStep {
+            old: 0,
+            new: 2,
+            mid: 250,
+        };
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::SplitRequest {
+                step,
+                new_node: OTHER,
+            },
+        );
+        // Positions 300 and 499 move; 100 and 240 stay.
+        assert_eq!(node.resident_tuples(), 2);
+        let mut moved: Vec<u64> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Msg::Data { tuples, .. } if *to == OTHER => {
+                    Some(tuples.iter().map(|t| t.join_attr).collect::<Vec<_>>())
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        moved.sort_unstable();
+        assert_eq!(moved, vec![300, 499]);
+        assert!(ctx.sent.iter().any(|(to, m)| {
+            *to == SCHED && matches!(m, Msg::SplitDone { moved_tuples: 2, .. })
+        }));
+    }
+
+    #[test]
+    fn range_split_cuts_at_median() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Split, 100);
+        // 10 tuples at positions 100,110,...,190.
+        let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::new(i, 100 + i * 10)).collect();
+        node.on_message(&mut ctx, 1, build_data(tuples));
+        ctx.sent.clear();
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::RangeSplitRequest {
+                new_node: OTHER,
+                range: HashRange::new(0, 500),
+            },
+        );
+        let done = ctx
+            .sent
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::RangeSplitDone {
+                    cut,
+                    moved_tuples,
+                    ok,
+                } => Some((*cut, *moved_tuples, *ok)),
+                _ => None,
+            })
+            .expect("must reply");
+        assert!(done.2, "split must succeed");
+        assert_eq!(done.1, 5, "half the tuples move");
+        assert_eq!(node.resident_tuples(), 5);
+    }
+
+    #[test]
+    fn range_split_on_single_hot_position_fails_gracefully() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Split, 100);
+        let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::new(i, 100)).collect();
+        node.on_message(&mut ctx, 1, build_data(tuples));
+        ctx.sent.clear();
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::RangeSplitRequest {
+                new_node: OTHER,
+                range: HashRange::new(100, 101),
+            },
+        );
+        assert!(ctx.sent.iter().any(|(_, m)| matches!(
+            m,
+            Msg::RangeSplitDone { ok: false, .. }
+        )));
+        assert_eq!(node.resident_tuples(), 10);
+    }
+
+    #[test]
+    fn reshuffle_query_and_plan_roundtrip() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Hybrid, 100);
+        // Positions 100, 105 and 300 populated.
+        node.on_message(
+            &mut ctx,
+            1,
+            build_data(vec![Tuple::new(1, 100), Tuple::new(2, 105), Tuple::new(3, 300)]),
+        );
+        ctx.sent.clear();
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::ReshuffleQuery {
+                group: 0,
+                range: HashRange::new(0, 500),
+            },
+        );
+        let hist = ctx
+            .sent
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::ReshuffleCounts { histogram, .. } => Some(histogram.clone()),
+                _ => None,
+            })
+            .expect("histogram reply");
+        assert_eq!(hist.counts.len(), 500);
+        assert_eq!(hist.counts[100], 1);
+        assert_eq!(hist.counts[105], 1);
+        assert_eq!(hist.counts[300], 1);
+        ctx.sent.clear();
+        // Plan: [0,200) stays ours, [200,500) goes to OTHER.
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::ReshufflePlan {
+                group: 0,
+                assignments: vec![
+                    (HashRange::new(0, 200), ME),
+                    (HashRange::new(200, 500), OTHER),
+                ],
+            },
+        );
+        assert_eq!(node.resident_tuples(), 2);
+        assert!(ctx.sent.iter().any(|(to, m)| *to == OTHER
+            && matches!(m, Msg::Data { phase: Phase::Reshuffle, .. })));
+        assert!(ctx
+            .sent
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::ReshuffleDone { sent_tuples: 1, .. })));
+    }
+
+    #[test]
+    fn ooc_node_spills_and_finalizes() {
+        let (mut node, mut ctx) = activated_node(Algorithm::OutOfCore, 3);
+        let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::new(i, 100 + i % 2)).collect();
+        node.on_message(&mut ctx, 1, build_data(tuples));
+        assert!(node.spill.is_some(), "baseline must spill, not expand");
+        assert!(ctx.disk_written > 0);
+        assert!(ctx
+            .sent
+            .iter()
+            .all(|(_, m)| !matches!(m, Msg::MemoryFull { .. })));
+        // Probe: 2 tuples matching the two hot attrs.
+        node.on_message(
+            &mut ctx,
+            1,
+            Msg::Data {
+                phase: Phase::Probe,
+                category: CommCategory::SourceDelivery,
+                tuples: vec![Tuple::new(50, 100), Tuple::new(51, 101)],
+                tuple_bytes: 116,
+            },
+        );
+        ctx.sent.clear();
+        node.on_message(&mut ctx, SCHED, Msg::ReportRequest);
+        let report = ctx
+            .sent
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::Report(r) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("node report");
+        assert!(report.spilled);
+        assert_eq!(report.matches, 10, "5 copies of each probed attr");
+        assert_eq!(report.build_tuples, 10);
+        assert!(ctx.disk_read > 0);
+    }
+
+    #[test]
+    fn no_more_nodes_triggers_spill_fallback() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Split, 2);
+        let tuples: Vec<Tuple> = (0..6).map(|i| Tuple::new(i, 100 + i)).collect();
+        node.on_message(&mut ctx, 1, build_data(tuples));
+        assert_eq!(node.pending.len(), 4);
+        node.on_message(&mut ctx, SCHED, Msg::NoMoreNodes);
+        assert!(node.spill.is_some());
+        assert!(node.pending.is_empty());
+        assert!(!node.awaiting_relief);
+    }
+
+    #[test]
+    fn flush_ack_reports_counters() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 100);
+        node.on_message(&mut ctx, 1, build_data(vec![Tuple::new(1, 100)]));
+        ctx.sent.clear();
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::FlushQuery {
+                epoch: 7,
+                phase: Phase::Build,
+            },
+        );
+        match &ctx.sent[0].1 {
+            Msg::FlushAck {
+                epoch,
+                recv_chunks,
+                fwd_chunks,
+                pending,
+            } => {
+                assert_eq!(*epoch, 7);
+                assert_eq!(*recv_chunks, 1);
+                assert_eq!(*fwd_chunks, 0);
+                assert_eq!(*pending, 0);
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+}

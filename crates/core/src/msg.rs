@@ -1,0 +1,298 @@
+//! The message protocol between scheduler, data sources and join processes.
+
+use crate::routing::RoutingTable;
+use ehj_data::Tuple;
+use ehj_hash::{HashRange, SplitStep};
+use ehj_metrics::{CommCategory, CommCounters, Phase};
+use ehj_sim::{ActorId, Message};
+use ehj_storage::GraceResult;
+
+/// Wire size charged for a bare control message.
+pub const CONTROL_BYTES: u64 = 64;
+
+/// A sparse-or-dense per-position entry histogram (reshuffle global sum
+/// input). Stored dense; charged on the wire at whichever encoding is
+/// smaller, as a real implementation would send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-position counts, relative to the queried range start.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// On-wire bytes: dense (8 B/cell) vs sparse (12 B per non-zero cell),
+    /// whichever is smaller, plus a header.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        let dense = 8 * self.counts.len() as u64;
+        let sparse = 12 * self.counts.iter().filter(|&&c| c != 0).count() as u64;
+        CONTROL_BYTES + dense.min(sparse)
+    }
+}
+
+/// Per-node final report returned to the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Tuples resident in the node's table at the end (post-reshuffle).
+    pub build_tuples: u64,
+    /// Matches found by this node's probes.
+    pub matches: u64,
+    /// Chain comparisons performed.
+    pub compares: u64,
+    /// This node's communication counters.
+    pub comm: CommCounters,
+    /// Whether the node spilled out of core.
+    pub spilled: bool,
+    /// Out-of-core join statistics when spilled.
+    pub grace: Option<GraceResult>,
+}
+
+/// Everything that flows between actors.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ---- scheduler → join nodes ----
+    /// Activates a join node (initial setup or recruitment) with the
+    /// current routing state. Handling charges the recruit latency.
+    Activate {
+        /// Routing table at activation time.
+        routing: RoutingTable,
+        /// Routing version.
+        version: u64,
+    },
+    /// New routing state after an expansion (broadcast to sources too).
+    RoutingUpdate {
+        /// The new table.
+        routing: RoutingTable,
+        /// Monotonic version; stale updates are ignored.
+        version: u64,
+    },
+    /// Linear-pointer split: the addressed node owns `step.old` and must
+    /// ship the elements whose position falls in the upper half
+    /// (`>= step.mid`) to `new_node`.
+    SplitRequest {
+        /// What to split.
+        step: SplitStep,
+        /// Actor receiving the new bucket.
+        new_node: ActorId,
+    },
+    /// Range-bisect split: the addressed (full) node must cut its own range
+    /// at its load median and ship the upper half to `new_node`.
+    RangeSplitRequest {
+        /// Actor receiving the upper half.
+        new_node: ActorId,
+        /// The full node's current range.
+        range: HashRange,
+    },
+    /// Reshuffle step 1: report the per-position histogram of `range`.
+    ReshuffleQuery {
+        /// Replica-set group id.
+        group: u32,
+        /// The replicated range.
+        range: HashRange,
+    },
+    /// Reshuffle step 2: the new disjoint partitioning of the group's
+    /// range; ship entries you hold that now belong to others.
+    ReshufflePlan {
+        /// Replica-set group id.
+        group: u32,
+        /// `(subrange, owner)` assignments covering the group's range.
+        assignments: Vec<(HashRange, ActorId)>,
+    },
+    /// No potential nodes remain (or the hot range cannot be split): fall
+    /// back to spilling out of core.
+    NoMoreNodes,
+    /// Phase-barrier poll.
+    FlushQuery {
+        /// Poll epoch (acks from older epochs are ignored).
+        epoch: u64,
+        /// Phase being drained.
+        phase: Phase,
+    },
+    /// Request the node's final [`NodeReport`] (triggers out-of-core
+    /// finalize on spilled nodes).
+    ReportRequest,
+
+    // ---- scheduler → data sources ----
+    /// Begin generating and routing the build relation.
+    StartBuild {
+        /// Build routing.
+        routing: RoutingTable,
+        /// Routing version.
+        version: u64,
+    },
+    /// Begin generating and routing the probe relation.
+    StartProbe {
+        /// Probe routing (final; never changes during the probe).
+        routing: RoutingTable,
+        /// Routing version.
+        version: u64,
+    },
+
+    // ---- join nodes → scheduler ----
+    /// "Memory for data elements cannot be allocated" (§4.1.3).
+    MemoryFull {
+        /// Tuples queued pending relief.
+        pending: u64,
+    },
+    /// Retracts an earlier [`Msg::MemoryFull`]: the node's pending queue
+    /// drained (a split or ownership change relieved it), so any still-
+    /// queued overflow report for it must not trigger another split.
+    Relieved,
+    /// This node went out of core. Its table contents now live in spill
+    /// files, so its bucket can no longer be split: the scheduler stops
+    /// advancing the split pointer through it.
+    Spilled,
+    /// A linear-pointer split completed at the old bucket's owner.
+    SplitDone {
+        /// The split that completed.
+        step: SplitStep,
+        /// Tuples shipped to the new bucket.
+        moved_tuples: u64,
+    },
+    /// A range-bisect split completed (or degenerately failed when
+    /// `moved_tuples == 0` and the range cannot be cut).
+    RangeSplitDone {
+        /// Chosen cut position; upper half `[cut, end)` moved.
+        cut: u32,
+        /// Tuples shipped.
+        moved_tuples: u64,
+        /// Whether a usable cut existed.
+        ok: bool,
+    },
+    /// Reshuffle histogram reply.
+    ReshuffleCounts {
+        /// Replica-set group id.
+        group: u32,
+        /// Per-position counts over the queried range.
+        histogram: Histogram,
+    },
+    /// This node finished shipping reshuffle entries.
+    ReshuffleDone {
+        /// Replica-set group id.
+        group: u32,
+        /// Tuples shipped to other members.
+        sent_tuples: u64,
+    },
+    /// Barrier poll reply.
+    FlushAck {
+        /// Epoch being acknowledged.
+        epoch: u64,
+        /// Cumulative data chunks received in the polled phase.
+        recv_chunks: u64,
+        /// Cumulative data chunks this node forwarded in the polled phase.
+        fwd_chunks: u64,
+        /// Tuples still pending (unhoused) at this node.
+        pending: u64,
+    },
+    /// Final per-node statistics.
+    Report(Box<NodeReport>),
+
+    // ---- data sources → scheduler ----
+    /// A source finished generating and flushing one phase.
+    SourcePhaseDone {
+        /// Which phase finished.
+        phase: Phase,
+        /// Chunks this source sent to join nodes in that phase.
+        sent_chunks: u64,
+        /// Tuples sent (probe broadcasts count every copy).
+        sent_tuples: u64,
+        /// The source's communication counters (moved, not merged, so the
+        /// scheduler aggregates exactly once).
+        comm: Box<CommCounters>,
+    },
+
+    // ---- data plane (any → join nodes) ----
+    /// A batch of tuples. `tuple_bytes` is the schema's payload-inclusive
+    /// row size, carried so the wire charge is payload-accurate.
+    Data {
+        /// Phase the data belongs to.
+        phase: Phase,
+        /// Why it was sent (delivery, split transfer, forward, ...).
+        category: CommCategory,
+        /// The tuples.
+        tuples: Vec<Tuple>,
+        /// Row size under the run's schema.
+        tuple_bytes: u64,
+    },
+
+    /// Flow-control credit: acknowledges one [`Msg::Data`] chunk back to
+    /// its sender (TCP-receive-window emulation; see `source.rs`).
+    DataAck,
+
+    // ---- self-scheduled timers ----
+    /// Data-source generation step.
+    GenStep,
+    /// Scheduler barrier re-poll.
+    RetryFlush,
+}
+
+impl Message for Msg {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Msg::Data {
+                tuples, tuple_bytes, ..
+            } => CONTROL_BYTES + tuples.len() as u64 * tuple_bytes,
+            Msg::Activate { routing, .. }
+            | Msg::RoutingUpdate { routing, .. }
+            | Msg::StartBuild { routing, .. }
+            | Msg::StartProbe { routing, .. } => CONTROL_BYTES + routing.wire_bytes(),
+            Msg::ReshuffleCounts { histogram, .. } => histogram.wire_bytes(),
+            Msg::ReshufflePlan { assignments, .. } => {
+                CONTROL_BYTES + 16 * assignments.len() as u64
+            }
+            Msg::SourcePhaseDone { .. } | Msg::Report(_) => 256,
+            _ => CONTROL_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehj_hash::RangeMap;
+
+    #[test]
+    fn data_wire_bytes_include_payload() {
+        let m = Msg::Data {
+            phase: Phase::Build,
+            category: CommCategory::SourceDelivery,
+            tuples: vec![Tuple::new(0, 0); 10],
+            tuple_bytes: 116,
+        };
+        assert_eq!(m.wire_bytes(), CONTROL_BYTES + 1160);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert_eq!(Msg::GenStep.wire_bytes(), CONTROL_BYTES);
+        assert_eq!(Msg::ReportRequest.wire_bytes(), CONTROL_BYTES);
+        assert_eq!(Msg::MemoryFull { pending: 5 }.wire_bytes(), CONTROL_BYTES);
+    }
+
+    #[test]
+    fn routing_messages_scale_with_table() {
+        let small = Msg::RoutingUpdate {
+            routing: RoutingTable::Disjoint(RangeMap::partitioned(100, &[1, 2])),
+            version: 1,
+        };
+        let large = Msg::RoutingUpdate {
+            routing: RoutingTable::Disjoint(RangeMap::partitioned(100, &[1, 2, 3, 4, 5, 6, 7, 8])),
+            version: 1,
+        };
+        assert!(large.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn histogram_wire_picks_smaller_encoding() {
+        // Dense wins: all cells non-zero.
+        let h = Histogram {
+            counts: vec![1; 100],
+        };
+        assert_eq!(h.wire_bytes(), CONTROL_BYTES + 800);
+        // Sparse wins: one non-zero cell out of 100.
+        let mut counts = vec![0u64; 100];
+        counts[50] = 7;
+        let h = Histogram { counts };
+        assert_eq!(h.wire_bytes(), CONTROL_BYTES + 12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Multi-way join pipelines — the paper's future-work direction (§6):
+//! "We also plan to expand our work to multi-way join operations ... In a
+//! multi-way join operation, performance can be improved if results from
+//! joins at intermediate levels are maintained in memory."
+//!
+//! A [`MultiwayPlan`] evaluates a left-deep chain
+//! `((R₀ ⋈ R₁) ⋈ R₂) ⋈ …` as a sequence of expanding joins. Each level's
+//! output cardinality sizes the intermediate relation that streams into the
+//! next level (the data sources generate relations on the fly, which is
+//! precisely how a pipelined intermediate behaves), and the intermediate's
+//! payload is the concatenation of its inputs' payloads. With
+//! [`MultiwayPlan::keep_nodes_warm`] the next level starts on the previous
+//! level's *expanded* node set — §6's "maintained in memory" idea — instead
+//! of tearing down to the original allocation and re-expanding.
+//!
+//! The intermediate relations are synthetic stand-ins with the measured
+//! cardinality (the simulator does not materialize join payloads), so
+//! multi-way *match counts* beyond the first level are workload-model
+//! outputs, not oracle-verifiable joins; timings and expansion behaviour
+//! are the quantities of interest.
+
+use crate::config::JoinConfig;
+use crate::report::JoinReport;
+use crate::runner::{JoinError, JoinRunner};
+use ehj_data::RelationSpec;
+use serde::{Deserialize, Serialize};
+
+/// A left-deep multi-way join plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiwayPlan {
+    /// Template configuration: algorithm, cluster, costs, chunking. Its
+    /// `r`/`s` fields are overwritten per level.
+    pub base: JoinConfig,
+    /// The relations, joined left-deep in order. Must share the base's
+    /// attribute domain; lengths ≥ 2.
+    pub relations: Vec<RelationSpec>,
+    /// Start each level after the first on the previous level's final node
+    /// count (the paper's keep-intermediates-in-memory idea) instead of the
+    /// base allocation.
+    pub keep_nodes_warm: bool,
+}
+
+/// The outcome of a multi-way pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiwayReport {
+    /// Per-level reports, in execution order.
+    pub stages: Vec<JoinReport>,
+    /// Sum of the stages' total times (levels run back-to-back).
+    pub total_secs: f64,
+    /// The final level's output cardinality.
+    pub final_matches: u64,
+}
+
+impl MultiwayPlan {
+    /// Creates a plan over `relations` using `base` as the template.
+    #[must_use]
+    pub fn new(base: JoinConfig, relations: Vec<RelationSpec>) -> Self {
+        Self {
+            base,
+            relations,
+            keep_nodes_warm: true,
+        }
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Errors
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.relations.len() < 2 {
+            return Err("a multi-way plan needs at least two relations".into());
+        }
+        for (i, r) in self.relations.iter().enumerate() {
+            if r.domain != self.relations[0].domain {
+                return Err(format!(
+                    "relation {i} has domain {} but relation 0 has {} — multi-way joins need one join-attribute domain",
+                    r.domain, self.relations[0].domain
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the pipeline level by level.
+    ///
+    /// # Errors
+    /// Propagates configuration and runtime errors from any level.
+    pub fn run(&self) -> Result<MultiwayReport, JoinError> {
+        self.validate().map_err(JoinError::Config)?;
+        let mut stages: Vec<JoinReport> = Vec::with_capacity(self.relations.len() - 1);
+        let mut build = self.relations[0];
+        for (level, &probe) in self.relations[1..].iter().enumerate() {
+            let mut cfg = self.base.clone();
+            // The intermediate carries both sides' payloads; both relations
+            // of one join must share a schema, so the probe side is
+            // materialized at the same width.
+            cfg.r = build;
+            cfg.s = probe;
+            let width = build.schema.payload_bytes.max(probe.schema.payload_bytes);
+            cfg.r = cfg.r.with_payload(width);
+            cfg.s = cfg.s.with_payload(width);
+            if self.keep_nodes_warm {
+                if let Some(prev) = stages.last() {
+                    cfg.initial_nodes = prev.final_nodes.min(cfg.cluster.len()).max(1);
+                }
+            }
+            let report = JoinRunner::run(&cfg)?;
+            // Synthesize the next level's build side from this level's
+            // output: measured cardinality, concatenated payload, a fresh
+            // derived stream over the shared domain.
+            let payload = build
+                .schema
+                .payload_bytes
+                .saturating_add(probe.schema.payload_bytes);
+            build = RelationSpec::uniform(
+                report.matches,
+                build.seed.wrapping_mul(0x9E37_79B9).wrapping_add(level as u64 + 1),
+            )
+            .with_domain(build.domain)
+            .with_payload(payload);
+            stages.push(report);
+        }
+        let total_secs = stages.iter().map(|s| s.times.total_secs).sum();
+        let final_matches = stages.last().map_or(0, |s| s.matches);
+        Ok(MultiwayReport {
+            stages,
+            total_secs,
+            final_matches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+
+    fn base() -> JoinConfig {
+        let mut cfg = JoinConfig::paper_scaled(Algorithm::Hybrid, 1000);
+        let domain = 1 << 12;
+        cfg.r = cfg.r.with_domain(domain);
+        cfg.s = cfg.s.with_domain(domain);
+        cfg.positions = (domain / 4) as u32;
+        cfg
+    }
+
+    fn rel(tuples: u64, seed: u64) -> RelationSpec {
+        RelationSpec::uniform(tuples, seed).with_domain(1 << 12)
+    }
+
+    #[test]
+    fn two_level_pipeline_runs_and_chains_cardinality() {
+        let plan = MultiwayPlan::new(base(), vec![rel(8000, 1), rel(8000, 2), rel(8000, 3)]);
+        let report = plan.run().expect("pipeline runs");
+        assert_eq!(report.stages.len(), 2);
+        // Level 2's build side is level 1's output cardinality.
+        assert_eq!(report.stages[1].build_tuples, report.stages[0].matches);
+        assert_eq!(report.final_matches, report.stages[1].matches);
+        assert!(report.total_secs > 0.0);
+    }
+
+    #[test]
+    fn warm_start_reuses_the_expanded_node_set() {
+        let relations = vec![rel(20_000, 1), rel(20_000, 2), rel(20_000, 3)];
+        let mut plan = MultiwayPlan::new(base(), relations.clone());
+        plan.keep_nodes_warm = true;
+        let warm = plan.run().expect("warm runs");
+        plan.keep_nodes_warm = false;
+        let cold = plan.run().expect("cold runs");
+        // Stage 1 is identical either way.
+        assert_eq!(
+            warm.stages[0].final_nodes, cold.stages[0].final_nodes,
+            "first level does not differ"
+        );
+        // The warm second stage starts where the first ended.
+        assert_eq!(
+            warm.stages[1].initial_nodes,
+            warm.stages[0].final_nodes.min(24)
+        );
+        assert_eq!(cold.stages[1].initial_nodes, 4);
+    }
+
+    #[test]
+    fn intermediate_payload_concatenates() {
+        let mut r0 = rel(5000, 1);
+        r0.schema = ehj_data::Schema::with_payload(100);
+        let mut r1 = rel(5000, 2);
+        r1.schema = ehj_data::Schema::with_payload(100);
+        let mut r2 = rel(5000, 3);
+        r2.schema = ehj_data::Schema::with_payload(100);
+        let plan = MultiwayPlan::new(base(), vec![r0, r1, r2]);
+        let report = plan.run().expect("runs");
+        // The second stage's build side carries the concatenated payload.
+        // (Visible through byte accounting: its network traffic per tuple
+        // grows; here we simply assert the run stayed coherent.)
+        assert_eq!(report.stages.len(), 2);
+    }
+
+    #[test]
+    fn rejects_degenerate_plans() {
+        let plan = MultiwayPlan::new(base(), vec![rel(100, 1)]);
+        assert!(plan.validate().is_err());
+        let mismatched = vec![rel(100, 1), rel(100, 2).with_domain(1 << 8)];
+        let plan = MultiwayPlan::new(base(), mismatched);
+        assert!(matches!(plan.run(), Err(JoinError::Config(_))));
+    }
+
+    #[test]
+    fn empty_intermediate_short_circuits_gracefully() {
+        // An empty R0 produces zero matches at level 1; level 2 then builds
+        // from an empty relation and must still complete.
+        let plan = MultiwayPlan::new(base(), vec![rel(0, 1), rel(1000, 2), rel(1000, 3)]);
+        let report = plan.run().expect("runs");
+        assert_eq!(report.final_matches, 0);
+    }
+}

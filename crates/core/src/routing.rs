@@ -1,0 +1,160 @@
+//! Routing tables shared by data sources, join nodes and the scheduler.
+//!
+//! A routing table answers two questions for a join-attribute value:
+//! *where do build tuples go* (always exactly one node) and *where do probe
+//! tuples go* (one node, except for replicated ranges, which broadcast to
+//! every replica — §4.2.2). The three algorithm families use three shapes:
+//!
+//! * [`RoutingTable::Disjoint`] — contiguous position ranges, one owner
+//!   each: the initial configuration, the out-of-core baseline, the
+//!   range-bisect split ablation, and the hybrid's post-reshuffle probe
+//!   routing;
+//! * [`RoutingTable::Replica`] — ranges with replica lists: the
+//!   replication-based and hybrid build phases and the replication-based
+//!   probe phase;
+//! * [`RoutingTable::Buckets`] — linear-hashing buckets: the split-based
+//!   algorithm (the `(i, split pointer)` pair the scheduler broadcasts,
+//!   §4.2.1).
+
+use ehj_data::JoinAttr;
+use ehj_hash::{BucketMap, PositionSpace, RangeMap, ReplicaMap};
+use ehj_sim::ActorId;
+use serde::{Deserialize, Serialize};
+
+/// One routing table, versioned by the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingTable {
+    /// Disjoint contiguous position ranges.
+    Disjoint(RangeMap<ActorId>),
+    /// Ranges with replica lists.
+    Replica(ReplicaMap<ActorId>),
+    /// Linear-hashing bucket map.
+    Buckets(BucketMap<ActorId>),
+}
+
+impl RoutingTable {
+    /// The single destination for a build tuple.
+    #[must_use]
+    pub fn build_dest(&self, space: &PositionSpace, attr: JoinAttr) -> ActorId {
+        match self {
+            Self::Disjoint(m) => m.owner_of(space.position_of(attr)),
+            Self::Replica(m) => m.active_of(space.position_of(attr)),
+            // Linear hashing subdivides the position space ("disjoint
+            // subranges of hash values", §4), so it addresses positions.
+            Self::Buckets(m) => m.route(space.position_of(attr) as u64),
+        }
+    }
+
+    /// Appends the probe destinations for a tuple to `out` (cleared first).
+    /// Exactly one destination except for replicated ranges.
+    pub fn probe_dests(&self, space: &PositionSpace, attr: JoinAttr, out: &mut Vec<ActorId>) {
+        out.clear();
+        match self {
+            Self::Disjoint(m) => out.push(m.owner_of(space.position_of(attr))),
+            Self::Replica(m) => {
+                out.extend_from_slice(m.owners_of(space.position_of(attr)));
+            }
+            Self::Buckets(m) => {
+                out.push(m.route(space.position_of(attr) as u64));
+            }
+        }
+    }
+
+    /// Whether `node` owns `attr` for the build phase under this table.
+    #[must_use]
+    pub fn owns_build(&self, space: &PositionSpace, attr: JoinAttr, node: ActorId) -> bool {
+        self.build_dest(space, attr) == node
+    }
+
+    /// Every node that currently holds (or receives) part of the table.
+    #[must_use]
+    pub fn all_nodes(&self) -> Vec<ActorId> {
+        match self {
+            Self::Disjoint(m) => m.owners(),
+            Self::Replica(m) => m.all_nodes(),
+            Self::Buckets(m) => m.distinct_owners(),
+        }
+    }
+
+    /// Approximate on-wire size of a routing broadcast carrying this table.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Self::Disjoint(m) => 16 * m.entries().len() as u64,
+            Self::Replica(m) => m
+                .entries()
+                .iter()
+                .map(|e| 12 + 4 * e.owners.len() as u64)
+                .sum(),
+            Self::Buckets(m) => 16 + 4 * m.bucket_count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehj_hash::AttrHasher;
+
+    fn space() -> PositionSpace {
+        // positions == domain, so position == attribute value directly.
+        PositionSpace::new(100, 100, AttrHasher::Identity)
+    }
+
+    #[test]
+    fn disjoint_routes_by_range() {
+        let t = RoutingTable::Disjoint(RangeMap::partitioned(100, &[10, 11, 12, 13]));
+        let sp = space();
+        assert_eq!(t.build_dest(&sp, 0), 10);
+        assert_eq!(t.build_dest(&sp, 99), 13);
+        let mut dests = Vec::new();
+        t.probe_dests(&sp, 50, &mut dests);
+        assert_eq!(dests, vec![12]);
+        assert!(t.owns_build(&sp, 50, 12));
+        assert!(!t.owns_build(&sp, 50, 10));
+        assert_eq!(t.all_nodes(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn replica_broadcasts_probes_but_unicasts_builds() {
+        let mut m = ReplicaMap::partitioned(100, &[10, 11]);
+        let _ = m.replicate(11, 12);
+        let t = RoutingTable::Replica(m);
+        let sp = space();
+        // Range [50,100) has owners [11, 12], active 12.
+        assert_eq!(t.build_dest(&sp, 80), 12);
+        let mut dests = Vec::new();
+        t.probe_dests(&sp, 80, &mut dests);
+        assert_eq!(dests, vec![11, 12]);
+        t.probe_dests(&sp, 10, &mut dests);
+        assert_eq!(dests, vec![10], "out must be cleared between calls");
+    }
+
+    #[test]
+    fn buckets_route_by_linear_hashing() {
+        // Position space: 100 positions over domain 1000 (identity).
+        let mut m = BucketMap::new(vec![20, 21], 100);
+        let _ = m.split(22);
+        let t = RoutingTable::Buckets(m);
+        let sp = space();
+        // Bucket 0 was [0,50) positions; after the split its upper half
+        // [25,50) belongs to the new bucket owned by 22.
+        assert_eq!(t.build_dest(&sp, 10), 20);
+        assert_eq!(t.build_dest(&sp, 30), 22);
+        assert_eq!(t.build_dest(&sp, 70), 21);
+        let mut dests = Vec::new();
+        t.probe_dests(&sp, 30, &mut dests);
+        assert_eq!(dests, vec![22]);
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_structure() {
+        let small = RoutingTable::Disjoint(RangeMap::partitioned(100, &[1, 2]));
+        let big = RoutingTable::Disjoint(RangeMap::partitioned(100, &[1, 2, 3, 4, 5, 6]));
+        assert!(big.wire_bytes() > small.wire_bytes());
+        let mut m = ReplicaMap::partitioned(100, &[1, 2]);
+        let base = RoutingTable::Replica(m.clone()).wire_bytes();
+        let _ = m.replicate(1, 3);
+        assert!(RoutingTable::Replica(m).wire_bytes() > base);
+    }
+}

@@ -1,0 +1,162 @@
+//! The high-level entry point: wire up a cluster, run one join, return the
+//! report.
+
+use crate::config::JoinConfig;
+use crate::join_node::JoinNode;
+use crate::msg::Msg;
+use crate::report::JoinReport;
+use crate::scheduler::Scheduler;
+use crate::source::DataSource;
+use crate::topology::Topology;
+use ehj_sim::{Engine, EngineConfig, EngineError, StopReason, ThreadedEngine};
+use ehj_storage::{FileBackend, MemBackend};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which runtime executes the join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Deterministic discrete-event simulation with the calibrated
+    /// 2004-cluster cost model (the figures' backend).
+    #[default]
+    Simulated,
+    /// Real OS threads over crossbeam channels, with real temp-file spills
+    /// (wall-clock benchmarking backend).
+    Threaded,
+}
+
+/// Errors surfaced by [`JoinRunner`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// The configuration failed validation.
+    Config(String),
+    /// The simulation engine aborted (event-budget livelock guard).
+    Engine(EngineError),
+    /// The run ended without producing a report — a protocol stall.
+    Stalled,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::Engine(e) => write!(f, "engine error: {e}"),
+            Self::Stalled => write!(f, "join protocol stalled without a report"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Runs joins described by a [`JoinConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinRunner;
+
+impl JoinRunner {
+    /// Runs one join on the simulated backend.
+    ///
+    /// # Errors
+    /// See [`JoinError`].
+    pub fn run(cfg: &JoinConfig) -> Result<JoinReport, JoinError> {
+        Self::run_on(cfg, Backend::Simulated)
+    }
+
+    /// Runs one join on the chosen backend.
+    ///
+    /// # Errors
+    /// See [`JoinError`].
+    pub fn run_on(cfg: &JoinConfig, backend: Backend) -> Result<JoinReport, JoinError> {
+        cfg.validate().map_err(JoinError::Config)?;
+        let cfg = Arc::new(cfg.clone());
+        let topo = Topology::standard(cfg.sources, cfg.cluster.len());
+        let result: Arc<Mutex<Option<JoinReport>>> = Arc::new(Mutex::new(None));
+        match backend {
+            Backend::Simulated => Self::run_simulated(&cfg, topo, &result),
+            Backend::Threaded => Self::run_threaded(&cfg, topo, &result),
+        }
+    }
+
+    fn run_simulated(
+        cfg: &Arc<JoinConfig>,
+        topo: Topology,
+        result: &Arc<Mutex<Option<JoinReport>>>,
+    ) -> Result<JoinReport, JoinError> {
+        let mut engine: Engine<Msg> = Engine::new(EngineConfig {
+            net: cfg.net,
+            disk: cfg.disk,
+            max_events: cfg.max_events,
+            max_time: None,
+        });
+        let sched = engine.add_actor(Box::new(Scheduler::new(
+            Arc::clone(cfg),
+            topo.clone(),
+            Arc::clone(result),
+        )));
+        debug_assert_eq!(sched, topo.scheduler);
+        for i in 0..cfg.sources {
+            let id = engine.add_actor(Box::new(DataSource::new(
+                Arc::clone(cfg),
+                i,
+                topo.scheduler,
+            )));
+            debug_assert_eq!(id, topo.sources[i]);
+        }
+        for node in cfg.cluster.node_ids() {
+            let capacity = cfg.cluster.spec(node).hash_memory_bytes;
+            let id = engine.add_actor(Box::new(JoinNode::<MemBackend>::new(
+                Arc::clone(cfg),
+                topo.scheduler,
+                topo.node_actor(node),
+                capacity,
+            )));
+            debug_assert_eq!(id, topo.node_actor(node));
+        }
+        let summary = engine.run().map_err(JoinError::Engine)?;
+        if summary.reason != StopReason::Stopped {
+            return Err(JoinError::Stalled);
+        }
+        let mut report = result.lock().take().ok_or(JoinError::Stalled)?;
+        report.sim_events = summary.events;
+        report.net_bytes = summary.net_bytes;
+        report.disk_bytes = summary.disk_bytes;
+        Ok(report)
+    }
+
+    fn run_threaded(
+        cfg: &Arc<JoinConfig>,
+        topo: Topology,
+        result: &Arc<Mutex<Option<JoinReport>>>,
+    ) -> Result<JoinReport, JoinError> {
+        let mut engine: ThreadedEngine<Msg> = ThreadedEngine::new();
+        let sched = engine.add_actor(Box::new(Scheduler::new(
+            Arc::clone(cfg),
+            topo.clone(),
+            Arc::clone(result),
+        )));
+        debug_assert_eq!(sched, topo.scheduler);
+        for i in 0..cfg.sources {
+            let id = engine.add_actor(Box::new(DataSource::new(
+                Arc::clone(cfg),
+                i,
+                topo.scheduler,
+            )));
+            debug_assert_eq!(id, topo.sources[i]);
+        }
+        for node in cfg.cluster.node_ids() {
+            let capacity = cfg.cluster.spec(node).hash_memory_bytes;
+            let id = engine.add_actor(Box::new(JoinNode::<FileBackend>::new(
+                Arc::clone(cfg),
+                topo.scheduler,
+                topo.node_actor(node),
+                capacity,
+            )));
+            debug_assert_eq!(id, topo.node_actor(node));
+        }
+        let (elapsed, _actors) = engine.run();
+        let mut report = result.lock().take().ok_or(JoinError::Stalled)?;
+        // Under the threaded backend the phase timings accumulated from
+        // wall-clock `now()`; total is authoritative from the engine.
+        report.times.total_secs = elapsed.as_secs_f64();
+        Ok(report)
+    }
+}

@@ -1,0 +1,1386 @@
+//! The scheduler actor.
+//!
+//! §4.1.1: the scheduler coordinates the whole join — it keeps the working
+//! and potential join-node lists, reacts to `memory full` messages by
+//! recruiting the potential node with the largest available memory,
+//! orchestrates splits (with the barrier-split-pointer discipline: one
+//! split in flight at a time, so at most two hash functions are ever
+//! active), runs the hybrid's reshuffling step, and synchronizes data
+//! sources and join processes between the build and probe phases.
+//!
+//! Phase barriers are *counting* barriers: sources report how many chunks
+//! they sent, nodes report how many they received and forwarded, and a
+//! phase completes only when every chunk is accounted for and no node has
+//! unhoused (pending) tuples — robust on both the simulated and threaded
+//! backends, where cross-sender message ordering is not guaranteed.
+
+use crate::config::{Algorithm, JoinConfig, SplitPolicy};
+use crate::msg::{Msg, NodeReport};
+use crate::report::{JoinReport, TimelineEvent, TimelineKind};
+use crate::routing::RoutingTable;
+use crate::topology::Topology;
+use ehj_cluster::SchedulerBook;
+use ehj_hash::{greedy_equal_partition, BucketMap, HashRange, RangeMap, ReplicaMap};
+use ehj_metrics::{CommCounters, Phase, PhaseTimes};
+use ehj_sim::{Actor, ActorId, Context, SimTime};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Delay between barrier re-polls while chunks are still in flight.
+const FLUSH_RETRY_DELAY: SimTime = SimTime::from_millis(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedPhase {
+    Build,
+    Reshuffle,
+    Probe,
+    Reporting,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RangeBisectOp {
+    started: SimTime,
+    full_actor: ActorId,
+    new_actor: ActorId,
+}
+
+struct Group {
+    /// In-memory replica-set members participating in the reshuffle.
+    members: Vec<ActorId>,
+    /// Members that spilled to disk: excluded from redistribution (their
+    /// tuples are in spill files) but kept as probe-broadcast targets.
+    spilled_members: Vec<ActorId>,
+    range: HashRange,
+    hist: Vec<u64>,
+    replies: usize,
+    assignments: Vec<(HashRange, ActorId)>,
+    done: usize,
+}
+
+/// The scheduler.
+pub struct Scheduler {
+    cfg: Arc<JoinConfig>,
+    topo: Topology,
+    book: SchedulerBook,
+    routing: RoutingTable,
+    version: u64,
+    phase: SchedPhase,
+    // per-phase source accounting
+    sources_done: usize,
+    src_sent_chunks: u64,
+    src_comm: CommCounters,
+    // expansion machinery
+    overflow_queue: VecDeque<ActorId>,
+    /// Nodes that went out of core: their buckets can no longer be split
+    /// (the data lives in spill files), so the split pointer stops there.
+    spilled_actors: std::collections::HashSet<ActorId>,
+    /// Linear-pointer splits in flight, keyed by the old bucket. The paper's
+    /// barrier split pointer allows concurrent splits *within* one hashing
+    /// level (still only two hash functions active) but a new level cannot
+    /// begin until every split of the previous round reported done.
+    lp_inflight: std::collections::HashMap<u32, SimTime>,
+    rb_op: Option<RangeBisectOp>,
+    expansions: u64,
+    split_time: SimTime,
+    // flush rounds
+    epoch: u64,
+    flush_in_progress: bool,
+    barrier_dirty: bool,
+    acks: usize,
+    acks_expected: usize,
+    acks_recv: u64,
+    acks_fwd: u64,
+    acks_pending: u64,
+    // reshuffle
+    groups: Vec<Group>,
+    // timings
+    build_done_at: SimTime,
+    reshuffle_done_at: SimTime,
+    timeline: Vec<TimelineEvent>,
+    // final collection
+    probe_routing: Option<RoutingTable>,
+    node_reports: Vec<NodeReport>,
+    reports_expected: usize,
+    result: Arc<Mutex<Option<JoinReport>>>,
+}
+
+impl Scheduler {
+    /// Creates the scheduler. The final [`JoinReport`] is written into
+    /// `result` just before the engine is stopped.
+    #[must_use]
+    pub fn new(
+        cfg: Arc<JoinConfig>,
+        topo: Topology,
+        result: Arc<Mutex<Option<JoinReport>>>,
+    ) -> Self {
+        let book = SchedulerBook::new(&cfg.cluster, cfg.initial_nodes, cfg.selection_policy);
+        let initial_actors: Vec<ActorId> = book
+            .working()
+            .iter()
+            .map(|&n| topo.node_actor(n))
+            .collect();
+        let routing = match (cfg.algorithm, cfg.split_policy) {
+            (Algorithm::Replicated | Algorithm::Hybrid, _) => {
+                RoutingTable::Replica(ReplicaMap::partitioned(cfg.positions, &initial_actors))
+            }
+            (Algorithm::Split, SplitPolicy::LinearPointer) => {
+                RoutingTable::Buckets(BucketMap::new(initial_actors, cfg.positions as u64))
+            }
+            (Algorithm::Split, SplitPolicy::RangeBisect) | (Algorithm::OutOfCore, _) => {
+                RoutingTable::Disjoint(RangeMap::partitioned(cfg.positions, &initial_actors))
+            }
+        };
+        let chunk = cfg.chunk_tuples as u64;
+        Self {
+            cfg,
+            topo,
+            book,
+            routing,
+            version: 1,
+            phase: SchedPhase::Build,
+            sources_done: 0,
+            src_sent_chunks: 0,
+            src_comm: CommCounters::new(chunk),
+            overflow_queue: VecDeque::new(),
+            spilled_actors: std::collections::HashSet::new(),
+            lp_inflight: std::collections::HashMap::new(),
+            rb_op: None,
+            expansions: 0,
+            split_time: SimTime::ZERO,
+            epoch: 0,
+            flush_in_progress: false,
+            barrier_dirty: false,
+            acks: 0,
+            acks_expected: 0,
+            acks_recv: 0,
+            acks_fwd: 0,
+            acks_pending: 0,
+            groups: Vec::new(),
+            build_done_at: SimTime::ZERO,
+            reshuffle_done_at: SimTime::ZERO,
+            timeline: Vec::new(),
+            probe_routing: None,
+            node_reports: Vec::new(),
+            reports_expected: 0,
+            result,
+        }
+    }
+
+    fn record(&mut self, ctx: &dyn Context<Msg>, kind: TimelineKind) {
+        self.timeline.push(TimelineEvent {
+            at_secs: ctx.now().as_secs_f64(),
+            kind,
+        });
+    }
+
+    fn active_actors(&self) -> Vec<ActorId> {
+        self.book
+            .all_active()
+            .into_iter()
+            .map(|n| self.topo.node_actor(n))
+            .collect()
+    }
+
+    fn data_phase(&self) -> Phase {
+        match self.phase {
+            SchedPhase::Build => Phase::Build,
+            SchedPhase::Reshuffle => Phase::Reshuffle,
+            _ => Phase::Probe,
+        }
+    }
+
+    fn broadcast_routing(&mut self, ctx: &mut dyn Context<Msg>) {
+        self.version += 1;
+        let update = |routing: RoutingTable, version: u64| Msg::RoutingUpdate { routing, version };
+        for &s in &self.topo.sources {
+            ctx.send(s, update(self.routing.clone(), self.version));
+        }
+        for a in self.active_actors() {
+            ctx.send(a, update(self.routing.clone(), self.version));
+        }
+    }
+
+    // ---- expansion ----
+
+    fn handle_memory_full(&mut self, ctx: &mut dyn Context<Msg>, from: ActorId) {
+        if self.cfg.algorithm == Algorithm::OutOfCore {
+            return; // The baseline never expands; nodes spill on their own.
+        }
+        self.barrier_dirty = true;
+        if !self.overflow_queue.contains(&from) {
+            self.overflow_queue.push_back(from);
+        }
+        self.process_overflows(ctx);
+    }
+
+    /// A node's pending queue drained before its queued report was
+    /// processed: drop the stale report so the pointer is not advanced (and
+    /// a node not recruited) for nothing.
+    fn handle_relieved(&mut self, from: ActorId) {
+        self.overflow_queue.retain(|&a| a != from);
+    }
+
+    fn process_overflows(&mut self, ctx: &mut dyn Context<Msg>) {
+        loop {
+            if self.overflow_queue.is_empty() {
+                return;
+            }
+            match self.cfg.algorithm {
+                Algorithm::Split if self.cfg.split_policy == SplitPolicy::LinearPointer => {
+                    // Barrier split pointer: the next split may proceed
+                    // concurrently unless it would open a new hashing level
+                    // while splits of the current round are still in flight.
+                    if let RoutingTable::Buckets(m) = &self.routing {
+                        let starts_new_round = m.next_split_starts_round();
+                        if starts_new_round && !self.lp_inflight.is_empty() {
+                            return; // resume on the next SplitDone
+                        }
+                    }
+                }
+                Algorithm::Split
+                    if self.rb_op.is_some() => {
+                        return; // range-bisect splits stay serialized
+                    }
+                _ => {}
+            }
+            let Some(full_actor) = self.overflow_queue.pop_front() else {
+                return;
+            };
+            self.process_one_overflow(ctx, full_actor);
+        }
+    }
+
+    fn process_one_overflow(&mut self, ctx: &mut dyn Context<Msg>, full_actor: ActorId) {
+        match self.cfg.algorithm {
+            Algorithm::Replicated | Algorithm::Hybrid => {
+                // Skip stale reports: the node must still be the active
+                // replica of some range.
+                let is_active = match &self.routing {
+                    RoutingTable::Replica(m) => {
+                        m.entries().iter().any(|e| e.active() == full_actor)
+                    }
+                    _ => unreachable!("replication algorithms use replica routing"),
+                };
+                if !is_active {
+                    return;
+                }
+                let Some(new_node) = self.book.recruit() else {
+                    self.spilled_actors.insert(full_actor);
+                    ctx.send(full_actor, Msg::NoMoreNodes);
+                    return;
+                };
+                let new_actor = self.topo.node_actor(new_node);
+                self.expansions += 1;
+                self.record(ctx, TimelineKind::Recruited(new_node.0));
+                let RoutingTable::Replica(m) = &mut self.routing else {
+                    unreachable!();
+                };
+                let _range = m.replicate(full_actor, new_actor);
+                // The full node stops receiving: bookkeeping per §4.1.2.
+                if let Some(full_node) = self.topo.node_of_actor(full_actor) {
+                    if self.book.working().contains(&full_node) {
+                        self.book.mark_full(full_node);
+                    }
+                }
+                ctx.send(
+                    new_actor,
+                    Msg::Activate {
+                        routing: self.routing.clone(),
+                        version: self.version + 1,
+                    },
+                );
+                self.broadcast_routing(ctx);
+            }
+            Algorithm::Split => match self.cfg.split_policy {
+                SplitPolicy::LinearPointer => {
+                    // The pointer bucket cannot split if its owner already
+                    // went out of core (the bucket's contents are on disk).
+                    // Expansion is over: the reporter must spill too.
+                    let pointer_owner = match &self.routing {
+                        RoutingTable::Buckets(m) => {
+                            m.owner_of_bucket(m.split_ptr())
+                        }
+                        _ => unreachable!("linear-pointer split uses bucket routing"),
+                    };
+                    if self.spilled_actors.contains(&pointer_owner) {
+                        self.spilled_actors.insert(full_actor);
+                    ctx.send(full_actor, Msg::NoMoreNodes);
+                        return;
+                    }
+                    let Some(new_node) = self.book.recruit() else {
+                        self.spilled_actors.insert(full_actor);
+                    ctx.send(full_actor, Msg::NoMoreNodes);
+                        return;
+                    };
+                    let new_actor = self.topo.node_actor(new_node);
+                    self.expansions += 1;
+                    self.record(ctx, TimelineKind::Recruited(new_node.0));
+                    let RoutingTable::Buckets(m) = &mut self.routing else {
+                        unreachable!("linear-pointer split uses bucket routing");
+                    };
+                    let (step, old_owner) = m.split(new_actor);
+                    ctx.send(
+                        new_actor,
+                        Msg::Activate {
+                            routing: self.routing.clone(),
+                            version: self.version + 1,
+                        },
+                    );
+                    self.broadcast_routing(ctx);
+                    ctx.send(
+                        old_owner,
+                        Msg::SplitRequest {
+                            step,
+                            new_node: new_actor,
+                        },
+                    );
+                    self.lp_inflight.insert(step.old, ctx.now());
+                }
+                SplitPolicy::RangeBisect => {
+                    let RoutingTable::Disjoint(m) = &self.routing else {
+                        unreachable!("range-bisect split uses disjoint routing");
+                    };
+                    let Some(range) = m.range_of_owner(full_actor) else {
+                        return; // stale report
+                    };
+                    let Some(new_node) = self.book.recruit() else {
+                        self.spilled_actors.insert(full_actor);
+                    ctx.send(full_actor, Msg::NoMoreNodes);
+                        return;
+                    };
+                    let new_actor = self.topo.node_actor(new_node);
+                    self.record(ctx, TimelineKind::Recruited(new_node.0));
+                    ctx.send(
+                        new_actor,
+                        Msg::Activate {
+                            routing: self.routing.clone(),
+                            version: self.version,
+                        },
+                    );
+                    ctx.send(
+                        full_actor,
+                        Msg::RangeSplitRequest {
+                            new_node: new_actor,
+                            range,
+                        },
+                    );
+                    self.rb_op = Some(RangeBisectOp {
+                        started: ctx.now(),
+                        full_actor,
+                        new_actor,
+                    });
+                }
+            },
+            Algorithm::OutOfCore => unreachable!("handled in handle_memory_full"),
+        }
+    }
+
+    fn handle_split_done(&mut self, ctx: &mut dyn Context<Msg>, old_bucket: u32) {
+        let Some(started) = self.lp_inflight.remove(&old_bucket) else {
+            return;
+        };
+        self.split_time += ctx.now().saturating_sub(started);
+        self.record(ctx, TimelineKind::SplitDone(old_bucket));
+        self.process_overflows(ctx);
+        self.maybe_start_flush(ctx);
+    }
+
+    fn handle_range_split_done(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        cut: u32,
+        ok: bool,
+    ) {
+        let Some(RangeBisectOp {
+            started,
+            full_actor,
+            new_actor,
+        }) = self.rb_op
+        else {
+            return;
+        };
+        self.split_time += ctx.now().saturating_sub(started);
+        self.rb_op = None;
+        if ok {
+            self.record(ctx, TimelineKind::RangeSplit(cut));
+            self.expansions += 1;
+            let RoutingTable::Disjoint(m) = &mut self.routing else {
+                unreachable!();
+            };
+            let range = m
+                .range_of_owner(full_actor)
+                .expect("owner still holds its range");
+            m.replace_range(
+                range,
+                vec![
+                    (HashRange::new(range.start, cut), full_actor),
+                    (HashRange::new(cut, range.end), new_actor),
+                ],
+            );
+            self.broadcast_routing(ctx);
+        } else {
+            if let Some(node) = self.topo.node_of_actor(new_actor) {
+                self.book.return_to_potential(node);
+            }
+            self.spilled_actors.insert(full_actor);
+                    ctx.send(full_actor, Msg::NoMoreNodes);
+        }
+        self.process_overflows(ctx);
+        self.maybe_start_flush(ctx);
+    }
+
+    // ---- phase barriers ----
+
+    fn barrier_preconditions_met(&self) -> bool {
+        let sources_needed = match self.phase {
+            SchedPhase::Build | SchedPhase::Probe => self.topo.sources.len(),
+            SchedPhase::Reshuffle => 0,
+            _ => return false,
+        };
+        let reshuffle_ready = self.phase != SchedPhase::Reshuffle
+            || self
+                .groups
+                .iter()
+                .all(|g| g.done == g.members.len());
+        (self.sources_done >= sources_needed)
+            && self.overflow_queue.is_empty()
+            && self.lp_inflight.is_empty()
+            && self.rb_op.is_none()
+            && reshuffle_ready
+    }
+
+    fn maybe_start_flush(&mut self, ctx: &mut dyn Context<Msg>) {
+        if self.flush_in_progress || !self.barrier_preconditions_met() {
+            return;
+        }
+        if !matches!(
+            self.phase,
+            SchedPhase::Build | SchedPhase::Reshuffle | SchedPhase::Probe
+        ) {
+            return;
+        }
+        self.epoch += 1;
+        self.flush_in_progress = true;
+        self.barrier_dirty = false;
+        self.acks = 0;
+        self.acks_recv = 0;
+        self.acks_fwd = 0;
+        self.acks_pending = 0;
+        let actors = self.active_actors();
+        self.acks_expected = actors.len();
+        let phase = self.data_phase();
+        for a in actors {
+            ctx.send(
+                a,
+                Msg::FlushQuery {
+                    epoch: self.epoch,
+                    phase,
+                },
+            );
+        }
+    }
+
+    fn handle_flush_ack(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        epoch: u64,
+        recv: u64,
+        fwd: u64,
+        pending: u64,
+    ) {
+        if epoch != self.epoch || !self.flush_in_progress {
+            return;
+        }
+        self.acks += 1;
+        self.acks_recv += recv;
+        self.acks_fwd += fwd;
+        self.acks_pending += pending;
+        if self.acks < self.acks_expected {
+            return;
+        }
+        self.flush_in_progress = false;
+        let balanced = self.acks_recv == self.src_sent_chunks + self.acks_fwd;
+        let settled = !self.barrier_dirty
+            && self.acks_pending == 0
+            && balanced
+            && self.barrier_preconditions_met();
+        if settled {
+            self.advance_phase(ctx);
+        } else {
+            ctx.schedule(FLUSH_RETRY_DELAY, Msg::RetryFlush);
+        }
+    }
+
+    // ---- phase transitions ----
+
+    fn advance_phase(&mut self, ctx: &mut dyn Context<Msg>) {
+        match self.phase {
+            SchedPhase::Build => {
+                self.build_done_at = ctx.now();
+                self.record(ctx, TimelineKind::BuildDone);
+                if self.cfg.algorithm == Algorithm::Hybrid && self.start_reshuffle(ctx) {
+                    self.phase = SchedPhase::Reshuffle;
+                } else {
+                    self.reshuffle_done_at = ctx.now();
+                    self.start_probe(ctx);
+                }
+            }
+            SchedPhase::Reshuffle => {
+                self.reshuffle_done_at = ctx.now();
+                self.record(ctx, TimelineKind::ReshuffleDone);
+                self.install_reshuffled_routing();
+                self.start_probe(ctx);
+            }
+            SchedPhase::Probe => {
+                self.phase = SchedPhase::Reporting;
+                let actors = self.active_actors();
+                self.reports_expected = actors.len();
+                for a in actors {
+                    ctx.send(a, Msg::ReportRequest);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Builds the reshuffle groups; returns false when no range was
+    /// replicated (nothing to do). Spilled members cannot redistribute
+    /// (their build tuples live in spill files), so they sit out the
+    /// reshuffle and instead remain probe-broadcast targets for their
+    /// range; the surviving in-memory members still rebalance among
+    /// themselves when there are at least two of them.
+    fn start_reshuffle(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        let RoutingTable::Replica(m) = &self.routing else {
+            return false;
+        };
+        let spilled = &self.spilled_actors;
+        let groups: Vec<Group> = m
+            .entries()
+            .iter()
+            .filter_map(|e| {
+                let (spilled_members, members): (Vec<ActorId>, Vec<ActorId>) =
+                    e.owners.iter().partition(|o| spilled.contains(o));
+                if members.len() < 2 {
+                    return None; // nothing to redistribute
+                }
+                Some(Group {
+                    members,
+                    spilled_members,
+                    range: e.range,
+                    hist: vec![0u64; e.range.len() as usize],
+                    replies: 0,
+                    assignments: Vec::new(),
+                    done: 0,
+                })
+            })
+            .collect();
+        if groups.is_empty() {
+            return false;
+        }
+        self.groups = groups;
+        self.sources_done = 0;
+        self.src_sent_chunks = 0;
+        for (gid, g) in self.groups.iter().enumerate() {
+            for &member in &g.members {
+                ctx.send(
+                    member,
+                    Msg::ReshuffleQuery {
+                        group: gid as u32,
+                        range: g.range,
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    fn handle_reshuffle_counts(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        gid: u32,
+        counts: Vec<u64>,
+    ) {
+        let g = &mut self.groups[gid as usize];
+        debug_assert_eq!(counts.len(), g.hist.len());
+        for (acc, c) in g.hist.iter_mut().zip(counts) {
+            *acc += c;
+        }
+        g.replies += 1;
+        if g.replies < g.members.len() {
+            return;
+        }
+        // Global sum complete: run the greedy equal partition (§4.2.3).
+        let parts = greedy_equal_partition(&g.hist, g.members.len());
+        g.assignments = parts
+            .iter()
+            .zip(&g.members)
+            .map(|(&(a, b), &m)| {
+                (
+                    HashRange::new(g.range.start + a as u32, g.range.start + b as u32),
+                    m,
+                )
+            })
+            .collect();
+        let plan = g.assignments.clone();
+        let members = g.members.clone();
+        for member in members {
+            ctx.send(
+                member,
+                Msg::ReshufflePlan {
+                    group: gid,
+                    assignments: plan.clone(),
+                },
+            );
+        }
+    }
+
+    fn handle_reshuffle_done(&mut self, ctx: &mut dyn Context<Msg>, gid: u32) {
+        self.groups[gid as usize].done += 1;
+        self.maybe_start_flush(ctx);
+    }
+
+    /// Replaces reshuffled replica entries with their new disjoint
+    /// assignments, producing the hybrid's probe routing. Entries whose
+    /// replica set was skipped (a spilled member) stay replicated and keep
+    /// probe broadcast semantics so spilled build tuples are still probed.
+    fn install_reshuffled_routing(&mut self) {
+        let RoutingTable::Replica(m) = &self.routing else {
+            return;
+        };
+        let mut entries: Vec<ehj_hash::ReplicaEntry<ActorId>> = Vec::new();
+        let mut group_iter = self.groups.iter().peekable();
+        for e in m.entries() {
+            let reshuffled = group_iter.peek().is_some_and(|g| g.range == e.range);
+            if reshuffled {
+                let g = group_iter.next().expect("peeked");
+                entries.extend(g.assignments.iter().map(|&(range, owner)| {
+                    // Spilled members stay owners of every subrange: their
+                    // on-disk build tuples still need the probes.
+                    let mut owners = vec![owner];
+                    owners.extend_from_slice(&g.spilled_members);
+                    ehj_hash::ReplicaEntry { range, owners }
+                }));
+            } else {
+                entries.push(e.clone());
+            }
+        }
+        self.probe_routing = Some(RoutingTable::Replica(ReplicaMap::from_entries(entries)));
+    }
+
+    fn start_probe(&mut self, ctx: &mut dyn Context<Msg>) {
+        self.phase = SchedPhase::Probe;
+        self.sources_done = 0;
+        self.src_sent_chunks = 0;
+        // "The lists of working and full join nodes are merged" (§4.1.2).
+        self.book.merge_full_into_working();
+        let routing = self
+            .probe_routing
+            .clone()
+            .unwrap_or_else(|| self.routing.clone());
+        self.version += 1;
+        for &s in &self.topo.sources {
+            ctx.send(
+                s,
+                Msg::StartProbe {
+                    routing: routing.clone(),
+                    version: self.version,
+                },
+            );
+        }
+        self.probe_routing = Some(routing);
+    }
+
+    fn handle_report(&mut self, ctx: &mut dyn Context<Msg>, report: NodeReport) {
+        if self.phase == SchedPhase::Done {
+            return; // straggler after completion
+        }
+        self.node_reports.push(report);
+        if self.node_reports.len() < self.reports_expected {
+            return;
+        }
+        self.phase = SchedPhase::Done;
+        self.record(ctx, TimelineKind::ProbeDone);
+        let now = ctx.now();
+        let mut comm = self.src_comm.clone();
+        let mut matches = 0u64;
+        let mut compares = 0u64;
+        let mut spilled_nodes = 0usize;
+        let mut build_tuples = 0u64;
+        let mut load = Vec::with_capacity(self.node_reports.len());
+        for r in &self.node_reports {
+            comm.merge(&r.comm);
+            matches += r.matches;
+            compares += r.compares;
+            spilled_nodes += usize::from(r.spilled);
+            build_tuples += r.build_tuples;
+            load.push(r.build_tuples);
+        }
+        let times = PhaseTimes {
+            build_secs: self.build_done_at.as_secs_f64(),
+            reshuffle_secs: (self.reshuffle_done_at - self.build_done_at).as_secs_f64(),
+            probe_secs: (now - self.reshuffle_done_at).as_secs_f64(),
+            total_secs: now.as_secs_f64(),
+        };
+        let report = JoinReport {
+            algorithm: self.cfg.algorithm,
+            times,
+            split_time_secs: self.split_time.as_secs_f64(),
+            reshuffle_time_secs: times.reshuffle_secs,
+            comm,
+            load,
+            matches,
+            compares,
+            initial_nodes: self.cfg.initial_nodes,
+            final_nodes: self.node_reports.len(),
+            expansions: self.expansions,
+            spilled_nodes,
+            build_tuples,
+            probe_tuples: self.cfg.probe_spec().tuples,
+            sim_events: 0,
+            net_bytes: 0,
+            disk_bytes: 0,
+            timeline: std::mem::take(&mut self.timeline),
+        };
+        *self.result.lock() = Some(report);
+        ctx.stop();
+    }
+}
+
+impl Actor<Msg> for Scheduler {
+    fn on_start(&mut self, ctx: &mut dyn Context<Msg>) {
+        // Activate the initial join nodes, then start the sources.
+        for a in self.active_actors() {
+            ctx.send(
+                a,
+                Msg::Activate {
+                    routing: self.routing.clone(),
+                    version: self.version,
+                },
+            );
+        }
+        for &s in &self.topo.sources {
+            ctx.send(
+                s,
+                Msg::StartBuild {
+                    routing: self.routing.clone(),
+                    version: self.version,
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context<Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::MemoryFull { .. } => {
+                self.handle_memory_full(ctx, from);
+                self.maybe_start_flush(ctx);
+            }
+            Msg::Relieved => self.handle_relieved(from),
+            Msg::Spilled => {
+                self.spilled_actors.insert(from);
+                if let Some(node) = self.topo.node_of_actor(from) {
+                    self.record(ctx, TimelineKind::Spilled(node.0));
+                }
+                self.handle_relieved(from);
+            }
+            Msg::SplitDone { step, .. } => self.handle_split_done(ctx, step.old),
+            Msg::RangeSplitDone { cut, ok, .. } => {
+                self.handle_range_split_done(ctx, cut, ok);
+            }
+            Msg::SourcePhaseDone {
+                sent_chunks, comm, ..
+            } => {
+                self.sources_done += 1;
+                self.src_sent_chunks += sent_chunks;
+                self.src_comm.merge(&comm);
+                self.maybe_start_flush(ctx);
+            }
+            Msg::FlushAck {
+                epoch,
+                recv_chunks,
+                fwd_chunks,
+                pending,
+            } => self.handle_flush_ack(ctx, epoch, recv_chunks, fwd_chunks, pending),
+            Msg::RetryFlush => self.maybe_start_flush(ctx),
+            Msg::ReshuffleCounts { group, histogram } => {
+                self.handle_reshuffle_counts(ctx, group, histogram.counts);
+            }
+            Msg::ReshuffleDone { group, .. } => self.handle_reshuffle_done(ctx, group),
+            Msg::Report(r) => self.handle_report(ctx, *r),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::msg::{Histogram, NodeReport};
+    use crate::testutil::ScriptCtx;
+    use ehj_cluster::ClusterSpec;
+    use ehj_hash::SplitStep;
+    use ehj_metrics::CommCounters;
+
+    const SOURCES: usize = 1;
+    const NODES: usize = 6;
+    const SRC: ActorId = 1;
+    /// Join-node actors are 2..8 under the standard wiring.
+    const N0: ActorId = 2;
+    const N1: ActorId = 3;
+    const N2: ActorId = 4;
+
+    fn setup(
+        algorithm: Algorithm,
+        initial: usize,
+    ) -> (Scheduler, ScriptCtx, Arc<Mutex<Option<JoinReport>>>) {
+        let mut cfg = JoinConfig::paper_scaled(algorithm, 1000);
+        cfg.cluster = ClusterSpec::homogeneous(NODES, 1 << 20);
+        cfg.initial_nodes = initial;
+        cfg.sources = SOURCES;
+        let topo = Topology::standard(SOURCES, NODES);
+        let slot: Arc<Mutex<Option<JoinReport>>> = Arc::new(Mutex::new(None));
+        let sched = Scheduler::new(Arc::new(cfg), topo, Arc::clone(&slot));
+        let ctx = ScriptCtx::new(0);
+        (sched, ctx, slot)
+    }
+
+    fn ack_all(sched: &mut Scheduler, ctx: &mut ScriptCtx, recv: u64, fwd: u64) {
+        // Reply to the outstanding FlushQuery from every polled node.
+        let queries: Vec<(ActorId, u64)> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Msg::FlushQuery { epoch, .. } => Some((*to, *epoch)),
+                _ => None,
+            })
+            .collect();
+        ctx.sent.clear();
+        for (node, epoch) in queries {
+            let _ = node;
+            sched.on_message(
+                ctx,
+                node,
+                Msg::FlushAck {
+                    epoch,
+                    recv_chunks: recv,
+                    fwd_chunks: fwd,
+                    pending: 0,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn on_start_activates_initial_nodes_and_sources() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Replicated, 2);
+        sched.on_start(&mut ctx);
+        let activates: Vec<ActorId> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::Activate { .. }).then_some(*to))
+            .collect();
+        assert_eq!(activates, vec![N0, N1]);
+        let starts: Vec<ActorId> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::StartBuild { .. }).then_some(*to))
+            .collect();
+        assert_eq!(starts, vec![SRC]);
+    }
+
+    #[test]
+    fn routing_shape_matches_algorithm() {
+        for (alg, policy) in [
+            (Algorithm::Replicated, SplitPolicy::LinearPointer),
+            (Algorithm::Hybrid, SplitPolicy::LinearPointer),
+            (Algorithm::Split, SplitPolicy::LinearPointer),
+            (Algorithm::Split, SplitPolicy::RangeBisect),
+            (Algorithm::OutOfCore, SplitPolicy::LinearPointer),
+        ] {
+            let mut cfg = JoinConfig::paper_scaled(alg, 1000);
+            cfg.cluster = ClusterSpec::homogeneous(NODES, 1 << 20);
+            cfg.initial_nodes = 2;
+            cfg.sources = SOURCES;
+            cfg.split_policy = policy;
+            let topo = Topology::standard(SOURCES, NODES);
+            let slot = Arc::new(Mutex::new(None));
+            let sched = Scheduler::new(Arc::new(cfg), topo, slot);
+            match (alg, policy) {
+                (Algorithm::Replicated | Algorithm::Hybrid, _) => {
+                    assert!(matches!(sched.routing, RoutingTable::Replica(_)));
+                }
+                (Algorithm::Split, SplitPolicy::LinearPointer) => {
+                    assert!(matches!(sched.routing, RoutingTable::Buckets(_)));
+                }
+                _ => assert!(matches!(sched.routing, RoutingTable::Disjoint(_))),
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_overflow_recruits_and_broadcasts() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Replicated, 2);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        sched.on_message(&mut ctx, N0, Msg::MemoryFull { pending: 5 });
+        // New node activated with the updated replica map.
+        let activate_to: Vec<ActorId> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::Activate { .. }).then_some(*to))
+            .collect();
+        assert_eq!(activate_to.len(), 1);
+        let new_actor = activate_to[0];
+        assert!(new_actor > N1, "a potential node was recruited");
+        // Routing update broadcast to the source and active nodes.
+        let updates: Vec<ActorId> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::RoutingUpdate { .. }).then_some(*to))
+            .collect();
+        assert!(updates.contains(&SRC));
+        assert!(updates.contains(&N0), "the full node learns its relief");
+        assert_eq!(sched.expansions, 1);
+        // The full node moved to the full list.
+        assert_eq!(sched.book.full().len(), 1);
+    }
+
+    #[test]
+    fn stale_replicated_overflow_is_skipped() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Replicated, 2);
+        sched.on_start(&mut ctx);
+        sched.on_message(&mut ctx, N0, Msg::MemoryFull { pending: 5 });
+        ctx.sent.clear();
+        // N0 is no longer active for its range; a duplicate report must not
+        // recruit again.
+        sched.on_message(&mut ctx, N0, Msg::MemoryFull { pending: 5 });
+        assert_eq!(sched.expansions, 1);
+        assert_eq!(ctx.count(|m| matches!(m, Msg::Activate { .. })), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_sends_no_more_nodes() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Replicated, NODES);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        sched.on_message(&mut ctx, N2, Msg::MemoryFull { pending: 1 });
+        assert_eq!(ctx.sent_to(N2).len(), 1);
+        assert!(matches!(ctx.sent_to(N2)[0], Msg::NoMoreNodes));
+        assert_eq!(sched.expansions, 0);
+        assert!(sched.spilled_actors.contains(&N2));
+    }
+
+    #[test]
+    fn split_overflow_requests_pointer_bucket_split() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Split, 2);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        // N1 reports full; the pointer bucket (bucket 0) is owned by N0.
+        sched.on_message(&mut ctx, N1, Msg::MemoryFull { pending: 9 });
+        let reqs: Vec<(ActorId, &Msg)> = ctx
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::SplitRequest { .. }))
+            .map(|(to, m)| (*to, m))
+            .collect();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].0, N0, "pointer order, not reporter identity");
+        assert_eq!(sched.lp_inflight.len(), 1);
+    }
+
+    #[test]
+    fn split_round_boundary_waits_for_inflight_splits() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Split, 2);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        // Two reports: bucket 0 and bucket 1 split concurrently (same round).
+        sched.on_message(&mut ctx, N0, Msg::MemoryFull { pending: 1 });
+        sched.on_message(&mut ctx, N1, Msg::MemoryFull { pending: 1 });
+        assert_eq!(sched.lp_inflight.len(), 2, "same-round splits overlap");
+        // A third report would start a new round: it must queue.
+        sched.on_message(&mut ctx, N2, Msg::MemoryFull { pending: 1 });
+        assert_eq!(sched.lp_inflight.len(), 2);
+        assert_eq!(sched.overflow_queue.len(), 1);
+        // Completing the first two releases the round barrier.
+        let steps: Vec<SplitStep> = ctx
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::SplitRequest { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect();
+        for step in steps {
+            sched.on_message(
+                &mut ctx,
+                N0,
+                Msg::SplitDone {
+                    step,
+                    moved_tuples: 0,
+                },
+            );
+        }
+        assert_eq!(sched.lp_inflight.len(), 1, "queued report processed");
+        assert!(sched.overflow_queue.is_empty());
+    }
+
+    #[test]
+    fn relieved_retracts_a_queued_report() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Split, 2);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        sched.on_message(&mut ctx, N0, Msg::MemoryFull { pending: 1 });
+        sched.on_message(&mut ctx, N1, Msg::MemoryFull { pending: 1 });
+        sched.on_message(&mut ctx, N2, Msg::MemoryFull { pending: 1 });
+        assert_eq!(sched.overflow_queue.len(), 1);
+        sched.on_message(&mut ctx, N2, Msg::Relieved);
+        assert!(sched.overflow_queue.is_empty(), "stale report dropped");
+    }
+
+    fn drive_build_to_probe(
+        sched: &mut Scheduler,
+        ctx: &mut ScriptCtx,
+        sent_chunks: u64,
+        recv_per_node: u64,
+    ) {
+        sched.on_message(
+            ctx,
+            SRC,
+            Msg::SourcePhaseDone {
+                phase: Phase::Build,
+                sent_chunks,
+                sent_tuples: sent_chunks * 100,
+                comm: Box::new(CommCounters::new(100)),
+            },
+        );
+        ack_all(sched, ctx, recv_per_node, 0);
+    }
+
+    #[test]
+    fn counting_barrier_retries_until_balanced() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::OutOfCore, 2);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        // Source sent 10 chunks but nodes only saw 8: barrier must re-poll.
+        drive_build_to_probe(&mut sched, &mut ctx, 10, 4);
+        assert_eq!(
+            ctx.count(|m| matches!(m, Msg::RetryFlush)),
+            1,
+            "imbalance schedules a retry"
+        );
+        assert_eq!(ctx.count(|m| matches!(m, Msg::StartProbe { .. })), 0);
+        // Retry fires; now the counts match.
+        ctx.sent.clear();
+        sched.on_message(&mut ctx, 0, Msg::RetryFlush);
+        ack_all(&mut sched, &mut ctx, 5, 0);
+        assert_eq!(ctx.count(|m| matches!(m, Msg::StartProbe { .. })), 1);
+    }
+
+    #[test]
+    fn build_barrier_advances_straight_to_probe_without_replication() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Hybrid, 2);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        drive_build_to_probe(&mut sched, &mut ctx, 10, 5);
+        // No range was replicated: hybrid skips the reshuffle entirely.
+        assert_eq!(ctx.count(|m| matches!(m, Msg::ReshuffleQuery { .. })), 0);
+        assert_eq!(ctx.count(|m| matches!(m, Msg::StartProbe { .. })), 1);
+    }
+
+    #[test]
+    fn hybrid_reshuffles_replicated_ranges_then_probes_disjoint() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Hybrid, 2);
+        sched.on_start(&mut ctx);
+        // One replication: N0's range gains a new replica.
+        sched.on_message(&mut ctx, N0, Msg::MemoryFull { pending: 1 });
+        let new_actor = ctx
+            .sent
+            .iter()
+            .find_map(|(to, m)| matches!(m, Msg::Activate { .. }).then_some(*to))
+            .expect("recruited");
+        ctx.sent.clear();
+        // Three active nodes ack 10 received chunks each = the 30 sent.
+        drive_build_to_probe(&mut sched, &mut ctx, 30, 10);
+        // Reshuffle queries go to both members of the replicated range.
+        let queried: Vec<ActorId> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::ReshuffleQuery { .. }).then_some(*to))
+            .collect();
+        assert_eq!(queried.len(), 2);
+        assert!(queried.contains(&N0) && queried.contains(&new_actor));
+        ctx.sent.clear();
+        // Histograms: members hold equal loads over the range.
+        let range_len = match &sched.routing {
+            RoutingTable::Replica(m) => m.entries()[0].range.len(),
+            _ => panic!("hybrid uses replica routing"),
+        };
+        for &member in &[N0, new_actor] {
+            sched.on_message(
+                &mut ctx,
+                member,
+                Msg::ReshuffleCounts {
+                    group: 0,
+                    histogram: Histogram {
+                        counts: vec![1; range_len as usize],
+                    },
+                },
+            );
+        }
+        // Both members receive the plan.
+        let planned: Vec<ActorId> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::ReshufflePlan { .. }).then_some(*to))
+            .collect();
+        assert_eq!(planned.len(), 2);
+        ctx.sent.clear();
+        for &member in &[N0, new_actor] {
+            sched.on_message(&mut ctx, member, Msg::ReshuffleDone { group: 0, sent_tuples: 3 });
+        }
+        // Reshuffle data barrier: nodes report balanced reshuffle chunks.
+        ack_all(&mut sched, &mut ctx, 1, 1);
+        let probe_routing = ctx
+            .sent
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::StartProbe { routing, .. } => Some(routing.clone()),
+                _ => None,
+            })
+            .expect("probe starts after reshuffle");
+        // The reshuffled range is now disjoint: every entry has one owner.
+        match probe_routing {
+            RoutingTable::Replica(m) => {
+                assert!(m.entries().iter().all(|e| e.owners.len() == 1));
+            }
+            other => panic!("hybrid probe routing should be replica-shaped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_assemble_the_join_report_and_stop() {
+        let (mut sched, mut ctx, slot) = setup(Algorithm::OutOfCore, 2);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        drive_build_to_probe(&mut sched, &mut ctx, 10, 5);
+        // Probe phase: source done, nodes drained.
+        sched.on_message(
+            &mut ctx,
+            SRC,
+            Msg::SourcePhaseDone {
+                phase: Phase::Probe,
+                sent_chunks: 4,
+                sent_tuples: 400,
+                comm: Box::new(CommCounters::new(100)),
+            },
+        );
+        ack_all(&mut sched, &mut ctx, 2, 0);
+        let report_requests = ctx.count(|m| matches!(m, Msg::ReportRequest));
+        assert_eq!(report_requests, 2);
+        for node in [N0, N1] {
+            sched.on_message(
+                &mut ctx,
+                node,
+                Msg::Report(Box::new(NodeReport {
+                    build_tuples: 50,
+                    matches: 7,
+                    compares: 70,
+                    comm: CommCounters::new(100),
+                    spilled: false,
+                    grace: None,
+                })),
+            );
+        }
+        assert!(ctx.stopped, "the scheduler stops the engine when done");
+        let report = slot.lock().take().expect("report written");
+        assert_eq!(report.matches, 14);
+        assert_eq!(report.build_tuples, 100);
+        assert_eq!(report.final_nodes, 2);
+        assert_eq!(report.load, vec![50, 50]);
+    }
+
+    #[test]
+    fn range_split_failure_returns_the_spare_node() {
+        let (mut sched, mut ctx, _) = setup(Algorithm::Split, 2);
+        sched.cfg = {
+            let mut cfg = (*sched.cfg).clone();
+            cfg.split_policy = SplitPolicy::RangeBisect;
+            Arc::new(cfg)
+        };
+        // Rebuild routing for the policy (normally done in new()).
+        sched.routing = RoutingTable::Disjoint(RangeMap::partitioned(
+            sched.cfg.positions,
+            &[N0, N1],
+        ));
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        let potential_before = sched.book.potential().len();
+        sched.on_message(&mut ctx, N0, Msg::MemoryFull { pending: 1 });
+        assert!(sched.rb_op.is_some());
+        sched.on_message(
+            &mut ctx,
+            N0,
+            Msg::RangeSplitDone {
+                cut: 0,
+                moved_tuples: 0,
+                ok: false,
+            },
+        );
+        assert!(sched.rb_op.is_none());
+        assert_eq!(
+            sched.book.potential().len(),
+            potential_before,
+            "the unused spare goes back to the pool"
+        );
+        assert!(matches!(ctx.sent_to(N0).last(), Some(Msg::NoMoreNodes)));
+        assert_eq!(sched.expansions, 0);
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    //! Protocol robustness: the scheduler must tolerate duplicate, stale
+    //! and out-of-order control messages (the counting barriers and op
+    //! guards exist precisely for this).
+
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::msg::NodeReport;
+    use crate::testutil::ScriptCtx;
+    use ehj_cluster::ClusterSpec;
+    use ehj_metrics::CommCounters;
+
+    fn setup(algorithm: Algorithm) -> (Scheduler, ScriptCtx) {
+        let mut cfg = JoinConfig::paper_scaled(algorithm, 1000);
+        cfg.cluster = ClusterSpec::homogeneous(6, 1 << 20);
+        cfg.initial_nodes = 2;
+        cfg.sources = 1;
+        let topo = Topology::standard(1, 6);
+        let slot = Arc::new(Mutex::new(None));
+        let mut sched = Scheduler::new(Arc::new(cfg), topo, slot);
+        let mut ctx = ScriptCtx::new(0);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        (sched, ctx)
+    }
+
+    #[test]
+    fn duplicate_split_done_is_ignored() {
+        let (mut sched, mut ctx) = setup(Algorithm::Split);
+        sched.on_message(&mut ctx, 2, Msg::MemoryFull { pending: 1 });
+        let step = ctx
+            .sent
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::SplitRequest { step, .. } => Some(*step),
+                _ => None,
+            })
+            .expect("split requested");
+        sched.on_message(&mut ctx, 2, Msg::SplitDone { step, moved_tuples: 3 });
+        let splits_after_first = sched.split_time;
+        // A duplicate completion for the same bucket must be a no-op.
+        sched.on_message(&mut ctx, 2, Msg::SplitDone { step, moved_tuples: 3 });
+        assert_eq!(sched.split_time, splits_after_first);
+        assert!(sched.lp_inflight.is_empty());
+    }
+
+    #[test]
+    fn stale_flush_acks_from_old_epochs_are_ignored() {
+        let (mut sched, mut ctx) = setup(Algorithm::OutOfCore);
+        sched.on_message(
+            &mut ctx,
+            1,
+            Msg::SourcePhaseDone {
+                phase: Phase::Build,
+                sent_chunks: 10,
+                sent_tuples: 1000,
+                comm: Box::new(CommCounters::new(100)),
+            },
+        );
+        let epoch = sched.epoch;
+        assert!(sched.flush_in_progress);
+        // An ack from a previous epoch must not count.
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::FlushAck {
+                epoch: epoch - 1,
+                recv_chunks: 5,
+                fwd_chunks: 0,
+                pending: 0,
+            },
+        );
+        assert_eq!(sched.acks, 0, "stale epoch ignored");
+        // Correct-epoch acks complete the round.
+        for node in [2u32, 3] {
+            sched.on_message(
+                &mut ctx,
+                node,
+                Msg::FlushAck {
+                    epoch,
+                    recv_chunks: 5,
+                    fwd_chunks: 0,
+                    pending: 0,
+                },
+            );
+        }
+        assert!(!sched.flush_in_progress);
+    }
+
+    #[test]
+    fn unexpected_range_split_done_is_ignored() {
+        let (mut sched, mut ctx) = setup(Algorithm::Split);
+        // No range-bisect op in flight: a spurious done must not panic or
+        // mutate routing.
+        let before = sched.routing.clone();
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::RangeSplitDone {
+                cut: 5,
+                moved_tuples: 1,
+                ok: true,
+            },
+        );
+        assert_eq!(sched.routing, before);
+    }
+
+    #[test]
+    fn reports_after_done_are_tolerated() {
+        let (mut sched, mut ctx) = setup(Algorithm::OutOfCore);
+        // Force the reporting phase directly.
+        sched.phase = SchedPhase::Reporting;
+        sched.reports_expected = 1;
+        let report = NodeReport {
+            build_tuples: 1,
+            matches: 0,
+            compares: 0,
+            comm: CommCounters::new(100),
+            spilled: false,
+            grace: None,
+        };
+        sched.on_message(&mut ctx, 2, Msg::Report(Box::new(report.clone())));
+        assert!(ctx.stopped);
+        // A straggler report after completion must not panic.
+        sched.on_message(&mut ctx, 3, Msg::Report(Box::new(report)));
+    }
+
+    #[test]
+    fn memory_full_in_ooc_mode_is_a_no_op() {
+        let (mut sched, mut ctx) = setup(Algorithm::OutOfCore);
+        sched.on_message(&mut ctx, 2, Msg::MemoryFull { pending: 99 });
+        assert_eq!(sched.expansions, 0);
+        assert!(sched.overflow_queue.is_empty());
+        assert_eq!(ctx.count(|m| matches!(m, Msg::Activate { .. })), 0);
+    }
+
+    #[test]
+    fn relieved_from_unknown_node_is_harmless() {
+        let (mut sched, mut ctx) = setup(Algorithm::Split);
+        sched.on_message(&mut ctx, 99, Msg::Relieved);
+        assert!(sched.overflow_queue.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Actor wiring for one join run.
+
+use ehj_cluster::NodeId;
+use ehj_sim::ActorId;
+use serde::{Deserialize, Serialize};
+
+/// Maps the system's roles onto engine actor ids. The runner registers the
+/// scheduler first, then the data sources, then every cluster node's join
+/// process (active or not), so ids are dense and predictable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// The scheduler actor (always 0).
+    pub scheduler: ActorId,
+    /// Data-source actors, in source order.
+    pub sources: Vec<ActorId>,
+    /// Join-node actors, indexed by [`NodeId`].
+    pub nodes: Vec<ActorId>,
+}
+
+impl Topology {
+    /// Builds the standard wiring for `sources` sources and `nodes` cluster
+    /// nodes.
+    #[must_use]
+    pub fn standard(sources: usize, nodes: usize) -> Self {
+        let scheduler = 0;
+        let sources: Vec<ActorId> = (1..=sources as ActorId).collect();
+        let first = sources.len() as ActorId + 1;
+        let nodes = (first..first + nodes as ActorId).collect();
+        Self {
+            scheduler,
+            sources,
+            nodes,
+        }
+    }
+
+    /// Actor of a cluster node.
+    #[must_use]
+    pub fn node_actor(&self, node: NodeId) -> ActorId {
+        self.nodes[node.0 as usize]
+    }
+
+    /// Cluster node of an actor, if it is a join node.
+    #[must_use]
+    pub fn node_of_actor(&self, actor: ActorId) -> Option<NodeId> {
+        let first = *self.nodes.first()?;
+        if actor >= first && actor < first + self.nodes.len() as ActorId {
+            Some(NodeId(actor - first))
+        } else {
+            None
+        }
+    }
+
+    /// Total number of actors.
+    #[must_use]
+    pub fn actor_count(&self) -> usize {
+        1 + self.sources.len() + self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_wiring_is_dense() {
+        let t = Topology::standard(3, 5);
+        assert_eq!(t.scheduler, 0);
+        assert_eq!(t.sources, vec![1, 2, 3]);
+        assert_eq!(t.nodes, vec![4, 5, 6, 7, 8]);
+        assert_eq!(t.actor_count(), 9);
+    }
+
+    #[test]
+    fn node_actor_round_trip() {
+        let t = Topology::standard(2, 4);
+        for i in 0..4u32 {
+            let a = t.node_actor(NodeId(i));
+            assert_eq!(t.node_of_actor(a), Some(NodeId(i)));
+        }
+        assert_eq!(t.node_of_actor(0), None);
+        assert_eq!(t.node_of_actor(1), None);
+        assert_eq!(t.node_of_actor(100), None);
+    }
+}

@@ -1,0 +1,16 @@
+use ehj_core::*;
+
+#[test]
+#[ignore = "calibration probe; run explicitly"]
+fn fig2_shape_at_scale_100() {
+    for initial in [1usize, 2, 4, 8, 16] {
+        let mut line = format!("init={initial:2}");
+        for alg in Algorithm::ALL {
+            let mut cfg = JoinConfig::paper_scaled(alg, 100);
+            cfg.initial_nodes = initial;
+            let r = JoinRunner::run(&cfg).expect("join");
+            line += &format!("  {}={:6.2}s(n{:02},x{:04})", match alg { Algorithm::Replicated=>"R", Algorithm::Split=>"S", Algorithm::Hybrid=>"H", Algorithm::OutOfCore=>"O" }, r.times.total_secs, r.final_nodes, r.extra_build_chunks());
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,61 @@
+use ehj_core::*;
+use ehj_data::Distribution;
+
+fn run_line(label: &str, mk: impl Fn(Algorithm) -> JoinConfig) {
+    let mut line = format!("{label:28}");
+    for alg in Algorithm::ALL {
+        let cfg = mk(alg);
+        match JoinRunner::run(&cfg) {
+            Ok(r) => line += &format!(
+                "  {}={:6.2}s(n{:02},xb{:04},xp{:04},sp{})",
+                match alg { Algorithm::Replicated=>"R", Algorithm::Split=>"S", Algorithm::Hybrid=>"H", Algorithm::OutOfCore=>"O" },
+                r.times.total_secs, r.final_nodes, r.extra_build_chunks(), r.extra_probe_chunks(), r.spilled_nodes),
+            Err(e) => line += &format!("  {alg:?}=ERR({e})"),
+        }
+    }
+    println!("{line}");
+}
+
+#[test]
+#[ignore = "calibration probe"]
+fn fig10_skew() {
+    for (name, dist) in [
+        ("uniform", Distribution::Uniform),
+        ("sigma=0.001", Distribution::gaussian_moderate()),
+        ("sigma=0.0001", Distribution::gaussian_extreme()),
+    ] {
+        run_line(name, |alg| {
+            let mut cfg = JoinConfig::paper_scaled(alg, 100);
+            cfg.r.dist = dist;
+            cfg.s.dist = dist;
+            cfg
+        });
+    }
+}
+
+#[test]
+#[ignore = "calibration probe"]
+fn fig8_build_from_larger() {
+    for (name, r_t, s_t) in [("R=10M,S=100M", 100_000u64, 1_000_000u64), ("R=100M,S=10M", 1_000_000, 100_000)] {
+        run_line(name, |alg| {
+            let mut cfg = JoinConfig::paper_scaled(alg, 100);
+            cfg.r.tuples = r_t;
+            cfg.s.tuples = s_t;
+            cfg
+        });
+    }
+}
+
+#[test]
+#[ignore = "calibration probe"]
+fn fig5_split_vs_reshuffle() {
+    for init in [1usize, 2, 4, 8, 16] {
+        let mut cfg = JoinConfig::paper_scaled(Algorithm::Split, 100);
+        cfg.initial_nodes = init;
+        let s = JoinRunner::run(&cfg).unwrap();
+        let mut cfg = JoinConfig::paper_scaled(Algorithm::Hybrid, 100);
+        cfg.initial_nodes = init;
+        let h = JoinRunner::run(&cfg).unwrap();
+        println!("init={init:2}  split_time={:6.3}s  reshuffle_time={:6.3}s", s.split_time_secs, h.reshuffle_time_secs);
+    }
+}

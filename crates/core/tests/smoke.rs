@@ -1,0 +1,46 @@
+//! End-to-end smoke runs of all four algorithms at small scale, printed for
+//! calibration. `cargo test -p ehj-core --test smoke -- --nocapture`.
+
+use ehj_core::*;
+
+#[test]
+fn all_algorithms_match_reference_at_scale_1000() {
+    for alg in Algorithm::ALL {
+        let mut cfg = JoinConfig::paper_scaled(alg, 1000);
+        cfg.r = cfg.r.with_domain(1 << 16);
+        cfg.s = cfg.s.with_domain(1 << 16);
+        let expect = expected_matches_for(&cfg);
+        let t0 = std::time::Instant::now();
+        let r = JoinRunner::run(&cfg).expect("join must complete");
+        println!(
+            "{:12} total={:8.3}s build={:7.3}s matches={} (expect {}) nodes {}->{} exp={} spill={} xbuild={} xprobe={} events={} wall={:?}",
+            alg.label(), r.times.total_secs, r.times.build_secs, r.matches, expect,
+            r.initial_nodes, r.final_nodes, r.expansions, r.spilled_nodes,
+            r.extra_build_chunks(), r.extra_probe_chunks(), r.sim_events, t0.elapsed()
+        );
+        assert_eq!(r.matches, expect, "{} must match reference", alg.label());
+    }
+}
+
+#[test]
+fn spill_heavy_builds_still_match_reference() {
+    // Build side 5x the cluster's aggregate memory: every algorithm must
+    // fall back to disk somewhere and still count every match.
+    for alg in Algorithm::ALL {
+        let mut cfg = JoinConfig::paper_scaled(alg, 1000);
+        cfg.r.tuples = 100_000;
+        cfg.s.tuples = 10_000;
+        let d = 1 << 14;
+        cfg.r = cfg.r.with_domain(d);
+        cfg.s = cfg.s.with_domain(d);
+        cfg.positions = (d / 4) as u32;
+        let expect = expected_matches_for(&cfg);
+        let r = JoinRunner::run(&cfg).expect("join must complete");
+        println!(
+            "spill-heavy {:12} matches={} expect={} spilled={} final={}",
+            alg.label(), r.matches, expect, r.spilled_nodes, r.final_nodes
+        );
+        assert_eq!(r.matches, expect, "{} must match reference", alg.label());
+        assert!(r.spilled_nodes > 0, "{} should have spilled", alg.label());
+    }
+}

@@ -1,0 +1,248 @@
+//! Chunked tuple buffering.
+//!
+//! §4.1.2: "A data source keeps a buffer for each join process in the
+//! system. When the elements ... are generated or retrieved from disk, they
+//! are inserted into the buffers based on their hash values ... When a
+//! buffer is full, it is sent to the corresponding join process." The
+//! paper's communication-volume figures count these buffers as *chunks* of
+//! 10 000 tuples.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+
+/// The paper's chunk granularity: 10 000 tuples per chunk (Figures 4, 11).
+pub const DEFAULT_CHUNK_TUPLES: usize = 10_000;
+
+/// Fixed per-message header bytes charged on the wire for each chunk.
+pub const CHUNK_HEADER_BYTES: u64 = 64;
+
+/// A batch of tuples shipped between processes as one message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// The tuples in this chunk.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Chunk {
+    /// Creates a chunk from a tuple batch.
+    #[must_use]
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        Self { tuples }
+    }
+
+    /// Number of tuples in the chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the chunk holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// On-wire size of this chunk under `schema` (header + payload-inclusive
+    /// tuple bytes).
+    #[must_use]
+    pub fn wire_bytes(&self, schema: Schema) -> u64 {
+        CHUNK_HEADER_BYTES + schema.tuples_bytes(self.tuples.len() as u64)
+    }
+}
+
+/// A per-destination buffer that accumulates tuples and emits full chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkBuffer {
+    buf: Vec<Tuple>,
+    capacity: usize,
+}
+
+impl ChunkBuffer {
+    /// Creates a buffer that emits chunks of `capacity` tuples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "chunk capacity must be non-zero");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of buffered (not yet emitted) tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The chunk capacity this buffer was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds a tuple; returns a full chunk when the buffer reaches capacity.
+    #[must_use]
+    pub fn push(&mut self, t: Tuple) -> Option<Chunk> {
+        self.buf.push(t);
+        if self.buf.len() >= self.capacity {
+            Some(self.take())
+        } else {
+            None
+        }
+    }
+
+    /// Drains whatever is buffered into a (possibly short) chunk. Returns an
+    /// empty chunk if nothing is buffered; callers typically skip sending
+    /// empty flushes.
+    #[must_use]
+    pub fn take(&mut self) -> Chunk {
+        let tuples = std::mem::replace(&mut self.buf, Vec::with_capacity(self.capacity));
+        Chunk::new(tuples)
+    }
+}
+
+/// A routing buffer set: one [`ChunkBuffer`] per destination, growable as the
+/// algorithm expands to new join nodes.
+#[derive(Debug, Clone)]
+pub struct ChunkSet {
+    buffers: Vec<ChunkBuffer>,
+    chunk_tuples: usize,
+}
+
+impl ChunkSet {
+    /// Creates `destinations` empty buffers of `chunk_tuples` capacity each.
+    #[must_use]
+    pub fn new(destinations: usize, chunk_tuples: usize) -> Self {
+        Self {
+            buffers: (0..destinations)
+                .map(|_| ChunkBuffer::new(chunk_tuples))
+                .collect(),
+            chunk_tuples,
+        }
+    }
+
+    /// Number of destinations currently tracked.
+    #[must_use]
+    pub fn destinations(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Ensures buffers exist for destinations `0..=dest`.
+    pub fn ensure_destination(&mut self, dest: usize) {
+        while self.buffers.len() <= dest {
+            self.buffers.push(ChunkBuffer::new(self.chunk_tuples));
+        }
+    }
+
+    /// Buffers `t` for `dest`; returns a full chunk to send if one filled.
+    #[must_use]
+    pub fn push(&mut self, dest: usize, t: Tuple) -> Option<Chunk> {
+        self.ensure_destination(dest);
+        self.buffers[dest].push(t)
+    }
+
+    /// Flushes every non-empty buffer, yielding `(dest, chunk)` pairs.
+    pub fn flush_all(&mut self) -> Vec<(usize, Chunk)> {
+        self.buffers
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(d, b)| (d, b.take()))
+            .collect()
+    }
+
+    /// Flushes one destination's buffer if non-empty.
+    #[must_use]
+    pub fn flush_one(&mut self, dest: usize) -> Option<Chunk> {
+        let b = self.buffers.get_mut(dest)?;
+        if b.is_empty() {
+            None
+        } else {
+            Some(b.take())
+        }
+    }
+
+    /// Total buffered tuples across all destinations.
+    #[must_use]
+    pub fn buffered_tuples(&self) -> usize {
+        self.buffers.iter().map(ChunkBuffer::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> Tuple {
+        Tuple::new(i, i * 7)
+    }
+
+    #[test]
+    fn buffer_emits_at_capacity() {
+        let mut b = ChunkBuffer::new(3);
+        assert!(b.push(t(0)).is_none());
+        assert!(b.push(t(1)).is_none());
+        let c = b.push(t(2)).expect("third push fills the chunk");
+        assert_eq!(c.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn take_drains_partial() {
+        let mut b = ChunkBuffer::new(10);
+        let _ = b.push(t(0));
+        let _ = b.push(t(1));
+        let c = b.take();
+        assert_eq!(c.len(), 2);
+        assert!(b.is_empty());
+        assert!(b.take().is_empty());
+    }
+
+    #[test]
+    fn chunk_wire_bytes() {
+        let c = Chunk::new(vec![t(0); 10]);
+        let s = Schema::default_paper();
+        assert_eq!(c.wire_bytes(s), CHUNK_HEADER_BYTES + 10 * 116);
+    }
+
+    #[test]
+    fn chunk_set_routes_and_flushes() {
+        let mut cs = ChunkSet::new(2, 2);
+        assert!(cs.push(0, t(1)).is_none());
+        assert!(cs.push(1, t(2)).is_none());
+        let full = cs.push(0, t(3)).expect("dest 0 reached capacity");
+        assert_eq!(full.tuples, vec![t(1), t(3)]);
+        let flushed = cs.flush_all();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].0, 1);
+        assert_eq!(flushed[0].1.tuples, vec![t(2)]);
+        assert_eq!(cs.buffered_tuples(), 0);
+    }
+
+    #[test]
+    fn chunk_set_grows_for_new_destinations() {
+        let mut cs = ChunkSet::new(1, 4);
+        assert_eq!(cs.destinations(), 1);
+        assert!(cs.push(5, t(9)).is_none());
+        assert_eq!(cs.destinations(), 6);
+        assert_eq!(cs.flush_one(5).expect("buffered").tuples, vec![t(9)]);
+        assert!(cs.flush_one(5).is_none());
+        assert!(cs.flush_one(99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ChunkBuffer::new(0);
+    }
+}

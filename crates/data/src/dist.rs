@@ -1,0 +1,366 @@
+//! Join-attribute value distributions.
+//!
+//! §5 of the paper generates join attributes "using either Uniform or
+//! Gaussian distribution", where the Gaussian models data skew with a
+//! user-specified mean and standard deviation, clamped to the attribute
+//! value range. The experiments use `σ = 0.001` (moderate skew) and
+//! `σ = 0.0001` (extreme skew) expressed as a fraction of the normalized
+//! `[0, 1)` value range, with both relations sharing mean / sigma / range.
+
+use crate::rng::Xoshiro256StarStar;
+use crate::tuple::JoinAttr;
+use serde::{Deserialize, Serialize};
+
+/// Default join-attribute domain: values are drawn from `[0, 2^32)`.
+///
+/// The paper does not state the raw domain; what matters for the figures is
+/// the *relative* width of the Gaussian (σ as a fraction of the range), which
+/// is preserved for any domain.
+pub const DEFAULT_ATTR_DOMAIN: u64 = 1 << 32;
+
+/// Distribution of join-attribute values over a normalized `[0, 1)` range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over the whole attribute domain.
+    Uniform,
+    /// Gaussian with `mean` and `sigma` expressed as fractions of the
+    /// domain, clamped into `[0, 1)` exactly as the paper's generator clamps
+    /// into the value range. `sigma = 0.0001` is the paper's "highly skewed"
+    /// setting.
+    Gaussian {
+        /// Mean as a fraction of the domain (paper uses the range midpoint).
+        mean: f64,
+        /// Standard deviation as a fraction of the domain.
+        sigma: f64,
+    },
+    /// Zipfian over the domain: value `v` (0-based rank) drawn with
+    /// probability ∝ `1/(v+1)^theta`, `theta ∈ (0, 1)`. The classic
+    /// database-skew model (duplication skew rather than the paper's
+    /// positional skew); hot ranks sit at the low end of the domain —
+    /// combine with [`crate::rng`]-style scrambling (the Fibonacci hasher in
+    /// `ehj-hash`) to scatter them. Uses the Gray et al. rejection-free
+    /// approximation, as popularized by YCSB.
+    Zipf {
+        /// Skew exponent in `(0, 1)`; larger is more skewed.
+        theta: f64,
+    },
+}
+
+impl Distribution {
+    /// The paper's moderate-skew setting (σ = 0.001, centered).
+    #[must_use]
+    pub const fn gaussian_moderate() -> Self {
+        Self::Gaussian {
+            mean: 0.5,
+            sigma: 0.001,
+        }
+    }
+
+    /// The paper's extreme-skew setting (σ = 0.0001, centered).
+    #[must_use]
+    pub const fn gaussian_extreme() -> Self {
+        Self::Gaussian {
+            mean: 0.5,
+            sigma: 0.0001,
+        }
+    }
+
+    /// Human-readable label matching the figure axes ("uniform",
+    /// "sigma = 0.001", ...).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Uniform => "uniform".to_owned(),
+            Self::Gaussian { sigma, .. } => format!("sigma = {sigma}"),
+            Self::Zipf { theta } => format!("zipf theta = {theta}"),
+        }
+    }
+}
+
+/// Precomputed state for the Gray et al. Zipf approximation.
+#[derive(Debug, Clone, Copy)]
+struct ZipfState {
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfState {
+    /// Generalized harmonic number `H_{n,theta}`: exact for small `n`,
+    /// Euler–Maclaurin (partial sum + integral tail + midpoint correction)
+    /// beyond, accurate to well under 0.1 % for workload generation.
+    fn zetan(n: u64, theta: f64) -> f64 {
+        const EXACT_LIMIT: u64 = 1 << 22;
+        if n <= EXACT_LIMIT {
+            return (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        }
+        let k = EXACT_LIMIT;
+        let head: f64 = (1..=k).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let (kf, nf) = (k as f64, n as f64);
+        let tail = (nf.powf(1.0 - theta) - kf.powf(1.0 - theta)) / (1.0 - theta);
+        let correction = 0.5 * (kf.powf(-theta) - nf.powf(-theta));
+        head + tail + correction
+    }
+
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipf theta must lie in (0, 1), got {theta}"
+        );
+        assert!(n >= 2, "zipf needs a domain of at least 2 values");
+        let zetan = Self::zetan(n, theta);
+        let zeta2 = Self::zetan(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta =
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Draws a 0-based rank in `[0, n)`.
+    fn sample(&self, n: u64, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank =
+            (n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(n - 1)
+    }
+}
+
+/// Samples join-attribute values from a [`Distribution`] over a concrete
+/// integer domain `[0, domain)`.
+#[derive(Debug, Clone)]
+pub struct JoinAttrSampler {
+    dist: Distribution,
+    domain: u64,
+    rng: Xoshiro256StarStar,
+    zipf: Option<ZipfState>,
+}
+
+impl JoinAttrSampler {
+    /// Creates a sampler with its own deterministic stream.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0`, a Gaussian `sigma` is not positive, or a
+    /// Zipf `theta` lies outside `(0, 1)`.
+    #[must_use]
+    pub fn new(dist: Distribution, domain: u64, seed: u64) -> Self {
+        assert!(domain > 0, "attribute domain must be non-empty");
+        if let Distribution::Gaussian { sigma, .. } = dist {
+            assert!(sigma > 0.0, "gaussian sigma must be positive");
+        }
+        let zipf = match dist {
+            Distribution::Zipf { theta } => Some(ZipfState::new(domain, theta)),
+            _ => None,
+        };
+        Self {
+            dist,
+            domain,
+            rng: Xoshiro256StarStar::new(seed),
+            zipf,
+        }
+    }
+
+    /// The attribute domain size.
+    #[must_use]
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Draws the next join-attribute value.
+    pub fn sample(&mut self) -> JoinAttr {
+        match self.dist {
+            Distribution::Uniform => self.rng.next_below(self.domain),
+            Distribution::Gaussian { mean, sigma } => {
+                let z = self.rng.next_standard_normal();
+                let x = mean + sigma * z;
+                // Clamp into [0, 1) as the paper clamps into the value range.
+                let x = x.clamp(0.0, 1.0 - f64::EPSILON);
+                let v = (x * self.domain as f64) as u64;
+                v.min(self.domain - 1)
+            }
+            Distribution::Zipf { .. } => {
+                let u = self.rng.next_f64();
+                self.zipf.expect("built in new()").sample(self.domain, u)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_domain() {
+        let mut s = JoinAttrSampler::new(Distribution::Uniform, 1000, 1);
+        for _ in 0..10_000 {
+            assert!(s.sample() < 1000);
+        }
+    }
+
+    #[test]
+    fn gaussian_stays_in_domain_even_with_huge_sigma() {
+        let mut s = JoinAttrSampler::new(
+            Distribution::Gaussian {
+                mean: 0.5,
+                sigma: 10.0,
+            },
+            1000,
+            1,
+        );
+        for _ in 0..10_000 {
+            assert!(s.sample() < 1000);
+        }
+    }
+
+    #[test]
+    fn gaussian_concentrates_around_mean() {
+        let domain = DEFAULT_ATTR_DOMAIN;
+        let mut s = JoinAttrSampler::new(Distribution::gaussian_extreme(), domain, 7);
+        let center = domain / 2;
+        let width = (0.001 * domain as f64) as u64; // ±10σ
+        let inside = (0..10_000)
+            .filter(|_| {
+                let v = s.sample();
+                v.abs_diff(center) <= width
+            })
+            .count();
+        assert!(inside > 9990, "only {inside}/10000 samples within ±10σ");
+    }
+
+    #[test]
+    fn extreme_skew_is_narrower_than_moderate() {
+        let domain = DEFAULT_ATTR_DOMAIN;
+        let spread = |dist: Distribution| {
+            let mut s = JoinAttrSampler::new(dist, domain, 3);
+            let samples: Vec<u64> = (0..20_000).map(|_| s.sample()).collect();
+            let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+            (samples
+                .iter()
+                .map(|&v| {
+                    let d = v as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / samples.len() as f64)
+                .sqrt()
+        };
+        let moderate = spread(Distribution::gaussian_moderate());
+        let extreme = spread(Distribution::gaussian_extreme());
+        assert!(
+            extreme * 5.0 < moderate,
+            "σ=0.0001 spread {extreme} should be ≪ σ=0.001 spread {moderate}"
+        );
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = JoinAttrSampler::new(Distribution::gaussian_moderate(), 1 << 20, 99);
+        let mut b = JoinAttrSampler::new(Distribution::gaussian_moderate(), 1 << 20, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn labels_match_figure_axes() {
+        assert_eq!(Distribution::Uniform.label(), "uniform");
+        assert_eq!(Distribution::gaussian_moderate().label(), "sigma = 0.001");
+        assert_eq!(Distribution::gaussian_extreme().label(), "sigma = 0.0001");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn zero_domain_panics() {
+        let _ = JoinAttrSampler::new(Distribution::Uniform, 0, 1);
+    }
+
+    #[test]
+    fn zipf_stays_in_domain_and_favours_low_ranks() {
+        let mut s = JoinAttrSampler::new(Distribution::Zipf { theta: 0.9 }, 10_000, 3);
+        let mut low = 0usize;
+        for _ in 0..20_000 {
+            let v = s.sample();
+            assert!(v < 10_000);
+            if v < 10 {
+                low += 1;
+            }
+        }
+        // With theta=0.9 over 10k values, the top 10 ranks carry ~20% of
+        // the mass (H(10,0.9)/H(10000,0.9)); uniform would give 0.1%.
+        assert!(low > 3_000, "only {low}/20000 samples in the top 10 ranks");
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_the_mode() {
+        let mut s = JoinAttrSampler::new(Distribution::Zipf { theta: 0.5 }, 1000, 9);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[s.sample() as usize] += 1;
+        }
+        let max_idx = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(max_idx, 0, "rank 0 must be the most frequent value");
+        assert!(counts[0] > counts[99] * 2);
+    }
+
+    #[test]
+    fn zipf_higher_theta_is_more_skewed() {
+        let mass_top = |theta: f64| {
+            let mut s = JoinAttrSampler::new(Distribution::Zipf { theta }, 100_000, 5);
+            (0..20_000).filter(|_| s.sample() < 100).count()
+        };
+        assert!(mass_top(0.99) > mass_top(0.5));
+    }
+
+    #[test]
+    fn zipf_zetan_approximation_is_continuous() {
+        // The exact/approximate switchover at 2^22 must not jump.
+        let below = ZipfState::zetan((1 << 22) - 1, 0.7);
+        let above = ZipfState::zetan((1 << 22) + 1, 0.7);
+        assert!(above > below);
+        assert!((above - below) < 1e-3);
+    }
+
+    #[test]
+    fn zipf_label() {
+        assert_eq!(
+            Distribution::Zipf { theta: 0.9 }.label(),
+            "zipf theta = 0.9"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zipf_theta_out_of_range_panics() {
+        let _ = JoinAttrSampler::new(Distribution::Zipf { theta: 1.5 }, 100, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn non_positive_sigma_panics() {
+        let _ = JoinAttrSampler::new(
+            Distribution::Gaussian {
+                mean: 0.5,
+                sigma: 0.0,
+            },
+            100,
+            1,
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Relation schema: column sizing used for all byte accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Describes the row layout of a relation: the two fixed 64-bit columns plus
+/// an `n`-byte data payload (§5 of the paper). Both R and S share one schema
+/// in every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Size of the opaque data column in bytes (the paper's `n`; 100 B in
+    /// most experiments, varied to 200/400 B in Figure 7).
+    pub payload_bytes: u32,
+}
+
+impl Schema {
+    /// Fixed size of the index + join-attribute columns.
+    pub const HEAD_BYTES: u64 = 16;
+
+    /// Schema with the paper's default 100-byte payload.
+    #[must_use]
+    pub const fn default_paper() -> Self {
+        Self { payload_bytes: 100 }
+    }
+
+    /// Schema with a caller-chosen payload size.
+    #[must_use]
+    pub const fn with_payload(payload_bytes: u32) -> Self {
+        Self { payload_bytes }
+    }
+
+    /// Bytes one tuple occupies on the wire and in raw storage.
+    #[must_use]
+    pub const fn tuple_bytes(&self) -> u64 {
+        Self::HEAD_BYTES + self.payload_bytes as u64
+    }
+
+    /// Bytes occupied by `n` tuples.
+    #[must_use]
+    pub const fn tuples_bytes(&self, n: u64) -> u64 {
+        self.tuple_bytes() * n
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Self::default_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_116_bytes() {
+        assert_eq!(Schema::default_paper().tuple_bytes(), 116);
+    }
+
+    #[test]
+    fn tuple_sizes_track_payload() {
+        assert_eq!(Schema::with_payload(200).tuple_bytes(), 216);
+        assert_eq!(Schema::with_payload(400).tuple_bytes(), 416);
+        assert_eq!(Schema::with_payload(0).tuple_bytes(), 16);
+    }
+
+    #[test]
+    fn tuples_bytes_multiplies() {
+        let s = Schema::default_paper();
+        assert_eq!(s.tuples_bytes(10_000), 1_160_000);
+        assert_eq!(s.tuples_bytes(0), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Tuple types.
+//!
+//! §5 of the paper: "Each element in a relation consists of a 64-bit index
+//! (`i`), a 64-bit join attribute (`ja`), and `n`-byte data." The algorithms
+//! only inspect the index and the join attribute, so the hot-path [`Tuple`]
+//! carries exactly those two columns; the payload contributes to every
+//! byte count through [`crate::Schema`]. [`MaterializedTuple`] carries real
+//! payload bytes for callers that need them (e.g. end-to-end examples).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The 64-bit row index column.
+pub type TupleIndex = u64;
+
+/// The 64-bit join attribute column.
+pub type JoinAttr = u64;
+
+/// A relation element: 64-bit index + 64-bit join attribute. The `n`-byte
+/// payload is tracked by size via [`crate::Schema`] (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Unique row identifier within its relation.
+    pub index: TupleIndex,
+    /// Equi-join key.
+    pub join_attr: JoinAttr,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    #[must_use]
+    pub fn new(index: TupleIndex, join_attr: JoinAttr) -> Self {
+        Self { index, join_attr }
+    }
+}
+
+/// A tuple with its payload materialized as real bytes.
+///
+/// The EHJA hot path never inspects the payload, so the simulator moves
+/// [`Tuple`]s and accounts payload bytes through the schema; this type exists
+/// for applications that carry actual data through the same machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedTuple {
+    /// The two fixed 64-bit columns.
+    pub head: Tuple,
+    /// The opaque `n`-byte data column.
+    pub payload: Bytes,
+}
+
+impl MaterializedTuple {
+    /// Creates a materialized tuple from its columns.
+    #[must_use]
+    pub fn new(index: TupleIndex, join_attr: JoinAttr, payload: Bytes) -> Self {
+        Self {
+            head: Tuple::new(index, join_attr),
+            payload,
+        }
+    }
+
+    /// Total on-wire size of this tuple in bytes.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        16 + self.payload.len() as u64
+    }
+}
+
+/// A matched output pair `(r.index, s.index)` produced by the probe phase.
+///
+/// The paper "outputs r and s"; downstream consumers (disk, client, next
+/// query stage) are out of scope, so the reproduction forwards or counts
+/// these pairs. The pair is enough to reconstruct the full rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatchPair {
+    /// Index of the build-side tuple (relation R by default).
+    pub build_index: TupleIndex,
+    /// Index of the probe-side tuple (relation S by default).
+    pub probe_index: TupleIndex,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_is_two_words() {
+        // The hot-path tuple must stay exactly two 64-bit columns.
+        assert_eq!(std::mem::size_of::<Tuple>(), 16);
+    }
+
+    #[test]
+    fn materialized_wire_bytes_counts_payload() {
+        let t = MaterializedTuple::new(1, 2, Bytes::from(vec![0u8; 100]));
+        assert_eq!(t.wire_bytes(), 116);
+    }
+
+    #[test]
+    fn materialized_empty_payload() {
+        let t = MaterializedTuple::new(1, 2, Bytes::new());
+        assert_eq!(t.wire_bytes(), 16);
+    }
+}

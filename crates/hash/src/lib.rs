@@ -1,0 +1,27 @@
+//! # ehj-hash — hashing substrate for the EHJA reproduction
+//!
+//! Everything the three Expanding Hash-based Join Algorithms (Zhang et al.,
+//! HPDC 2004) need to address, partition and store hash-table entries:
+//!
+//! * [`hasher`] — attribute hashing and the global [`hasher::PositionSpace`];
+//! * [`linear`] — the split-based algorithm's linear-hashing machinery
+//!   (`h_i`/`h_{i+1}` pairs, split pointer, bucket-to-owner map);
+//! * [`range`] — contiguous hash-range partitioning with replica lists for
+//!   the replication-based and hybrid algorithms;
+//! * [`partition`] — the hybrid reshuffle's greedy equal-load heuristic;
+//! * [`table`] — the per-node, memory-accounted chained hash table.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hasher;
+pub mod linear;
+pub mod partition;
+pub mod range;
+pub mod table;
+
+pub use hasher::{AttrHasher, PositionSpace};
+pub use linear::{BucketMap, SplitStep};
+pub use partition::{greedy_equal_partition, part_loads};
+pub use range::{HashRange, RangeMap, ReplicaEntry, ReplicaMap};
+pub use table::{JoinHashTable, ProbeResult, TableFull, ENTRY_OVERHEAD_BYTES};

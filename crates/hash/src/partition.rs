@@ -1,0 +1,151 @@
+//! The hybrid algorithm's reshuffling partition heuristic.
+//!
+//! §4.2.3: "If there are `k` nodes in a set, the hash table array is
+//! partitioned into `k` contiguous sub-arrays so that the total number of
+//! entries in each array is equal. ... We use a simple greedy heuristic to
+//! split the hash table array."
+//!
+//! [`greedy_equal_partition`] implements the heuristic over the summed
+//! per-position histogram: cut points are placed where the prefix sum first
+//! reaches each ideal boundary `total·j/k`. A position (one histogram cell)
+//! is indivisible, so each part's load can exceed the ideal share by at most
+//! one cell's count — the best any contiguous heuristic can do.
+
+/// Splits `counts` (the global per-position entry histogram of one replica
+/// set's range) into `k` contiguous index ranges with near-equal totals.
+/// Returns `k` half-open `(start, end)` index pairs covering
+/// `[0, counts.len())` in order. Parts may be empty when `k` exceeds the
+/// number of non-empty cells.
+///
+/// # Panics
+/// Panics if `k == 0`.
+#[must_use]
+pub fn greedy_equal_partition(counts: &[u64], k: usize) -> Vec<(usize, usize)> {
+    assert!(k > 0, "need at least one part");
+    let total: u128 = counts.iter().map(|&c| c as u128).sum();
+    let mut cuts = Vec::with_capacity(k + 1);
+    cuts.push(0usize);
+    let mut idx = 0usize;
+    let mut prefix: u128 = 0;
+    for j in 1..k {
+        let boundary = total * j as u128 / k as u128;
+        // Advance until the prefix sum reaches the ideal boundary. Using
+        // `<` (not `<=`) puts a cell straddling the boundary into the part
+        // whose ideal share it started in.
+        while idx < counts.len() && prefix + counts[idx] as u128 <= boundary {
+            prefix += counts[idx] as u128;
+            idx += 1;
+        }
+        cuts.push(idx);
+    }
+    cuts.push(counts.len());
+    cuts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Load (sum of counts) of each part returned by [`greedy_equal_partition`].
+#[must_use]
+pub fn part_loads(counts: &[u64], parts: &[(usize, usize)]) -> Vec<u64> {
+    parts
+        .iter()
+        .map(|&(a, b)| counts[a..b].iter().sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(counts: &[u64], parts: &[(usize, usize)]) {
+        assert_eq!(parts.first().map(|p| p.0), Some(0));
+        assert_eq!(parts.last().map(|p| p.1), Some(counts.len()));
+        for w in parts.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "parts must be contiguous");
+        }
+    }
+
+    #[test]
+    fn uniform_counts_split_evenly() {
+        let counts = vec![10u64; 100];
+        let parts = greedy_equal_partition(&counts, 4);
+        check_cover(&counts, &parts);
+        assert_eq!(part_loads(&counts, &parts), vec![250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn skewed_counts_stay_within_one_cell_of_ideal() {
+        // One huge cell among small ones.
+        let mut counts = vec![1u64; 99];
+        counts.push(1000);
+        let parts = greedy_equal_partition(&counts, 4);
+        check_cover(&counts, &parts);
+        let loads = part_loads(&counts, &parts);
+        let total: u64 = counts.iter().sum();
+        let ideal = total / 4;
+        let max_cell = 1000;
+        for &l in &loads {
+            assert!(l <= ideal + max_cell, "load {l} > ideal {ideal} + max cell");
+        }
+        assert_eq!(loads.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn single_part_takes_everything() {
+        let counts = vec![5u64, 7, 9];
+        let parts = greedy_equal_partition(&counts, 1);
+        assert_eq!(parts, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn more_parts_than_cells_yields_empty_tail_parts() {
+        let counts = vec![100u64, 1];
+        let parts = greedy_equal_partition(&counts, 4);
+        check_cover(&counts, &parts);
+        assert_eq!(parts.len(), 4);
+        let loads = part_loads(&counts, &parts);
+        assert_eq!(loads.iter().sum::<u64>(), 101);
+    }
+
+    #[test]
+    fn all_zero_counts_still_cover() {
+        let counts = vec![0u64; 10];
+        let parts = greedy_equal_partition(&counts, 3);
+        check_cover(&counts, &parts);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let parts = greedy_equal_partition(&[], 2);
+        assert_eq!(parts, vec![(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn gaussian_like_histogram_balances_well() {
+        // Bell-shaped counts: the heuristic should still land within ~1 cell.
+        let n = 1000usize;
+        let counts: Vec<u64> = (0..n)
+            .map(|i| {
+                let x = (i as f64 - 500.0) / 100.0;
+                (10_000.0 * (-x * x / 2.0).exp()) as u64
+            })
+            .collect();
+        let k = 8;
+        let parts = greedy_equal_partition(&counts, k);
+        check_cover(&counts, &parts);
+        let loads = part_loads(&counts, &parts);
+        let total: u64 = counts.iter().sum();
+        let ideal = total as f64 / k as f64;
+        let max_cell = *counts.iter().max().unwrap();
+        for &l in &loads {
+            assert!(
+                (l as f64) <= ideal + max_cell as f64,
+                "load {l} vs ideal {ideal} + max cell {max_cell}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        let _ = greedy_equal_partition(&[1], 0);
+    }
+}

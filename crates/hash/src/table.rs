@@ -1,0 +1,367 @@
+//! The per-node join hash table with byte-accurate memory accounting.
+//!
+//! A join process "is responsible for building and maintaining a portion of
+//! the hash table" (§4.1.3). [`JoinHashTable`] stores build-side tuples
+//! chained per global hash-table position, charges every insert against a
+//! byte capacity (the paper's bucket-overflow trigger: "if memory for data
+//! elements cannot be allocated"), and supports the operations the three
+//! EHJAs need:
+//!
+//! * probe with per-comparison accounting (Algorithm 1 scans the whole
+//!   chain at a position);
+//! * per-position entry counts (input to the hybrid reshuffle histogram);
+//! * range extraction (reshuffle redistribution) and predicate drains
+//!   (split-based bucket splits).
+
+use crate::hasher::PositionSpace;
+use ehj_data::{JoinAttr, Schema, Tuple};
+use std::collections::BTreeMap;
+
+/// Bookkeeping bytes charged per stored tuple on top of the schema's raw
+/// tuple size (chain pointer + allocation overhead on the paper's testbed).
+pub const ENTRY_OVERHEAD_BYTES: u64 = 16;
+
+/// Error returned when an insert would exceed the table's memory capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull {
+    /// Bytes in use at the time of the failed insert.
+    pub bytes_used: u64,
+    /// The configured capacity.
+    pub capacity_bytes: u64,
+}
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hash table full: {} of {} bytes used",
+            self.bytes_used, self.capacity_bytes
+        )
+    }
+}
+
+impl std::error::Error for TableFull {}
+
+/// Outcome of probing one tuple against the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeResult {
+    /// Matching build tuples found.
+    pub matches: u64,
+    /// Chain elements compared (the probe-phase CPU driver).
+    pub compared: u64,
+}
+
+/// A memory-bounded chained hash table over the global position space.
+#[derive(Debug, Clone)]
+pub struct JoinHashTable {
+    space: PositionSpace,
+    schema: Schema,
+    /// Chains keyed by *global* position; a node only ever holds keys inside
+    /// its assigned range(s). BTreeMap gives cheap range extraction and
+    /// ordered histograms.
+    chains: BTreeMap<u32, Vec<Tuple>>,
+    tuples: u64,
+    capacity_bytes: u64,
+}
+
+impl JoinHashTable {
+    /// Creates an empty table with the given byte capacity.
+    #[must_use]
+    pub fn new(space: PositionSpace, schema: Schema, capacity_bytes: u64) -> Self {
+        Self {
+            space,
+            schema,
+            chains: BTreeMap::new(),
+            tuples: 0,
+            capacity_bytes,
+        }
+    }
+
+    /// The position space the table hashes with.
+    #[must_use]
+    pub fn space(&self) -> PositionSpace {
+        self.space
+    }
+
+    /// Bytes charged per stored tuple.
+    #[must_use]
+    pub fn bytes_per_tuple(&self) -> u64 {
+        self.schema.tuple_bytes() + ENTRY_OVERHEAD_BYTES
+    }
+
+    /// Bytes currently in use.
+    #[must_use]
+    pub fn bytes_used(&self) -> u64 {
+        self.tuples * self.bytes_per_tuple()
+    }
+
+    /// The configured capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of stored tuples.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// How many more tuples fit before [`TableFull`].
+    #[must_use]
+    pub fn remaining_tuples(&self) -> u64 {
+        (self.capacity_bytes - self.bytes_used()) / self.bytes_per_tuple()
+    }
+
+    /// Global position of `attr` under this table's space.
+    #[must_use]
+    pub fn position_of(&self, attr: JoinAttr) -> u32 {
+        self.space.position_of(attr)
+    }
+
+    /// Inserts a build tuple, or reports the table full. A failed insert
+    /// changes nothing (the tuple stays pending at the caller, exactly as
+    /// the paper's join process queues unprocessed buffers).
+    pub fn insert(&mut self, t: Tuple) -> Result<(), TableFull> {
+        if self.bytes_used() + self.bytes_per_tuple() > self.capacity_bytes {
+            return Err(TableFull {
+                bytes_used: self.bytes_used(),
+                capacity_bytes: self.capacity_bytes,
+            });
+        }
+        let pos = self.space.position_of(t.join_attr);
+        self.chains.entry(pos).or_default().push(t);
+        self.tuples += 1;
+        Ok(())
+    }
+
+    /// Inserts without capacity checking (used when re-homing tuples during
+    /// reshuffle/split, which never increases a node's accounted usage
+    /// beyond what the coordinator planned).
+    pub fn insert_unchecked(&mut self, t: Tuple) {
+        let pos = self.space.position_of(t.join_attr);
+        self.chains.entry(pos).or_default().push(t);
+        self.tuples += 1;
+    }
+
+    /// Probes one attribute: scans the chain at its position, counting
+    /// equality matches and comparisons (Algorithm 1).
+    #[must_use]
+    pub fn probe(&self, attr: JoinAttr) -> ProbeResult {
+        let pos = self.space.position_of(attr);
+        match self.chains.get(&pos) {
+            None => ProbeResult::default(),
+            Some(chain) => ProbeResult {
+                matches: chain.iter().filter(|t| t.join_attr == attr).count() as u64,
+                compared: chain.len() as u64,
+            },
+        }
+    }
+
+    /// Probes and collects the matching build-tuple indices (test/reference
+    /// use; the hot path uses [`Self::probe`]).
+    #[must_use]
+    pub fn probe_collect(&self, attr: JoinAttr) -> Vec<Tuple> {
+        let pos = self.space.position_of(attr);
+        self.chains
+            .get(&pos)
+            .map(|c| c.iter().filter(|t| t.join_attr == attr).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Per-position entry counts over `[range_start, range_end)` as a dense
+    /// histogram indexed relative to `range_start` — the reshuffle input.
+    #[must_use]
+    pub fn position_histogram(&self, range_start: u32, range_end: u32) -> Vec<u64> {
+        let mut hist = vec![0u64; (range_end - range_start) as usize];
+        for (&pos, chain) in self.chains.range(range_start..range_end) {
+            hist[(pos - range_start) as usize] = chain.len() as u64;
+        }
+        hist
+    }
+
+    /// Removes and returns all tuples whose position lies in
+    /// `[range_start, range_end)` (reshuffle redistribution).
+    pub fn extract_range(&mut self, range_start: u32, range_end: u32) -> Vec<Tuple> {
+        let keys: Vec<u32> = self.chains.range(range_start..range_end).map(|(&k, _)| k).collect();
+        let mut out = Vec::new();
+        for k in keys {
+            let chain = self.chains.remove(&k).expect("key just enumerated");
+            self.tuples -= chain.len() as u64;
+            out.extend(chain);
+        }
+        out
+    }
+
+    /// Removes and returns all tuples matching `pred` (split-based bucket
+    /// split: extract the elements `h_{i+1}` maps to the new bucket). The
+    /// full table is scanned, mirroring the real cost of a bucket split.
+    pub fn drain_filter(&mut self, mut pred: impl FnMut(&Tuple) -> bool) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        let mut emptied = Vec::new();
+        for (&pos, chain) in &mut self.chains {
+            let mut kept = Vec::with_capacity(chain.len());
+            for t in chain.drain(..) {
+                if pred(&t) {
+                    out.push(t);
+                } else {
+                    kept.push(t);
+                }
+            }
+            if kept.is_empty() {
+                emptied.push(pos);
+            }
+            *chain = kept;
+        }
+        for pos in emptied {
+            self.chains.remove(&pos);
+        }
+        self.tuples -= out.len() as u64;
+        out
+    }
+
+    /// Iterates all stored tuples in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.chains.values().flatten()
+    }
+
+    /// Removes everything, returning the tuples (out-of-core spill support).
+    pub fn drain_all(&mut self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.tuples as usize);
+        for (_, chain) in std::mem::take(&mut self.chains) {
+            out.extend(chain);
+        }
+        self.tuples = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hasher::AttrHasher;
+
+    fn space() -> PositionSpace {
+        // positions == domain, so position == attribute value directly.
+        PositionSpace::new(100, 100, AttrHasher::Identity)
+    }
+
+    fn table(capacity_tuples: u64) -> JoinHashTable {
+        let schema = Schema::default_paper();
+        let bpt = schema.tuple_bytes() + ENTRY_OVERHEAD_BYTES;
+        JoinHashTable::new(space(), schema, capacity_tuples * bpt)
+    }
+
+    #[test]
+    fn insert_until_full() {
+        let mut t = table(3);
+        assert_eq!(t.remaining_tuples(), 3);
+        for i in 0..3 {
+            t.insert(Tuple::new(i, i * 10)).expect("fits");
+        }
+        let err = t.insert(Tuple::new(9, 90)).expect_err("fourth must overflow");
+        assert_eq!(err.capacity_bytes, t.capacity_bytes());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.bytes_used(), 3 * t.bytes_per_tuple());
+    }
+
+    #[test]
+    fn probe_counts_matches_and_comparisons() {
+        let mut t = table(100);
+        // Attrs 10 and 110 share position 10 (110 mod 100).
+        t.insert(Tuple::new(1, 10)).unwrap();
+        t.insert(Tuple::new(2, 110)).unwrap();
+        t.insert(Tuple::new(3, 10)).unwrap();
+        let r = t.probe(10);
+        assert_eq!(r.matches, 2);
+        assert_eq!(r.compared, 3, "must scan the whole chain");
+        let r2 = t.probe(110);
+        assert_eq!(r2.matches, 1);
+        assert_eq!(r2.compared, 3);
+        let r3 = t.probe(50);
+        assert_eq!(r3, ProbeResult::default());
+    }
+
+    #[test]
+    fn probe_collect_returns_matching_tuples() {
+        let mut t = table(100);
+        t.insert(Tuple::new(1, 10)).unwrap();
+        t.insert(Tuple::new(3, 10)).unwrap();
+        let got = t.probe_collect(10);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|x| x.join_attr == 10));
+    }
+
+    #[test]
+    fn histogram_reflects_chain_lengths() {
+        let mut t = table(100);
+        t.insert(Tuple::new(1, 10)).unwrap(); // pos 10
+        t.insert(Tuple::new(2, 110)).unwrap(); // pos 10
+        t.insert(Tuple::new(3, 11)).unwrap(); // pos 11
+        let h = t.position_histogram(10, 13);
+        assert_eq!(h, vec![2, 1, 0]);
+        let h2 = t.position_histogram(0, 10);
+        assert!(h2.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn extract_range_removes_and_returns() {
+        let mut t = table(100);
+        for i in 0..10u64 {
+            t.insert(Tuple::new(i, i * 10)).unwrap(); // positions 0,10,20,...
+        }
+        let got = t.extract_range(10, 40); // positions 10,20,30
+        assert_eq!(got.len(), 3);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.probe(10).matches, 0);
+        assert_eq!(t.probe(0).matches, 1);
+    }
+
+    #[test]
+    fn drain_filter_partitions_contents() {
+        let mut t = table(100);
+        for i in 0..20u64 {
+            t.insert(Tuple::new(i, i * 31 % 1000)).unwrap();
+        }
+        let moved = t.drain_filter(|tp| tp.join_attr % 2 == 0);
+        assert!(moved.iter().all(|tp| tp.join_attr % 2 == 0));
+        assert!(t.iter().all(|tp| tp.join_attr % 2 == 1));
+        assert_eq!(moved.len() as u64 + t.len(), 20);
+        // Capacity accounting follows the drain.
+        assert_eq!(t.bytes_used(), t.len() * t.bytes_per_tuple());
+    }
+
+    #[test]
+    fn insert_unchecked_bypasses_capacity() {
+        let mut t = table(1);
+        t.insert(Tuple::new(0, 1)).unwrap();
+        t.insert_unchecked(Tuple::new(1, 2));
+        assert_eq!(t.len(), 2);
+        assert!(t.bytes_used() > t.capacity_bytes());
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut t = table(10);
+        for i in 0..5u64 {
+            t.insert(Tuple::new(i, i)).unwrap();
+        }
+        let all = t.drain_all();
+        assert_eq!(all.len(), 5);
+        assert!(t.is_empty());
+        assert_eq!(t.bytes_used(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut t = JoinHashTable::new(space(), Schema::default_paper(), 0);
+        assert!(t.insert(Tuple::new(0, 0)).is_err());
+        assert_eq!(t.remaining_tuples(), 0);
+    }
+}

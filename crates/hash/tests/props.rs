@@ -1,0 +1,188 @@
+//! Property-based tests for the hashing substrate: the invariants every
+//! algorithm's correctness rests on.
+
+use ehj_data::{Schema, Tuple};
+use ehj_hash::{
+    greedy_equal_partition, part_loads, AttrHasher, BucketMap, HashRange, JoinHashTable,
+    PositionSpace, RangeMap, ReplicaMap,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn positions_are_always_in_range(
+        positions in 1u32..1_000_000,
+        domain in 1u64..u64::MAX / 2,
+        attr in any::<u64>(),
+    ) {
+        for hasher in [AttrHasher::Identity, AttrHasher::Fibonacci] {
+            let ps = PositionSpace::new(positions, domain, hasher);
+            prop_assert!(ps.position_of(attr) < positions);
+        }
+    }
+
+    #[test]
+    fn range_partition_covers_disjointly(total in 1u32..1_000_000, k in 1usize..64) {
+        let parts = HashRange::partition(total, k);
+        prop_assert_eq!(parts.len(), k);
+        prop_assert_eq!(parts[0].start, 0);
+        prop_assert_eq!(parts[k - 1].end, total);
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    /// Every position has exactly one owner in a RangeMap, and replication
+    /// only ever appends owners.
+    #[test]
+    #[allow(clippy::explicit_counter_loop)]
+    fn replica_map_owner_lists_only_grow(
+        positions in 8u32..4096,
+        owners in 2usize..8,
+        replications in 0usize..6,
+        probe_pos in 0u32..4096,
+    ) {
+        let owner_ids: Vec<u32> = (0..owners as u32).collect();
+        let mut m = ReplicaMap::partitioned(positions, &owner_ids);
+        let mut next = 100u32;
+        for _ in 0..replications {
+            let active = m.active_of(probe_pos % positions);
+            let before = m.owners_of(probe_pos % positions).len();
+            let _ = m.replicate(active, next);
+            let after = m.owners_of(probe_pos % positions).len();
+            prop_assert_eq!(after, before + 1);
+            prop_assert_eq!(m.active_of(probe_pos % positions), next);
+            next += 1;
+        }
+    }
+
+    /// BucketMap routing must always agree with incrementally applying each
+    /// SplitStep's predicate — this is exactly what keeps data placement and
+    /// probe routing consistent in the split-based algorithm.
+    #[test]
+    fn bucket_map_routing_tracks_split_steps(
+        n0 in 1usize..6,
+        domain in 64u64..8192,
+        splits in 0usize..40,
+    ) {
+        let owners: Vec<u32> = (0..n0 as u32).collect();
+        let mut m = BucketMap::new(owners, domain);
+        let mut assignment: Vec<u32> = (0..domain).map(|v| m.bucket_of(v)).collect();
+        for i in 0..splits {
+            let (step, _) = m.split(n0 as u32 + i as u32);
+            for (v, slot) in assignment.iter_mut().enumerate() {
+                if *slot == step.old && step.moves_to_new(v as u64) {
+                    *slot = step.new;
+                }
+            }
+            for v in 0..domain {
+                prop_assert_eq!(m.bucket_of(v), assignment[v as usize]);
+            }
+        }
+    }
+
+    /// The reshuffle heuristic's contract: k contiguous parts covering the
+    /// histogram, each no heavier than the ideal share plus one cell.
+    #[test]
+    fn greedy_partition_is_balanced_cover(
+        counts in proptest::collection::vec(0u64..10_000, 0..400),
+        k in 1usize..17,
+    ) {
+        let parts = greedy_equal_partition(&counts, k);
+        prop_assert_eq!(parts.len(), k);
+        prop_assert_eq!(parts.first().map(|p| p.0), Some(0));
+        prop_assert_eq!(parts.last().map(|p| p.1), Some(counts.len()));
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        let loads = part_loads(&counts, &parts);
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(loads.iter().sum::<u64>(), total);
+        let max_cell = counts.iter().copied().max().unwrap_or(0);
+        let ideal = total / k as u64;
+        for &l in &loads {
+            prop_assert!(l <= ideal + max_cell + 1);
+        }
+    }
+
+    /// Hash-table conservation: histogram totals, extraction and probes
+    /// must all agree with the inserted multiset.
+    #[test]
+    fn table_conserves_tuples(
+        attrs in proptest::collection::vec(0u64..500, 0..300),
+        cut in 0u32..100,
+    ) {
+        let space = PositionSpace::new(100, 500, AttrHasher::Identity);
+        let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
+        for (i, &a) in attrs.iter().enumerate() {
+            t.insert(Tuple::new(i as u64, a)).expect("unbounded");
+        }
+        let hist = t.position_histogram(0, 100);
+        prop_assert_eq!(hist.iter().sum::<u64>(), attrs.len() as u64);
+        let lower = t.extract_range(0, cut);
+        let upper_count = t.len();
+        prop_assert_eq!(lower.len() as u64 + upper_count, attrs.len() as u64);
+        for tp in &lower {
+            prop_assert!(space.position_of(tp.join_attr) < cut);
+        }
+        for tp in t.iter() {
+            prop_assert!(space.position_of(tp.join_attr) >= cut);
+        }
+    }
+
+    /// Probing counts exactly the number of equal-attribute build tuples.
+    #[test]
+    fn probe_counts_equal_attrs(
+        attrs in proptest::collection::vec(0u64..64, 1..300),
+        probe in 0u64..64,
+    ) {
+        let space = PositionSpace::new(16, 64, AttrHasher::Identity);
+        let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
+        for (i, &a) in attrs.iter().enumerate() {
+            t.insert(Tuple::new(i as u64, a)).expect("unbounded");
+        }
+        let expect = attrs.iter().filter(|&&a| a == probe).count() as u64;
+        prop_assert_eq!(t.probe(probe).matches, expect);
+    }
+
+    /// Capacity is a hard wall: inserts succeed exactly `capacity` times.
+    #[test]
+    fn capacity_is_exact(cap_tuples in 0u64..200) {
+        let space = PositionSpace::new(16, 64, AttrHasher::Identity);
+        let schema = Schema::default_paper();
+        let bpt = schema.tuple_bytes() + ehj_hash::ENTRY_OVERHEAD_BYTES;
+        let mut t = JoinHashTable::new(space, schema, cap_tuples * bpt);
+        let mut ok = 0u64;
+        for i in 0..cap_tuples + 10 {
+            if t.insert(Tuple::new(i, i % 64)).is_ok() {
+                ok += 1;
+            }
+        }
+        prop_assert_eq!(ok, cap_tuples);
+    }
+
+    /// RangeMap::replace_range preserves the disjoint cover.
+    #[test]
+    fn replace_range_preserves_cover(
+        positions in 16u32..1024,
+        owners in 2usize..6,
+        cut_frac in 0.01f64..0.99,
+    ) {
+        let ids: Vec<u32> = (0..owners as u32).collect();
+        let mut m = RangeMap::partitioned(positions, &ids);
+        let victim = m.range_of_owner(1).expect("owner 1 exists");
+        if victim.len() >= 2 {
+            let cut = victim.start + ((victim.len() as f64 * cut_frac) as u32).clamp(1, victim.len() - 1);
+            m.replace_range(
+                victim,
+                vec![
+                    (HashRange::new(victim.start, cut), 1),
+                    (HashRange::new(cut, victim.end), 99),
+                ],
+            );
+        }
+        for pos in 0..positions {
+            let _ = m.owner_of(pos); // must never panic: cover is intact
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # ehj-metrics — measurement substrate for the EHJA reproduction
+//!
+//! Phase timing, communication-volume accounting (the "extra chunks" of
+//! Figures 4 and 11), load-balance statistics (Figures 12 and 13) and
+//! plain-text/CSV report rendering for the figure harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod comm;
+pub mod load;
+pub mod phases;
+pub mod report;
+pub mod summary;
+
+pub use comm::{CommCategory, CommCell, CommCounters};
+pub use load::LoadStats;
+pub use phases::{Phase, PhaseTimes};
+pub use report::{fmt_secs, TextTable};
+pub use summary::ThroughputSummary;

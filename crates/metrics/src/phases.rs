@@ -1,0 +1,98 @@
+//! Execution phases and phase timing.
+
+use serde::{Deserialize, Serialize};
+
+/// The phases of an expanding hash-based join (§4: build, the hybrid's
+/// reshuffling step, probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Hash-table building phase (relation R streams in).
+    Build,
+    /// The hybrid algorithm's reshuffling step between build and probe.
+    Reshuffle,
+    /// Hash-table probing phase (relation S streams in).
+    Probe,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Build, Phase::Reshuffle, Phase::Probe];
+
+    /// Stable index for dense per-phase arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Build => 0,
+            Self::Reshuffle => 1,
+            Self::Probe => 2,
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Build => "build",
+            Self::Reshuffle => "reshuffle",
+            Self::Probe => "probe",
+        }
+    }
+}
+
+/// Wall (virtual) seconds spent in each phase of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Hash-table building time (Figures 3, 9).
+    pub build_secs: f64,
+    /// Reshuffle time (Figure 5; zero for non-hybrid algorithms).
+    pub reshuffle_secs: f64,
+    /// Probe time.
+    pub probe_secs: f64,
+    /// End-to-end execution time (Figures 2, 6, 7, 8, 10); ≥ the sum of the
+    /// phases because it includes phase-transition barriers.
+    pub total_secs: f64,
+}
+
+impl PhaseTimes {
+    /// Time of one phase by enum.
+    #[must_use]
+    pub fn of(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Build => self.build_secs,
+            Phase::Reshuffle => self.reshuffle_secs,
+            Phase::Probe => self.probe_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Phase::Build.name(), "build");
+        assert_eq!(Phase::Reshuffle.name(), "reshuffle");
+        assert_eq!(Phase::Probe.name(), "probe");
+    }
+
+    #[test]
+    fn of_selects_field() {
+        let t = PhaseTimes {
+            build_secs: 1.0,
+            reshuffle_secs: 2.0,
+            probe_secs: 3.0,
+            total_secs: 6.5,
+        };
+        assert_eq!(t.of(Phase::Build), 1.0);
+        assert_eq!(t.of(Phase::Reshuffle), 2.0);
+        assert_eq!(t.of(Phase::Probe), 3.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Derived performance summaries: throughputs and network utilization.
+
+use crate::phases::PhaseTimes;
+use serde::{Deserialize, Serialize};
+
+/// Throughput view of one run, derived from tuple counts and phase times.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThroughputSummary {
+    /// Build-side tuples ingested per second during the build phase.
+    pub build_tuples_per_sec: f64,
+    /// Probe-side tuples processed per second during the probe phase.
+    pub probe_tuples_per_sec: f64,
+    /// End-to-end tuples (both relations) per second.
+    pub overall_tuples_per_sec: f64,
+    /// Mean network utilization over the run: bytes moved divided by
+    /// (aggregate link capacity × total time), in `[0, 1]`-ish (can exceed
+    /// 1 only if capacity is understated).
+    pub network_utilization: f64,
+}
+
+impl ThroughputSummary {
+    /// Computes the summary.
+    ///
+    /// `link_bytes_per_sec` is one node's link bandwidth and `links` the
+    /// number of transmitting parties (for the utilization denominator).
+    /// Zero durations yield zero rates rather than infinities.
+    #[must_use]
+    pub fn compute(
+        times: &PhaseTimes,
+        build_tuples: u64,
+        probe_tuples: u64,
+        net_bytes: u64,
+        link_bytes_per_sec: u64,
+        links: usize,
+    ) -> Self {
+        let rate = |tuples: u64, secs: f64| {
+            if secs > 0.0 {
+                tuples as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        let capacity = link_bytes_per_sec as f64 * links as f64 * times.total_secs;
+        Self {
+            build_tuples_per_sec: rate(build_tuples, times.build_secs),
+            probe_tuples_per_sec: rate(probe_tuples, times.probe_secs),
+            overall_tuples_per_sec: rate(build_tuples + probe_tuples, times.total_secs),
+            network_utilization: if capacity > 0.0 {
+                net_bytes as f64 / capacity
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times() -> PhaseTimes {
+        PhaseTimes {
+            build_secs: 2.0,
+            reshuffle_secs: 0.5,
+            probe_secs: 2.5,
+            total_secs: 5.0,
+        }
+    }
+
+    #[test]
+    fn rates_divide_by_their_phase() {
+        let s = ThroughputSummary::compute(&times(), 1000, 2500, 0, 1, 1);
+        assert_eq!(s.build_tuples_per_sec, 500.0);
+        assert_eq!(s.probe_tuples_per_sec, 1000.0);
+        assert_eq!(s.overall_tuples_per_sec, 700.0);
+    }
+
+    #[test]
+    fn utilization_uses_aggregate_capacity() {
+        // 100 B/s per link × 4 links × 5 s = 2000 B capacity; 500 B moved.
+        let s = ThroughputSummary::compute(&times(), 0, 0, 500, 100, 4);
+        assert!((s.network_utilization - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_durations_do_not_divide_by_zero() {
+        let zero = PhaseTimes::default();
+        let s = ThroughputSummary::compute(&zero, 10, 10, 10, 100, 2);
+        assert_eq!(s.build_tuples_per_sec, 0.0);
+        assert_eq!(s.probe_tuples_per_sec, 0.0);
+        assert_eq!(s.overall_tuples_per_sec, 0.0);
+        assert_eq!(s.network_utilization, 0.0);
+    }
+
+    #[test]
+    fn zero_links_do_not_divide_by_zero() {
+        let s = ThroughputSummary::compute(&times(), 1, 1, 1, 100, 0);
+        assert_eq!(s.network_utilization, 0.0);
+    }
+}

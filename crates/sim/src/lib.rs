@@ -1,0 +1,34 @@
+//! # ehj-sim — simulation substrate for the EHJA reproduction
+//!
+//! The paper (Zhang et al., HPDC 2004) evaluates its join algorithms on
+//! "OSUMed": a 24-node PC cluster of Pentium III 933 MHz nodes with 512 MB
+//! RAM and switched 100 Mb/s Ethernet. This crate substitutes that testbed
+//! with:
+//!
+//! * a **deterministic discrete-event engine** ([`engine::Engine`]) with a
+//!   calibrated cost model — per-NIC link serialization and switch latency
+//!   ([`net`]), blocking local-disk I/O ([`disk`]), and per-actor CPUs; and
+//! * a **threaded runtime** ([`threaded::ThreadedEngine`]) that runs the
+//!   same [`actor::Actor`] implementations on real OS threads over crossbeam
+//!   channels.
+//!
+//! Algorithms are written once against [`actor::Context`]; the figures use
+//! the simulated backend (bit-for-bit reproducible for a given seed), the
+//! wall-clock criterion benchmarks use the threaded backend.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod actor;
+pub mod disk;
+pub mod engine;
+pub mod net;
+pub mod threaded;
+pub mod time;
+
+pub use actor::{Actor, ActorId, Context, Message};
+pub use disk::{DiskConfig, DiskState};
+pub use engine::{Engine, EngineConfig, EngineError, RunSummary, StopReason};
+pub use net::{NetConfig, Network};
+pub use threaded::ThreadedEngine;
+pub use time::SimTime;

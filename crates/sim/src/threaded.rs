@@ -1,0 +1,381 @@
+//! Threaded runtime: runs the same actors on real OS threads.
+//!
+//! Each actor gets its own thread and an unbounded crossbeam channel;
+//! `send` is a real channel send (per-sender FIFO, like the simulated NIC),
+//! `now` is wall-clock time since `run` began, and `consume_cpu` /
+//! `disk_*` are accounting no-ops (real work takes real time). A shared
+//! timer service implements `schedule`.
+//!
+//! This backend exists to demonstrate that the join algorithms are a real
+//! message-passing system and to drive the criterion wall-clock benchmarks;
+//! the figures use the deterministic simulated backend.
+
+use crate::actor::{Actor, ActorId, Context, Message};
+use crate::time::SimTime;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+enum Envelope<M> {
+    Msg { from: ActorId, msg: M },
+    Stop,
+}
+
+enum TimerCmd<M> {
+    Arm {
+        deadline: Instant,
+        target: ActorId,
+        msg: M,
+    },
+    Shutdown,
+}
+
+/// Multi-threaded engine over the same [`Actor`] abstraction as the
+/// simulator.
+pub struct ThreadedEngine<M: Message> {
+    actors: Vec<Box<dyn Actor<M>>>,
+}
+
+impl<M: Message> Default for ThreadedEngine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Message> ThreadedEngine<M> {
+    /// Creates an empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { actors: Vec::new() }
+    }
+
+    /// Registers an actor; ids are assigned densely in registration order
+    /// (compatible with the simulated engine's numbering).
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = self.actors.len() as ActorId;
+        self.actors.push(actor);
+        id
+    }
+
+    /// Number of registered actors.
+    #[must_use]
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Runs all actors until one calls [`Context::stop`]. Returns the
+    /// wall-clock elapsed time and the actors (in id order) for post-run
+    /// inspection.
+    pub fn run(self) -> (SimTime, Vec<Box<dyn Actor<M>>>) {
+        let n = self.actors.len();
+        let start = Instant::now();
+        let stop_flag = Arc::new(AtomicBool::new(false));
+
+        let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+
+        // Timer service: one thread with a deadline heap.
+        let (timer_tx, timer_rx) = channel::unbounded::<TimerCmd<M>>();
+        let timer_senders = Arc::clone(&senders);
+        let timer_handle = thread::spawn(move || timer_loop(&timer_rx, &timer_senders));
+
+        let mut handles = Vec::with_capacity(n);
+        for (id, (mut actor, rx)) in self
+            .actors
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+        {
+            let senders = Arc::clone(&senders);
+            let stop_flag = Arc::clone(&stop_flag);
+            let timer_tx = timer_tx.clone();
+            let handle = thread::spawn(move || {
+                let mut ctx = ThreadedCtx {
+                    me: id as ActorId,
+                    start,
+                    senders,
+                    timer_tx,
+                    stop_flag,
+                };
+                actor.on_start(&mut ctx);
+                // Drain until the Stop envelope (or channel close) so that
+                // senders never observe a dropped receiver mid-protocol.
+                while let Ok(Envelope::Msg { from, msg }) = rx.recv() {
+                    actor.on_message(&mut ctx, from, msg);
+                }
+                actor
+            });
+            handles.push(handle);
+        }
+
+        let actors: Vec<Box<dyn Actor<M>>> =
+            handles.into_iter().map(|h| h.join().expect("actor thread panicked")).collect();
+        let _ = timer_tx.send(TimerCmd::Shutdown);
+        timer_handle.join().expect("timer thread panicked");
+        let elapsed = start.elapsed();
+        (SimTime::from_nanos(elapsed.as_nanos() as u64), actors)
+    }
+}
+
+fn timer_loop<M: Message>(rx: &Receiver<TimerCmd<M>>, senders: &[Sender<Envelope<M>>]) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    struct Armed<M> {
+        deadline: Instant,
+        seq: u64,
+        target: ActorId,
+        msg: M,
+    }
+    impl<M> PartialEq for Armed<M> {
+        fn eq(&self, o: &Self) -> bool {
+            self.deadline == o.deadline && self.seq == o.seq
+        }
+    }
+    impl<M> Eq for Armed<M> {}
+    impl<M> PartialOrd for Armed<M> {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl<M> Ord for Armed<M> {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.deadline.cmp(&o.deadline).then(self.seq.cmp(&o.seq))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Armed<M>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Fire everything due.
+        let now = Instant::now();
+        while let Some(Reverse(top)) = heap.peek() {
+            if top.deadline > now {
+                break;
+            }
+            let Reverse(armed) = heap.pop().expect("peeked");
+            // The target may have exited already; ignore send failures.
+            let _ = senders[armed.target as usize].send(Envelope::Msg {
+                from: armed.target,
+                msg: armed.msg,
+            });
+        }
+        let cmd = match heap.peek() {
+            Some(Reverse(top)) => {
+                let wait = top.deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(c) => c,
+                    Err(channel::RecvTimeoutError::Timeout) => continue,
+                    Err(channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match rx.recv() {
+                Ok(c) => c,
+                Err(_) => return,
+            },
+        };
+        match cmd {
+            TimerCmd::Arm {
+                deadline,
+                target,
+                msg,
+            } => {
+                heap.push(Reverse(Armed {
+                    deadline,
+                    seq,
+                    target,
+                    msg,
+                }));
+                seq += 1;
+            }
+            TimerCmd::Shutdown => return,
+        }
+    }
+}
+
+struct ThreadedCtx<M: Message> {
+    me: ActorId,
+    start: Instant,
+    senders: Arc<Vec<Sender<Envelope<M>>>>,
+    timer_tx: Sender<TimerCmd<M>>,
+    stop_flag: Arc<AtomicBool>,
+}
+
+impl<M: Message> Context<M> for ThreadedCtx<M> {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn me(&self) -> ActorId {
+        self.me
+    }
+
+    fn send(&mut self, to: ActorId, msg: M) {
+        // Receivers may have exited after a stop; dropping the message then
+        // is correct.
+        let _ = self.senders[to as usize].send(Envelope::Msg { from: self.me, msg });
+    }
+
+    fn schedule(&mut self, delay: SimTime, msg: M) {
+        if delay == SimTime::ZERO {
+            // Fast path: self-send without a timer round-trip.
+            self.send(self.me, msg);
+            return;
+        }
+        let _ = self.timer_tx.send(TimerCmd::Arm {
+            deadline: Instant::now() + Duration::from_nanos(delay.as_nanos()),
+            target: self.me,
+            msg,
+        });
+    }
+
+    fn consume_cpu(&mut self, _amount: SimTime) {
+        // Real computation takes real time on this backend.
+    }
+
+    fn disk_read(&mut self, _bytes: u64) {
+        // Real I/O (if any) is performed by the storage backend itself.
+    }
+
+    fn disk_write(&mut self, _bytes: u64) {}
+
+    fn disk_append(&mut self, _bytes: u64) {}
+
+    fn stop(&mut self) {
+        if !self.stop_flag.swap(true, Ordering::AcqRel) {
+            for s in self.senders.iter() {
+                let _ = s.send(Envelope::Stop);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Count(u64);
+    impl Message for Count {
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    /// Relays a counter around a ring `laps` times, then stops the engine.
+    struct RingNode {
+        next: ActorId,
+        limit: u64,
+        initiator: bool,
+        seen: u64,
+    }
+    impl Actor<Count> for RingNode {
+        fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+            if self.initiator {
+                ctx.send(self.next, Count(1));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context<Count>, _from: ActorId, msg: Count) {
+            self.seen += 1;
+            if msg.0 >= self.limit {
+                ctx.stop();
+            } else {
+                ctx.send(self.next, Count(msg.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_terminates() {
+        let mut e = ThreadedEngine::new();
+        let n = 4u32;
+        for i in 0..n {
+            let _ = e.add_actor(Box::new(RingNode {
+                next: (i + 1) % n,
+                limit: 100,
+                initiator: i == 0,
+                seen: 0,
+            }));
+        }
+        let (elapsed, actors) = e.run();
+        assert_eq!(actors.len(), 4);
+        assert!(elapsed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn schedule_fires_after_delay() {
+        struct Delayed {
+            fired_at: SimTime,
+        }
+        impl Actor<Count> for Delayed {
+            fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+                ctx.schedule(SimTime::from_millis(20), Count(0));
+            }
+            fn on_message(&mut self, ctx: &mut dyn Context<Count>, _f: ActorId, _m: Count) {
+                self.fired_at = ctx.now();
+                ctx.stop();
+            }
+        }
+        let mut e = ThreadedEngine::new();
+        let _ = e.add_actor(Box::new(Delayed {
+            fired_at: SimTime::ZERO,
+        }));
+        let (elapsed, _) = e.run();
+        assert!(
+            elapsed >= SimTime::from_millis(20),
+            "stopped after {elapsed}, before the 20ms timer"
+        );
+    }
+
+    #[test]
+    fn zero_delay_schedule_loops() {
+        struct Looper {
+            n: u64,
+        }
+        impl Actor<Count> for Looper {
+            fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+                ctx.schedule(SimTime::ZERO, Count(0));
+            }
+            fn on_message(&mut self, ctx: &mut dyn Context<Count>, _f: ActorId, m: Count) {
+                self.n = m.0;
+                if m.0 >= 1000 {
+                    ctx.stop();
+                } else {
+                    ctx.schedule(SimTime::ZERO, Count(m.0 + 1));
+                }
+            }
+        }
+        let mut e = ThreadedEngine::new();
+        let _ = e.add_actor(Box::new(Looper { n: 0 }));
+        let (_, _actors) = e.run();
+    }
+
+    #[test]
+    fn stop_reaches_all_actors() {
+        struct Idle;
+        impl Actor<Count> for Idle {
+            fn on_message(&mut self, _c: &mut dyn Context<Count>, _f: ActorId, _m: Count) {}
+        }
+        struct Stopper;
+        impl Actor<Count> for Stopper {
+            fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+                ctx.stop();
+            }
+            fn on_message(&mut self, _c: &mut dyn Context<Count>, _f: ActorId, _m: Count) {}
+        }
+        let mut e = ThreadedEngine::new();
+        for _ in 0..8 {
+            let _ = e.add_actor(Box::new(Idle));
+        }
+        let _ = e.add_actor(Box::new(Stopper));
+        let (_, actors) = e.run(); // must not hang
+        assert_eq!(actors.len(), 9);
+    }
+}

@@ -1,0 +1,21 @@
+//! # ehj-storage — out-of-core spill substrate for the EHJA reproduction
+//!
+//! The non-expanding "Out of Core" baseline of the paper's figures spills
+//! hash-table buckets to each node's local disk when memory runs out and
+//! joins bucket pairs out of core (§2). This crate provides that machinery:
+//!
+//! * [`backend`] — append-only partition storage with an in-memory backend
+//!   (for the discrete-event simulator, which charges I/O cost separately)
+//!   and a real-file backend (for the threaded runtime);
+//! * [`grace`] — the per-node Grace-style partition/join driver with
+//!   recursive re-partitioning and a block nested-loop fallback for
+//!   indivisible hot fragments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod grace;
+
+pub use backend::{FileBackend, MemBackend, PartitionId, SpillBackend};
+pub use grace::{GraceConfig, GraceJoin, GraceResult};

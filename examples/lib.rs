@@ -1,0 +1,1 @@
+//! Shared helpers for the EHJA example binaries (none needed yet).

@@ -1,0 +1,110 @@
+//! Validates the paper's §4.2.4 closed-form overhead model against the
+//! simulator's measured communication volumes.
+//!
+//! The model: with expansion factor `E`, the split-based algorithm ships
+//! `log2(E) · R/2` bytes of redistribution traffic while the hybrid's
+//! reshuffle ships `(E−1)/E · R` — so split's overhead overtakes the
+//! hybrid's at `E = 2` and keeps growing. The simulation executes the real
+//! protocols (with streaming arrival, pending re-forwards and pointer
+//! dynamics the closed form ignores), so we check agreement within a small
+//! constant factor plus the model's ordering claims.
+
+use ehj_core::{Algorithm, JoinConfig, JoinRunner, OverheadModel};
+use ehj_metrics::{CommCategory, Phase};
+
+fn cfg(alg: Algorithm, initial: usize) -> JoinConfig {
+    let mut cfg = JoinConfig::paper_scaled(alg, 200);
+    cfg.initial_nodes = initial;
+    cfg
+}
+
+struct Measured {
+    expansion: f64,
+    split_bytes: u64,
+    reshuffle_bytes: u64,
+    r_bytes: f64,
+}
+
+fn measure(initial: usize) -> Measured {
+    let split_cfg = cfg(Algorithm::Split, initial);
+    let split = JoinRunner::run(&split_cfg).expect("split runs");
+    let hybrid = JoinRunner::run(&cfg(Algorithm::Hybrid, initial)).expect("hybrid runs");
+    Measured {
+        expansion: split.final_nodes as f64 / initial as f64,
+        split_bytes: split
+            .comm
+            .cell(Phase::Build, CommCategory::SplitTransfer)
+            .bytes,
+        reshuffle_bytes: hybrid
+            .comm
+            .cell(Phase::Reshuffle, CommCategory::ReshuffleTransfer)
+            .bytes,
+        r_bytes: split_cfg.r.total_bytes() as f64,
+    }
+}
+
+#[test]
+fn split_volume_tracks_the_log2_model() {
+    for initial in [2usize, 4, 8] {
+        let m = measure(initial);
+        if m.expansion <= 1.0 {
+            continue;
+        }
+        let predicted = m.expansion.log2() * m.r_bytes / 2.0;
+        let measured = m.split_bytes as f64;
+        let ratio = measured / predicted;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "initial={initial}: measured {measured:.0} vs model {predicted:.0} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn reshuffle_volume_tracks_the_fraction_model() {
+    for initial in [2usize, 4, 8] {
+        let m = measure(initial);
+        if m.expansion <= 1.0 {
+            continue;
+        }
+        let predicted = (m.expansion - 1.0) / m.expansion * m.r_bytes;
+        let measured = m.reshuffle_bytes as f64;
+        let ratio = measured / predicted;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "initial={initial}: measured {measured:.0} vs model {predicted:.0} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn split_overhead_grows_faster_than_reshuffle_overhead() {
+    // §4.2.4's punchline, measured: as E grows (fewer initial nodes), the
+    // split/reshuffle volume ratio grows.
+    let low_e = measure(8);
+    let high_e = measure(2);
+    assert!(high_e.expansion > low_e.expansion, "sanity: E(2) > E(8)");
+    let ratio = |m: &Measured| m.split_bytes as f64 / m.reshuffle_bytes.max(1) as f64;
+    assert!(
+        ratio(&high_e) > ratio(&low_e) * 0.9,
+        "split/reshuffle ratio must not shrink as E grows: {:.2} vs {:.2}",
+        ratio(&high_e),
+        ratio(&low_e)
+    );
+    // Note: the closed form predicts split bytes > reshuffle bytes for
+    // E ≥ 2, but it assumes buckets are full when they split; in the real
+    // (streamed) dynamics early splits move partially-filled buckets, so
+    // the measured byte ordering can flip even while the *time* ordering
+    // (Figure 5: split time ≫ reshuffle time) holds — which the figure
+    // harness checks separately.
+}
+
+#[test]
+fn analytical_crossover_matches_closed_form() {
+    let model = OverheadModel::fast_ethernet(1e8);
+    let e = model.crossover_expansion(1024.0).expect("crossover exists");
+    assert!((e - 2.0).abs() < 1e-6);
+    // Below the crossover split is cheaper, above it the hybrid is.
+    assert!(model.split_overhead_secs(1.5) < model.hybrid_overhead_secs(1.5));
+    assert!(model.split_overhead_secs(8.0) > model.hybrid_overhead_secs(8.0));
+}

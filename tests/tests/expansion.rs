@@ -1,0 +1,197 @@
+//! Expansion behaviour: when and how the algorithms recruit, and what the
+//! reports say about it.
+
+use ehj_cluster::{ClusterSpec, NodeId};
+use ehj_core::{Algorithm, JoinConfig, JoinRunner, SplitPolicy};
+use ehj_data::Distribution;
+use ehj_hash::ENTRY_OVERHEAD_BYTES;
+use ehj_metrics::Phase;
+
+fn base(alg: Algorithm) -> JoinConfig {
+    let mut cfg = JoinConfig::paper_scaled(alg, 1000);
+    let domain = 1 << 14;
+    cfg.r = cfg.r.with_domain(domain);
+    cfg.s = cfg.s.with_domain(domain);
+    cfg.positions = (domain / 4) as u32;
+    cfg
+}
+
+fn capacity_tuples(cfg: &JoinConfig) -> u64 {
+    cfg.cluster.spec(NodeId(0)).hash_memory_bytes
+        / (cfg.schema().tuple_bytes() + ENTRY_OVERHEAD_BYTES)
+}
+
+#[test]
+fn expansion_matches_memory_shortfall() {
+    for alg in [Algorithm::Replicated, Algorithm::Split, Algorithm::Hybrid] {
+        let cfg = base(alg);
+        let report = JoinRunner::run(&cfg).expect("join runs");
+        let needed = cfg.r.tuples.div_ceil(capacity_tuples(&cfg)) as usize;
+        assert!(
+            report.final_nodes >= needed,
+            "{}: {} nodes cannot hold {} tuples",
+            alg.label(),
+            report.final_nodes,
+            cfg.r.tuples
+        );
+        assert!(report.expansions > 0, "{} must have expanded", alg.label());
+        // Expansion is bounded by the cluster.
+        assert!(report.final_nodes <= cfg.cluster.len());
+    }
+}
+
+#[test]
+fn out_of_core_never_expands() {
+    let cfg = base(Algorithm::OutOfCore);
+    let report = JoinRunner::run(&cfg).expect("join runs");
+    assert_eq!(report.expansions, 0);
+    assert_eq!(report.final_nodes, cfg.initial_nodes);
+    assert!(report.spilled_nodes > 0, "it must have gone out of core");
+    assert!(report.disk_bytes > 0, "spilling means disk traffic");
+}
+
+#[test]
+fn ehjas_use_no_disk_when_cluster_suffices() {
+    for alg in [Algorithm::Replicated, Algorithm::Split, Algorithm::Hybrid] {
+        let cfg = base(alg);
+        let report = JoinRunner::run(&cfg).expect("join runs");
+        assert_eq!(report.spilled_nodes, 0, "{}", alg.label());
+        assert_eq!(report.disk_bytes, 0, "{}", alg.label());
+    }
+}
+
+#[test]
+fn spill_fallback_engages_when_cluster_exhausted() {
+    for alg in [Algorithm::Replicated, Algorithm::Split, Algorithm::Hybrid] {
+        let mut cfg = base(alg);
+        cfg.cluster = ClusterSpec::homogeneous(6, cfg.cluster.spec(NodeId(0)).hash_memory_bytes);
+        cfg.initial_nodes = 2;
+        let report = JoinRunner::run(&cfg).expect("join runs");
+        assert!(
+            report.spilled_nodes > 0,
+            "{}: 6 nodes cannot hold the build side in memory",
+            alg.label()
+        );
+        assert_eq!(
+            report.matches,
+            ehj_core::expected_matches_for(&cfg),
+            "{}: spilling must not lose matches",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn range_bisect_policy_expands_and_matches() {
+    let mut cfg = base(Algorithm::Split);
+    cfg.split_policy = SplitPolicy::RangeBisect;
+    let report = JoinRunner::run(&cfg).expect("join runs");
+    assert!(report.expansions > 0);
+    assert_eq!(report.matches, ehj_core::expected_matches_for(&cfg));
+}
+
+#[test]
+fn range_bisect_survives_an_unsplittable_hot_cell() {
+    // Everything hashes to one position: no cut can relieve the hot node,
+    // so it must fall back to spilling, and the warm spare goes back to the
+    // potential list.
+    let mut cfg = base(Algorithm::Split);
+    cfg.split_policy = SplitPolicy::RangeBisect;
+    cfg.r.dist = Distribution::Gaussian {
+        mean: 0.5,
+        sigma: 1e-9,
+    };
+    cfg.s.dist = cfg.r.dist;
+    let report = JoinRunner::run(&cfg).expect("join runs");
+    assert!(report.spilled_nodes >= 1);
+    assert_eq!(report.matches, ehj_core::expected_matches_for(&cfg));
+}
+
+#[test]
+fn replication_chains_grow_under_extreme_skew() {
+    let mut cfg = base(Algorithm::Replicated);
+    cfg.r.dist = Distribution::gaussian_extreme();
+    cfg.s.dist = cfg.r.dist;
+    let report = JoinRunner::run(&cfg).expect("join runs");
+    // The hot range replicates repeatedly; the probe phase pays broadcast.
+    assert!(report.expansions > 0);
+    assert!(
+        report.comm.extra_tuples(Phase::Probe) > 0,
+        "replicated ranges must broadcast probe tuples"
+    );
+}
+
+#[test]
+fn split_pays_no_probe_broadcast() {
+    for policy in [SplitPolicy::LinearPointer, SplitPolicy::RangeBisect] {
+        let mut cfg = base(Algorithm::Split);
+        cfg.split_policy = policy;
+        let report = JoinRunner::run(&cfg).expect("join runs");
+        assert_eq!(
+            report.comm.extra_tuples(Phase::Probe),
+            0,
+            "split probes are unicast ({policy:?})"
+        );
+    }
+}
+
+#[test]
+fn hybrid_pays_no_probe_broadcast_without_spills() {
+    let cfg = base(Algorithm::Hybrid);
+    let report = JoinRunner::run(&cfg).expect("join runs");
+    assert_eq!(report.spilled_nodes, 0);
+    assert_eq!(
+        report.comm.extra_tuples(Phase::Probe),
+        0,
+        "after the reshuffle every probe tuple goes to exactly one node"
+    );
+    assert!(
+        report.comm.extra_tuples(Phase::Reshuffle) > 0,
+        "the reshuffle itself moves entries"
+    );
+}
+
+#[test]
+fn hybrid_balances_load_under_extreme_skew() {
+    let mut cfg = base(Algorithm::Hybrid);
+    cfg.r.dist = Distribution::gaussian_extreme();
+    cfg.s.dist = cfg.r.dist;
+    let hybrid = JoinRunner::run(&cfg).expect("join runs");
+
+    let mut cfg = base(Algorithm::Split);
+    cfg.r.dist = Distribution::gaussian_extreme();
+    cfg.s.dist = cfg.r.dist;
+    let split = JoinRunner::run(&cfg).expect("join runs");
+
+    assert!(
+        hybrid.load_stats().imbalance() < split.load_stats().imbalance(),
+        "hybrid {:.2} should balance better than split {:.2} (Figure 13)",
+        hybrid.load_stats().imbalance(),
+        split.load_stats().imbalance()
+    );
+}
+
+#[test]
+fn selection_policies_all_work() {
+    use ehj_cluster::SelectionPolicy;
+    for policy in [
+        SelectionPolicy::LargestFreeMemory,
+        SelectionPolicy::FirstFit,
+        SelectionPolicy::RoundRobin,
+    ] {
+        let mut cfg = base(Algorithm::Replicated);
+        cfg.selection_policy = policy;
+        let report = JoinRunner::run(&cfg).expect("join runs");
+        assert_eq!(report.matches, ehj_core::expected_matches_for(&cfg));
+    }
+}
+
+#[test]
+fn fibonacci_hasher_still_joins_exactly() {
+    for alg in Algorithm::ALL {
+        let mut cfg = base(alg);
+        cfg.hasher = ehj_hash::AttrHasher::Fibonacci;
+        let report = JoinRunner::run(&cfg).expect("join runs");
+        assert_eq!(report.matches, ehj_core::expected_matches_for(&cfg));
+    }
+}

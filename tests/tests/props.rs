@@ -1,0 +1,95 @@
+//! Property-based cross-crate tests: for arbitrary workloads, the
+//! distributed join must agree with the reference oracle and preserve its
+//! structural invariants.
+
+use ehj_core::{expected_matches_for, Algorithm, JoinConfig, JoinRunner};
+use ehj_data::Distribution;
+use proptest::prelude::*;
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Replicated),
+        Just(Algorithm::Split),
+        Just(Algorithm::Hybrid),
+        Just(Algorithm::OutOfCore),
+    ]
+}
+
+fn arb_distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        (0.1f64..0.9, 1e-4f64..0.02).prop_map(|(mean, sigma)| Distribution::Gaussian {
+            mean,
+            sigma
+        }),
+    ]
+}
+
+fn build_cfg(
+    alg: Algorithm,
+    r_tuples: u64,
+    s_tuples: u64,
+    seed: u64,
+    dist: Distribution,
+    initial_nodes: usize,
+    sources: usize,
+) -> JoinConfig {
+    let mut cfg = JoinConfig::paper_scaled(alg, 1000);
+    cfg.r.tuples = r_tuples;
+    cfg.s.tuples = s_tuples;
+    cfg.r.seed = seed;
+    cfg.s.seed = seed.wrapping_mul(0x9E37_79B9);
+    cfg.r.dist = dist;
+    cfg.s.dist = dist;
+    let domain = 1 << 13;
+    cfg.r = cfg.r.with_domain(domain);
+    cfg.s = cfg.s.with_domain(domain);
+    cfg.positions = (domain / 4) as u32;
+    cfg.initial_nodes = initial_nodes;
+    cfg.sources = sources;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline invariant: any algorithm, any workload → exact result.
+    #[test]
+    fn any_workload_joins_exactly(
+        alg in arb_algorithm(),
+        r_tuples in 0u64..12_000,
+        s_tuples in 0u64..12_000,
+        seed in any::<u64>(),
+        dist in arb_distribution(),
+        initial in 1usize..6,
+        sources in 1usize..5,
+    ) {
+        let cfg = build_cfg(alg, r_tuples, s_tuples, seed, dist, initial, sources);
+        let expect = expected_matches_for(&cfg);
+        let report = JoinRunner::run(&cfg).expect("join must complete");
+        prop_assert_eq!(report.matches, expect);
+        prop_assert_eq!(report.build_tuples, r_tuples);
+        prop_assert!(report.final_nodes <= cfg.cluster.len());
+        // Loads are per-node build tuples and must sum to the build side.
+        prop_assert_eq!(report.load.iter().sum::<u64>(), r_tuples);
+    }
+
+    /// Runs are reproducible for arbitrary configurations.
+    #[test]
+    fn any_workload_is_deterministic(
+        alg in arb_algorithm(),
+        seed in any::<u64>(),
+        dist in arb_distribution(),
+    ) {
+        let cfg = build_cfg(alg, 5_000, 5_000, seed, dist, 2, 3);
+        let a = JoinRunner::run(&cfg).expect("first run");
+        let b = JoinRunner::run(&cfg).expect("second run");
+        prop_assert_eq!(a.matches, b.matches);
+        prop_assert_eq!(a.sim_events, b.sim_events);
+        prop_assert_eq!(a.times.total_secs.to_bits(), b.times.total_secs.to_bits());
+        prop_assert_eq!(a.load, b.load);
+    }
+}
