@@ -9,7 +9,7 @@
 //! * network generation (the paper's future-work axis);
 //! * simulated vs threaded backend on one configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehj_bench::harness::{black_box, Harness};
 use ehj_bench::scenarios;
 use ehj_cluster::SelectionPolicy;
 use ehj_core::{Algorithm, Backend, JoinRunner, SplitPolicy};
@@ -19,8 +19,7 @@ use ehj_sim::NetConfig;
 
 const SCALE: u64 = 2000;
 
-fn split_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_split_policy");
+fn split_policy(h: &mut Harness) {
     for (name, policy) in [
         ("linear_pointer", SplitPolicy::LinearPointer),
         ("range_bisect", SplitPolicy::RangeBisect),
@@ -31,33 +30,27 @@ fn split_policy(c: &mut Criterion) {
         ] {
             let mut cfg = scenarios::skew(Algorithm::Split, SCALE, dist);
             cfg.split_policy = policy;
-            g.bench_with_input(
-                BenchmarkId::new(name, dist_name),
-                &cfg,
-                |b, cfg| b.iter(|| JoinRunner::run(cfg).expect("join runs")),
-            );
+            h.bench(&format!("ablation_split_policy/{name}/{dist_name}"), || {
+                black_box(JoinRunner::run(&cfg).expect("join runs"))
+            });
         }
     }
-    g.finish();
 }
 
-fn hasher(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_hasher");
+fn hasher(h: &mut Harness) {
     for (name, hasher) in [
         ("identity", AttrHasher::Identity),
         ("fibonacci", AttrHasher::Fibonacci),
     ] {
         let mut cfg = scenarios::skew(Algorithm::Hybrid, SCALE, Distribution::gaussian_extreme());
         cfg.hasher = hasher;
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        h.bench(&format!("ablation_hasher/{name}"), || {
+            black_box(JoinRunner::run(&cfg).expect("join runs"))
         });
     }
-    g.finish();
 }
 
-fn selection_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_selection_policy");
+fn selection_policy(h: &mut Harness) {
     for (name, policy) in [
         ("largest_free_memory", SelectionPolicy::LargestFreeMemory),
         ("first_fit", SelectionPolicy::FirstFit),
@@ -65,60 +58,52 @@ fn selection_policy(c: &mut Criterion) {
     ] {
         let mut cfg = scenarios::base(Algorithm::Replicated, SCALE);
         cfg.selection_policy = policy;
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        h.bench(&format!("ablation_selection_policy/{name}"), || {
+            black_box(JoinRunner::run(&cfg).expect("join runs"))
         });
     }
-    g.finish();
 }
 
-fn chunk_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_chunk_size");
+fn chunk_size(h: &mut Harness) {
     for chunk in [64usize, 256, 1024] {
         let mut cfg = scenarios::base(Algorithm::Hybrid, SCALE);
         cfg.chunk_tuples = chunk;
-        g.bench_with_input(BenchmarkId::from_parameter(chunk), &cfg, |b, cfg| {
-            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        h.bench(&format!("ablation_chunk_size/{chunk}"), || {
+            black_box(JoinRunner::run(&cfg).expect("join runs"))
         });
     }
-    g.finish();
 }
 
-fn network_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_network");
+fn network_generation(h: &mut Harness) {
     for (name, net) in [
         ("fast_ethernet", NetConfig::fast_ethernet_100mbps()),
         ("gigabit", NetConfig::gigabit_ethernet()),
     ] {
         let mut cfg = scenarios::base(Algorithm::Split, SCALE);
         cfg.net = net;
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| JoinRunner::run(cfg).expect("join runs"));
+        h.bench(&format!("ablation_network/{name}"), || {
+            black_box(JoinRunner::run(&cfg).expect("join runs"))
         });
     }
-    g.finish();
 }
 
-fn backend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_backend");
-    g.sample_size(10);
+fn backend(h: &mut Harness) {
     let cfg = scenarios::base(Algorithm::Hybrid, 5000);
-    g.bench_function("simulated", |b| {
-        b.iter(|| JoinRunner::run_on(&cfg, Backend::Simulated).expect("join runs"));
+    h.bench("ablation_backend/simulated", || {
+        black_box(JoinRunner::run_on(&cfg, Backend::Simulated).expect("join runs"))
     });
-    g.bench_function("threaded", |b| {
-        b.iter(|| JoinRunner::run_on(&cfg, Backend::Threaded).expect("join runs"));
+    h.bench("ablation_backend/threaded", || {
+        black_box(JoinRunner::run_on(&cfg, Backend::Threaded).expect("join runs"))
     });
-    g.finish();
 }
 
-criterion_group!(
-    ablations,
-    split_policy,
-    hasher,
-    selection_policy,
-    chunk_size,
-    network_generation,
-    backend
-);
-criterion_main!(ablations);
+fn main() {
+    let mut h = Harness::from_args();
+    split_policy(&mut h);
+    hasher(&mut h);
+    selection_policy(&mut h);
+    chunk_size(&mut h);
+    network_generation(&mut h);
+    backend(&mut h);
+    h.finish();
+}

@@ -1,9 +1,9 @@
-//! End-to-end criterion benchmarks: one group per headline figure, each
-//! benching the full simulated join at a reduced scale (the simulation is
-//! deterministic, so criterion measures the *reproduction's* wall-clock
-//! cost, useful for tracking harness regressions).
+//! End-to-end benchmarks: one group per headline figure, each benching the
+//! full simulated join at a reduced scale (the simulation is deterministic,
+//! so this measures the *reproduction's* wall-clock cost, useful for
+//! tracking harness regressions).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehj_bench::harness::{black_box, Harness};
 use ehj_bench::scenarios;
 use ehj_core::{Algorithm, JoinRunner};
 use ehj_data::Distribution;
@@ -11,73 +11,67 @@ use ehj_data::Distribution;
 /// Benchmark scale: 10M-tuple relations shrink to 5k tuples.
 const SCALE: u64 = 2000;
 
-fn fig02_initial_nodes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig02_total_time");
+fn fig02_initial_nodes(h: &mut Harness) {
     for alg in Algorithm::ALL {
         for init in [1usize, 4, 16] {
             let cfg = scenarios::initial_nodes(alg, SCALE, init);
-            g.bench_with_input(
-                BenchmarkId::new(alg.label().replace(' ', "_"), init),
-                &cfg,
-                |b, cfg| b.iter(|| JoinRunner::run(cfg).expect("join runs")),
-            );
+            let name = format!("fig02_total_time/{}/{init}", alg.label().replace(' ', "_"));
+            h.bench(&name, || {
+                black_box(JoinRunner::run(&cfg).expect("join runs"))
+            });
         }
     }
-    g.finish();
 }
 
-fn fig06_table_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig06_table_size");
+fn fig06_table_size(h: &mut Harness) {
     for alg in [Algorithm::Split, Algorithm::Hybrid, Algorithm::OutOfCore] {
         for size in [10_000_000u64, 40_000_000] {
             let cfg = scenarios::table_size(alg, SCALE, size);
-            g.bench_with_input(
-                BenchmarkId::new(alg.label().replace(' ', "_"), size / 1_000_000),
-                &cfg,
-                |b, cfg| b.iter(|| JoinRunner::run(cfg).expect("join runs")),
+            let name = format!(
+                "fig06_table_size/{}/{}",
+                alg.label().replace(' ', "_"),
+                size / 1_000_000
             );
+            h.bench(&name, || {
+                black_box(JoinRunner::run(&cfg).expect("join runs"))
+            });
         }
     }
-    g.finish();
 }
 
-fn fig10_skew(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_skew");
+fn fig10_skew(h: &mut Harness) {
     for alg in [Algorithm::Replicated, Algorithm::Split, Algorithm::Hybrid] {
-        for (name, dist) in [
+        for (dist_name, dist) in [
             ("uniform", Distribution::Uniform),
             ("sigma1e-4", Distribution::gaussian_extreme()),
         ] {
             let cfg = scenarios::skew(alg, SCALE, dist);
-            g.bench_with_input(
-                BenchmarkId::new(alg.label().replace(' ', "_"), name),
-                &cfg,
-                |b, cfg| b.iter(|| JoinRunner::run(cfg).expect("join runs")),
-            );
+            let name = format!("fig10_skew/{}/{dist_name}", alg.label().replace(' ', "_"));
+            h.bench(&name, || {
+                black_box(JoinRunner::run(&cfg).expect("join runs"))
+            });
         }
     }
-    g.finish();
 }
 
-fn fig08_build_from_larger(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_asymmetric");
-    g.sample_size(10);
+fn fig08_build_from_larger(h: &mut Harness) {
     for alg in [Algorithm::Replicated, Algorithm::Split] {
         let cfg = scenarios::asymmetric(alg, SCALE, 100_000_000, 10_000_000);
-        g.bench_with_input(
-            BenchmarkId::new(alg.label().replace(' ', "_"), "R100M_S10M"),
-            &cfg,
-            |b, cfg| b.iter(|| JoinRunner::run(cfg).expect("join runs")),
+        let name = format!(
+            "fig08_asymmetric/{}/R100M_S10M",
+            alg.label().replace(' ', "_")
         );
+        h.bench(&name, || {
+            black_box(JoinRunner::run(&cfg).expect("join runs"))
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    fig02_initial_nodes,
-    fig06_table_size,
-    fig10_skew,
-    fig08_build_from_larger
-);
-criterion_main!(figures);
+fn main() {
+    let mut h = Harness::from_args();
+    fig02_initial_nodes(&mut h);
+    fig06_table_size(&mut h);
+    fig10_skew(&mut h);
+    fig08_build_from_larger(&mut h);
+    h.finish();
+}

@@ -2,33 +2,29 @@
 //! hashing, the reshuffle partition heuristic, synthetic data generation,
 //! chunk routing and the network/disk models.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehj_bench::harness::{black_box, Harness};
 use ehj_data::{Distribution, RelationSpec, Schema, Tuple};
-use ehj_hash::{
-    greedy_equal_partition, AttrHasher, BucketMap, JoinHashTable, PositionSpace,
-};
+use ehj_hash::{greedy_equal_partition, AttrHasher, BucketMap, JoinHashTable, PositionSpace};
 use ehj_sim::{NetConfig, Network, SimTime};
 
 fn space() -> PositionSpace {
     PositionSpace::new(1 << 20, 1 << 28, AttrHasher::Identity)
 }
 
-fn table_insert(c: &mut Criterion) {
+fn table_insert(h: &mut Harness) {
     let tuples: Vec<Tuple> = RelationSpec::uniform(100_000, 7)
         .with_domain(1 << 28)
         .generate_all();
-    c.bench_function("table_insert_100k", |b| {
-        b.iter(|| {
-            let mut t = JoinHashTable::new(space(), Schema::default_paper(), u64::MAX);
-            for &tp in &tuples {
-                t.insert_unchecked(tp);
-            }
-            black_box(t.len())
-        });
+    h.bench("table_insert_100k", || {
+        let mut t = JoinHashTable::new(space(), Schema::default_paper(), u64::MAX);
+        for &tp in &tuples {
+            t.insert_unchecked(tp);
+        }
+        black_box(t.len())
     });
 }
 
-fn table_probe(c: &mut Criterion) {
+fn table_probe(h: &mut Harness) {
     let build: Vec<Tuple> = RelationSpec::uniform(100_000, 7)
         .with_domain(1 << 24)
         .generate_all();
@@ -43,88 +39,76 @@ fn table_probe(c: &mut Criterion) {
     for &tp in &build {
         t.insert_unchecked(tp);
     }
-    c.bench_function("table_probe_100k", |b| {
-        b.iter(|| {
-            let mut matches = 0u64;
-            for s in &probe {
-                matches += t.probe(s.join_attr).matches;
-            }
-            black_box(matches)
-        });
+    h.bench("table_probe_100k", || {
+        let mut matches = 0u64;
+        for s in &probe {
+            matches += t.probe(s.join_attr).matches;
+        }
+        black_box(matches)
     });
 }
 
-fn linear_hashing(c: &mut Criterion) {
-    c.bench_function("bucket_map_route_1m", |b| {
-        let mut m = BucketMap::new((0u32..4).collect(), 1 << 20);
-        for i in 4..64u32 {
+fn linear_hashing(h: &mut Harness) {
+    let mut routed = BucketMap::new((0u32..4).collect(), 1 << 20);
+    for i in 4..64u32 {
+        let _ = routed.split(i);
+    }
+    h.bench("bucket_map_route_1m", || {
+        let mut acc = 0u64;
+        for v in (0..(1u64 << 20)).step_by(97) {
+            acc += u64::from(routed.route(v));
+        }
+        black_box(acc)
+    });
+    h.bench("bucket_map_split_chain_256", || {
+        let mut m = BucketMap::new(vec![0u32], 1 << 20);
+        for i in 1..256u32 {
             let _ = m.split(i);
         }
-        b.iter(|| {
-            let mut acc = 0u64;
-            for v in (0..(1u64 << 20)).step_by(97) {
-                acc += u64::from(m.route(v));
-            }
-            black_box(acc)
-        });
-    });
-    c.bench_function("bucket_map_split_chain_256", |b| {
-        b.iter(|| {
-            let mut m = BucketMap::new(vec![0u32], 1 << 20);
-            for i in 1..256u32 {
-                let _ = m.split(i);
-            }
-            black_box(m.bucket_count())
-        });
+        black_box(m.bucket_count())
     });
 }
 
-fn reshuffle_partition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("greedy_equal_partition");
+fn reshuffle_partition(h: &mut Harness) {
     for cells in [1usize << 12, 1 << 16, 1 << 20] {
         let counts: Vec<u64> = (0..cells as u64).map(|i| (i * 2654435761) % 997).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(cells), &counts, |b, counts| {
-            b.iter(|| black_box(greedy_equal_partition(counts, 16)));
+        h.bench(&format!("greedy_equal_partition/{cells}"), || {
+            black_box(greedy_equal_partition(&counts, 16))
         });
     }
-    g.finish();
 }
 
-fn data_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generate_100k");
+fn data_generation(h: &mut Harness) {
     for (name, dist) in [
         ("uniform", Distribution::Uniform),
         ("gaussian", Distribution::gaussian_extreme()),
     ] {
         let mut spec = RelationSpec::uniform(100_000, 3);
         spec.dist = dist;
-        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
-            b.iter(|| black_box(spec.generate_all().len()));
+        h.bench(&format!("generate_100k/{name}"), || {
+            black_box(spec.generate_all().len())
         });
     }
-    g.finish();
 }
 
-fn network_model(c: &mut Criterion) {
-    c.bench_function("network_transfer_100k_msgs", |b| {
-        b.iter(|| {
-            let mut net = Network::new(NetConfig::fast_ethernet_100mbps(), 32);
-            let mut t = SimTime::ZERO;
-            for i in 0..100_000u32 {
-                t = net.transfer(i % 8, 8 + (i % 24), 11_600, t);
-            }
-            black_box(t)
-        });
+fn network_model(h: &mut Harness) {
+    h.bench("network_transfer_100k_msgs", || {
+        let mut net = Network::new(NetConfig::fast_ethernet_100mbps(), 32);
+        let mut t = SimTime::ZERO;
+        for i in 0..100_000u32 {
+            t = net.transfer(i % 8, 8 + (i % 24), 11_600, t);
+        }
+        black_box(t)
     });
 }
 
-criterion_group!(
-    micro,
-    table_insert,
-    table_probe,
-    linear_hashing,
-    reshuffle_partition,
-    data_generation,
-    network_model
-);
-criterion_main!(micro);
+fn main() {
+    let mut h = Harness::from_args();
+    table_insert(&mut h);
+    table_probe(&mut h);
+    linear_hashing(&mut h);
+    reshuffle_partition(&mut h);
+    data_generation(&mut h);
+    network_model(&mut h);
+    h.finish();
+}

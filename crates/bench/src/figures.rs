@@ -107,7 +107,12 @@ fn initial_sweep(scale: u64) -> Vec<(usize, Vec<JoinReport>)> {
     scenarios::INITIAL_NODES_AXIS
         .iter()
         .map(|&init| {
-            (init, (0..Algorithm::ALL.len()).map(|_| reports.next().expect("one per run")).collect())
+            (
+                init,
+                (0..Algorithm::ALL.len())
+                    .map(|_| reports.next().expect("one per run"))
+                    .collect(),
+            )
         })
         .collect()
 }
@@ -116,7 +121,13 @@ fn initial_sweep(scale: u64) -> Vec<(usize, Vec<JoinReport>)> {
 #[must_use]
 pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
     let sweep = initial_sweep(scale);
-    let header = ["Initial Nodes", "Replicated", "Split", "Hybrid", "Out of Core"];
+    let header = [
+        "Initial Nodes",
+        "Replicated",
+        "Split",
+        "Hybrid",
+        "Out of Core",
+    ];
 
     // ---- Figure 2: total execution time ----
     let mut t2 = TextTable::new(
@@ -142,22 +153,21 @@ pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
         ShapeCheck::new(
             "split and hybrid outperform Out of Core at few initial nodes",
             [1usize, 2, 4].iter().all(|&i| {
-                [Split, Hybrid].iter().all(|&a| total(i, a) < total(i, OutOfCore))
+                [Split, Hybrid]
+                    .iter()
+                    .all(|&a| total(i, a) < total(i, OutOfCore))
             }),
         ),
         ShapeCheck::new(
             "replication outperforms Out of Core once a few nodes start (4 nodes)",
             total(4, Replicated) < total(4, OutOfCore),
         ),
-        ShapeCheck::new(
-            "all algorithms converge when the table fits (16 nodes)",
-            {
-                let t16: Vec<f64> = Algorithm::ALL.iter().map(|&a| total(16, a)).collect();
-                let max = t16.iter().cloned().fold(f64::MIN, f64::max);
-                let min = t16.iter().cloned().fold(f64::MAX, f64::min);
-                max < min * 1.05
-            },
-        ),
+        ShapeCheck::new("all algorithms converge when the table fits (16 nodes)", {
+            let t16: Vec<f64> = Algorithm::ALL.iter().map(|&a| total(16, a)).collect();
+            let max = t16.iter().cloned().fold(f64::MIN, f64::max);
+            let min = t16.iter().cloned().fold(f64::MAX, f64::min);
+            max < min * 1.05
+        }),
     ];
     checks2.push(ShapeCheck::new(
         "split and hybrid beat replication under uniform data (4 nodes)",
@@ -172,7 +182,9 @@ pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
 
     // ---- Figure 3: hash table building time ----
     let mut t3 = TextTable::new(
-        format!("Figure 3: Hash table building time vs initial join nodes (uniform, R=S=10M/{scale})"),
+        format!(
+            "Figure 3: Hash table building time vs initial join nodes (uniform, R=S=10M/{scale})"
+        ),
         &header,
     );
     for (init, reports) in &sweep {
@@ -183,7 +195,8 @@ pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
     let build = |i, a| at(i, a).times.build_secs;
     let fig3 = Figure {
         id: "fig3",
-        title: "Effect of varying the number of initial working join nodes in the table building phase",
+        title:
+            "Effect of varying the number of initial working join nodes in the table building phase",
         table: t3,
         checks: vec![
             ShapeCheck::new(
@@ -230,7 +243,9 @@ pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
             ),
             ShapeCheck::new(
                 "extra communication shrinks as the initial estimate improves",
-                [Replicated, Split, Hybrid].iter().all(|&a| xb(8, a) < xb(1, a)),
+                [Replicated, Split, Hybrid]
+                    .iter()
+                    .all(|&a| xb(8, a) < xb(1, a)),
             ),
         ],
     };
@@ -243,11 +258,7 @@ pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
     for (init, reports) in &sweep {
         let split_t = reports[1].split_time_secs; // Split algorithm run
         let resh_t = reports[2].reshuffle_time_secs; // Hybrid algorithm run
-        t5.row(vec![
-            init.to_string(),
-            fmt_secs(split_t),
-            fmt_secs(resh_t),
-        ]);
+        t5.row(vec![init.to_string(), fmt_secs(split_t), fmt_secs(resh_t)]);
     }
     let fig5 = Figure {
         id: "fig5",
@@ -256,14 +267,13 @@ pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
         checks: vec![
             ShapeCheck::new(
                 "split overhead exceeds reshuffle overhead when the initial estimate is poor",
-                [1usize, 2, 4].iter().all(|&i| {
-                    at(i, Split).split_time_secs > at(i, Hybrid).reshuffle_time_secs
-                }),
+                [1usize, 2, 4]
+                    .iter()
+                    .all(|&i| at(i, Split).split_time_secs > at(i, Hybrid).reshuffle_time_secs),
             ),
             ShapeCheck::new(
                 "no overhead at 16 initial nodes (table fits in aggregate memory)",
-                at(16, Split).split_time_secs == 0.0
-                    && at(16, Hybrid).reshuffle_time_secs == 0.0,
+                at(16, Split).split_time_secs == 0.0 && at(16, Hybrid).reshuffle_time_secs == 0.0,
             ),
         ],
     };
@@ -276,7 +286,9 @@ pub fn figures_2_to_5(scale: u64) -> Vec<Figure> {
 pub fn figure_6(scale: u64) -> Figure {
     use Algorithm::{Hybrid, OutOfCore, Split};
     let mut table = TextTable::new(
-        format!("Figure 6: Total execution time vs table size (R=S, 4 initial nodes, scale 1/{scale})"),
+        format!(
+            "Figure 6: Total execution time vs table size (R=S, 4 initial nodes, scale 1/{scale})"
+        ),
         &["Table Size", "Replicated", "Split", "Hybrid", "Out of Core"],
     );
     let configs: Vec<JoinConfig> = scenarios::TABLE_SIZE_AXIS
@@ -299,9 +311,8 @@ pub fn figure_6(scale: u64) -> Figure {
         results.push(reports);
     }
     let idx = |a: Algorithm| Algorithm::ALL.iter().position(|&x| x == a).expect("alg");
-    let growth = |a: Algorithm| {
-        results[3][idx(a)].times.total_secs / results[0][idx(a)].times.total_secs
-    };
+    let growth =
+        |a: Algorithm| results[3][idx(a)].times.total_secs / results[0][idx(a)].times.total_secs;
     Figure {
         id: "fig6",
         title: "Total execution time when the size of the relations is varied",
@@ -456,13 +467,25 @@ pub fn figures_10_11(scale: u64) -> Vec<Figure> {
     use Algorithm::{Hybrid, Replicated, Split};
     let mut time_table = TextTable::new(
         format!("Figure 10: Total execution time vs skew (R=S=10M/{scale}, 4 initial nodes)"),
-        &["Distribution", "Replicated", "Split", "Hybrid", "Out of Core"],
+        &[
+            "Distribution",
+            "Replicated",
+            "Split",
+            "Hybrid",
+            "Out of Core",
+        ],
     );
     let chunk = scenarios::base(Replicated, scale).chunk_tuples as u64;
     let r_chunks = scenarios::base(Replicated, scale).r.tuples / chunk;
     let mut comm_table = TextTable::new(
         format!("Figure 11: Extra build-phase communication vs skew, in {chunk}-tuple chunks"),
-        &["Distribution", "Replicated", "Split", "Hybrid", "Size of Table R"],
+        &[
+            "Distribution",
+            "Replicated",
+            "Split",
+            "Hybrid",
+            "Size of Table R",
+        ],
     );
     let configs: Vec<JoinConfig> = scenarios::SKEW_AXIS
         .iter()
@@ -508,7 +531,9 @@ pub fn figures_10_11(scale: u64) -> Vec<Figure> {
         ),
         ShapeCheck::new(
             "moderate skew (sigma=0.001) stays within ~3x of uniform for the EHJAs",
-            [Replicated, Split, Hybrid].iter().all(|&a| t(1, a) < t(0, a) * 3.0),
+            [Replicated, Split, Hybrid]
+                .iter()
+                .all(|&a| t(1, a) < t(0, a) * 3.0),
         ),
     ];
     let xb = |case: usize, a: Algorithm| results[case][idx(a)].extra_build_chunks();
@@ -549,7 +574,11 @@ pub fn figures_12_13(scale: u64) -> Vec<Figure> {
     let mut figs = Vec::new();
     let cases = [
         ("fig12", "uniform distribution", scenarios::SKEW_AXIS[0]),
-        ("fig13", "skewed distribution (sigma = 0.0001)", scenarios::SKEW_AXIS[2]),
+        (
+            "fig13",
+            "skewed distribution (sigma = 0.0001)",
+            scenarios::SKEW_AXIS[2],
+        ),
     ];
     for (id, label, dist) in cases {
         let mut table = TextTable::new(
@@ -558,7 +587,12 @@ pub fn figures_12_13(scale: u64) -> Vec<Figure> {
                 &id[3..],
                 label
             ),
-            &["Join Algorithm", "Average Load", "Maximum Load", "Minimum Load"],
+            &[
+                "Join Algorithm",
+                "Average Load",
+                "Maximum Load",
+                "Minimum Load",
+            ],
         );
         let mut stats = Vec::new();
         for &alg in &ehjas {
@@ -607,9 +641,7 @@ pub fn figures_12_13(scale: u64) -> Vec<Figure> {
 #[must_use]
 pub fn figure(id: &str, scale: u64) -> Option<Figure> {
     match id {
-        "fig2" | "fig3" | "fig4" | "fig5" => {
-            figures_2_to_5(scale).into_iter().find(|f| f.id == id)
-        }
+        "fig2" | "fig3" | "fig4" | "fig5" => figures_2_to_5(scale).into_iter().find(|f| f.id == id),
         "fig6" => Some(figure_6(scale)),
         "fig7" => Some(figure_7(scale)),
         "fig8" | "fig9" => figures_8_9(scale).into_iter().find(|f| f.id == id),

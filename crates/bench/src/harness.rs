@@ -1,0 +1,97 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The container this repo builds in has no registry access, so the benches
+//! run on a small in-repo harness instead of an external framework. The
+//! behaviour mirrors the conventions of `harness = false` bench targets:
+//!
+//! * under `cargo bench` (cargo passes `--bench`) every registered benchmark
+//!   is warmed up and timed, and a `name ... ns/iter` line is printed;
+//! * under `cargo test` (no `--bench` flag) every benchmark body runs exactly
+//!   once as a smoke test, so a broken bench fails the test suite without
+//!   costing bench-scale time;
+//! * a positional substring argument filters benchmarks by name.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink; prevents the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Execution mode, derived from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Time each benchmark (cargo bench).
+    Measure,
+    /// Run each benchmark body once (cargo test smoke run).
+    Smoke,
+}
+
+/// A registry of named benchmarks with criterion-like ergonomics.
+pub struct Harness {
+    mode: Mode,
+    filter: Option<String>,
+    /// (name, mean ns/iter, iterations) for the final summary.
+    results: Vec<(String, f64, u64)>,
+    /// Target measurement time per benchmark.
+    measure_time: Duration,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`, detecting bench-vs-test mode
+    /// and an optional name filter.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mode = if args.iter().any(|a| a == "--bench") {
+            Mode::Measure
+        } else {
+            Mode::Smoke
+        };
+        let filter = args.into_iter().find(|a| !a.starts_with("--"));
+        Self {
+            mode,
+            filter,
+            results: Vec::new(),
+            measure_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Registers and runs one benchmark.
+    pub fn bench<T>(&mut self, name: &str, mut body: impl FnMut() -> T) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::Smoke => {
+                let _ = black_box(body());
+            }
+            Mode::Measure => {
+                // Warm-up: one untimed call, then calibrate the batch size.
+                let t0 = Instant::now();
+                let _ = black_box(body());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let iters =
+                    (self.measure_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    let _ = black_box(body());
+                }
+                let total = start.elapsed();
+                let per_iter = total.as_nanos() as f64 / iters as f64;
+                println!("{name:<48} {per_iter:>14.0} ns/iter  ({iters} iters)");
+                self.results.push((name.to_owned(), per_iter, iters));
+            }
+        }
+    }
+
+    /// Prints a footer; call at the end of `main`.
+    pub fn finish(&self) {
+        if self.mode == Mode::Measure {
+            println!("{} benchmarks measured", self.results.len());
+        }
+    }
+}

@@ -11,12 +11,13 @@
 //! [`scenarios`] builds the per-experiment configurations; [`figures`] runs
 //! them and renders the paper's series alongside *shape checks* — the
 //! qualitative claims the paper makes about each figure, evaluated on the
-//! reproduced data. Criterion benchmarks live in `benches/`.
+//! reproduced data. Wall-clock benchmarks live in `benches/` on the in-repo [`harness`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod harness;
 pub mod scenarios;
 
 pub use figures::{all_figures, figure, Figure, ShapeCheck, ALL_FIGURE_IDS};

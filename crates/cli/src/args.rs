@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing for `ehjoin` (no external dependencies).
 
 use ehj_core::{Algorithm, SplitPolicy};
+use ehj_metrics::TraceLevel;
 
 /// Output formats for reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,6 +26,11 @@ pub enum Command {
     Sweep {
         /// `initial-nodes`, `skew`, or `size`.
         axis: String,
+    },
+    /// Summarize a JSONL trace file as per-node timeline lanes.
+    TraceSummary {
+        /// Path to a `--trace-out` JSONL file.
+        path: String,
     },
     /// Print usage.
     Help,
@@ -59,6 +65,10 @@ pub struct Args {
     pub format: Format,
     /// Verify the result against the reference oracle.
     pub verify: bool,
+    /// How much to trace (default: summary).
+    pub trace_level: TraceLevel,
+    /// Stream trace events as JSONL to this path (run only).
+    pub trace_out: Option<String>,
 }
 
 impl Default for Args {
@@ -77,6 +87,8 @@ impl Default for Args {
             seed: None,
             format: Format::default(),
             verify: false,
+            trace_level: TraceLevel::Summary,
+            trace_out: None,
         }
     }
 }
@@ -89,6 +101,7 @@ USAGE:
   ehjoin run     [options]        run one join
   ehjoin compare [options]        run all four algorithms, compare
   ehjoin sweep <axis> [options]   sweep initial-nodes | skew | size
+  ehjoin trace-summary <file>     render a --trace-out JSONL file as timelines
 
 OPTIONS:
   --algorithm <replicated|split|hybrid|ooc>   (run only; default hybrid)
@@ -103,6 +116,8 @@ OPTIONS:
   --seed <N>             RNG seed
   --format <text|csv|json>
   --verify               check the result against the reference oracle
+  --trace-level <off|summary|detail>   structured event tracing (default summary)
+  --trace-out <FILE>     write trace events as JSON lines (run only)
   --help
 ";
 
@@ -125,6 +140,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             }
             args.command = Command::Sweep { axis };
         }
+        Some("trace-summary") => {
+            let path = it.next().ok_or("trace-summary needs a JSONL file path")?;
+            args.command = Command::TraceSummary { path };
+        }
         Some("help" | "--help" | "-h") | None => {
             args.command = Command::Help;
             return Ok(args);
@@ -136,7 +155,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
     }
     fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
-        v.parse().map_err(|_| format!("invalid value for {flag}: {v}"))
+        v.parse()
+            .map_err(|_| format!("invalid value for {flag}: {v}"))
     }
 
     while let Some(flag) = it.next() {
@@ -165,15 +185,23 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                     return Err("--scale must be positive".into());
                 }
             }
-            "--r-tuples" => args.r_tuples = Some(parse_num(&value(&mut it, "--r-tuples")?, "--r-tuples")?),
-            "--s-tuples" => args.s_tuples = Some(parse_num(&value(&mut it, "--s-tuples")?, "--s-tuples")?),
+            "--r-tuples" => {
+                args.r_tuples = Some(parse_num(&value(&mut it, "--r-tuples")?, "--r-tuples")?)
+            }
+            "--s-tuples" => {
+                args.s_tuples = Some(parse_num(&value(&mut it, "--s-tuples")?, "--s-tuples")?)
+            }
             "--sigma" => args.sigma = Some(parse_num(&value(&mut it, "--sigma")?, "--sigma")?),
             "--zipf" => args.zipf = Some(parse_num(&value(&mut it, "--zipf")?, "--zipf")?),
             "--initial-nodes" => {
-                args.initial_nodes =
-                    Some(parse_num(&value(&mut it, "--initial-nodes")?, "--initial-nodes")?);
+                args.initial_nodes = Some(parse_num(
+                    &value(&mut it, "--initial-nodes")?,
+                    "--initial-nodes",
+                )?);
             }
-            "--payload" => args.payload = Some(parse_num(&value(&mut it, "--payload")?, "--payload")?),
+            "--payload" => {
+                args.payload = Some(parse_num(&value(&mut it, "--payload")?, "--payload")?)
+            }
             "--seed" => args.seed = Some(parse_num(&value(&mut it, "--seed")?, "--seed")?),
             "--format" => {
                 let v = value(&mut it, "--format")?;
@@ -185,6 +213,12 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                 };
             }
             "--verify" => args.verify = true,
+            "--trace-level" => {
+                let v = value(&mut it, "--trace-level")?;
+                args.trace_level = TraceLevel::parse(&v)
+                    .ok_or_else(|| format!("unknown trace level '{v}' (off|summary|detail)"))?;
+            }
+            "--trace-out" => args.trace_out = Some(value(&mut it, "--trace-out")?),
             "--help" | "-h" => {
                 args.command = Command::Help;
                 return Ok(args);
@@ -220,7 +254,9 @@ mod tests {
         assert_eq!(p("compare").expect("valid").command, Command::Compare);
         assert_eq!(
             p("sweep skew").expect("valid").command,
-            Command::Sweep { axis: "skew".into() }
+            Command::Sweep {
+                axis: "skew".into()
+            }
         );
         assert!(p("sweep bogus").is_err());
         assert!(p("sweep").is_err());
@@ -254,5 +290,30 @@ mod tests {
     fn formats_parse() {
         assert_eq!(p("run --format json").expect("valid").format, Format::Json);
         assert_eq!(p("run --format csv").expect("valid").format, Format::Csv);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let a = p("run --trace-level detail --trace-out /tmp/t.jsonl").expect("valid");
+        assert_eq!(a.trace_level, TraceLevel::Detail);
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(
+            p("run --trace-level off").expect("valid").trace_level,
+            TraceLevel::Off
+        );
+        assert_eq!(p("run").expect("valid").trace_level, TraceLevel::Summary);
+        assert!(p("run --trace-level verbose").is_err());
+        assert!(p("run --trace-out").is_err());
+    }
+
+    #[test]
+    fn trace_summary_command_parses() {
+        assert_eq!(
+            p("trace-summary /tmp/t.jsonl").expect("valid").command,
+            Command::TraceSummary {
+                path: "/tmp/t.jsonl".into()
+            }
+        );
+        assert!(p("trace-summary").is_err());
     }
 }

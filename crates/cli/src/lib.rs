@@ -17,9 +17,10 @@ pub mod output;
 
 use args::{Args, Command, Format};
 use ehj_core::{
-    expected_matches_for, Algorithm, JoinConfig, JoinError, JoinReport, JoinRunner,
+    expected_matches_for, Algorithm, JoinConfig, JoinError, JoinReport, JoinRunner, RunOptions,
 };
 use ehj_data::Distribution;
+use ehj_metrics::TraceEvent;
 
 /// Builds the configuration an [`Args`] describes for `algorithm`.
 #[must_use]
@@ -62,7 +63,19 @@ pub fn config_from_args(args: &Args, algorithm: Algorithm) -> JoinConfig {
 /// Propagates [`JoinError`]; verification failures become
 /// [`JoinError::Config`] with an explanatory message.
 pub fn run_one(cfg: &JoinConfig, verify: bool) -> Result<JoinReport, JoinError> {
-    let report = JoinRunner::run(cfg)?;
+    run_one_with(cfg, verify, &RunOptions::default())
+}
+
+/// Like [`run_one`], with explicit execution options (trace level/output).
+///
+/// # Errors
+/// See [`run_one`].
+pub fn run_one_with(
+    cfg: &JoinConfig,
+    verify: bool,
+    opts: &RunOptions,
+) -> Result<JoinReport, JoinError> {
+    let report = JoinRunner::run_with(cfg, opts)?;
     if verify {
         let expect = expected_matches_for(cfg);
         if report.matches != expect {
@@ -84,7 +97,12 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Help => Ok(args::USAGE.to_owned()),
         Command::Run => {
             let cfg = config_from_args(args, args.algorithm);
-            let report = run_one(&cfg, args.verify).map_err(|e| e.to_string())?;
+            let opts = RunOptions {
+                trace_level: args.trace_level,
+                trace_out: args.trace_out.clone().map(std::path::PathBuf::from),
+                ..RunOptions::default()
+            };
+            let report = run_one_with(&cfg, args.verify, &opts).map_err(|e| e.to_string())?;
             Ok(render(args.format, &report))
         }
         Command::Compare => {
@@ -118,7 +136,37 @@ pub fn execute(args: &Args) -> Result<String, String> {
             }
         }
         Command::Sweep { axis } => sweep(args, axis),
+        Command::TraceSummary { path } => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace file {path}: {e}"))?;
+            trace_summary(&text)
+        }
     }
+}
+
+/// Renders the `trace-summary` view of a JSONL trace: per-node timeline
+/// lanes plus the per-kind rollup table.
+///
+/// # Errors
+/// Returns a message when any non-empty line fails to parse.
+pub fn trace_summary(jsonl: &str) -> Result<String, String> {
+    let mut events = Vec::new();
+    let mut rollup = ehj_metrics::TraceRollup::default();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::from_json_line(line)
+            .ok_or_else(|| format!("line {}: not a trace event: {line}", lineno + 1))?;
+        rollup.note(&ev);
+        events.push(ev);
+    }
+    let mut out = ehj_metrics::render_trace_lanes(&events, 72);
+    if !rollup.is_empty() {
+        out.push('\n');
+        out.push_str(&ehj_metrics::trace_rollup_table(&rollup).render());
+    }
+    Ok(out)
 }
 
 fn sweep(args: &Args, axis: &str) -> Result<String, String> {

@@ -6,7 +6,7 @@ use ehj_metrics::{Phase, TextTable};
 use std::fmt::Write as _;
 
 /// Column headers shared by the CSV and comparison outputs.
-pub const REPORT_COLUMNS: [&str; 13] = [
+pub const REPORT_COLUMNS: [&str; 14] = [
     "algorithm",
     "total_secs",
     "build_secs",
@@ -20,6 +20,7 @@ pub const REPORT_COLUMNS: [&str; 13] = [
     "extra_build_chunks",
     "extra_probe_chunks",
     "net_bytes",
+    "trace_events",
 ];
 
 /// One report as a row of strings matching [`REPORT_COLUMNS`].
@@ -39,6 +40,7 @@ pub fn report_row(r: &JoinReport) -> Vec<String> {
         r.extra_build_chunks().to_string(),
         r.extra_probe_chunks().to_string(),
         r.net_bytes.to_string(),
+        r.trace.total.to_string(),
     ]
 }
 
@@ -48,7 +50,11 @@ pub fn render_text(r: &JoinReport) -> String {
     let load = r.load_stats();
     let mut out = String::new();
     let _ = writeln!(out, "algorithm            : {}", r.algorithm.label());
-    let _ = writeln!(out, "total execution time : {:.4}s (simulated)", r.times.total_secs);
+    let _ = writeln!(
+        out,
+        "total execution time : {:.4}s (simulated)",
+        r.times.total_secs
+    );
     let _ = writeln!(out, "  build phase        : {:.4}s", r.times.build_secs);
     let _ = writeln!(out, "  reshuffle step     : {:.4}s", r.times.reshuffle_secs);
     let _ = writeln!(out, "  probe phase        : {:.4}s", r.times.probe_secs);
@@ -81,6 +87,10 @@ pub fn render_text(r: &JoinReport) -> String {
             let _ = writeln!(out, "  {:>10.4}s  {}", ev.at_secs, ev.kind.describe());
         }
     }
+    if !r.trace.is_empty() {
+        let _ = writeln!(out);
+        out.push_str(&ehj_metrics::trace_rollup_table(&r.trace).render());
+    }
     out
 }
 
@@ -112,12 +122,24 @@ pub fn render_json(r: &JoinReport) -> String {
         first = false;
         let _ = write!(out, "\"{}\":{}", json_escape(key), val);
     };
-    field(&mut out, "algorithm", format!("\"{}\"", json_escape(r.algorithm.label())));
+    field(
+        &mut out,
+        "algorithm",
+        format!("\"{}\"", json_escape(r.algorithm.label())),
+    );
     field(&mut out, "total_secs", format!("{:.6}", r.times.total_secs));
     field(&mut out, "build_secs", format!("{:.6}", r.times.build_secs));
-    field(&mut out, "reshuffle_secs", format!("{:.6}", r.times.reshuffle_secs));
+    field(
+        &mut out,
+        "reshuffle_secs",
+        format!("{:.6}", r.times.reshuffle_secs),
+    );
     field(&mut out, "probe_secs", format!("{:.6}", r.times.probe_secs));
-    field(&mut out, "split_time_secs", format!("{:.6}", r.split_time_secs));
+    field(
+        &mut out,
+        "split_time_secs",
+        format!("{:.6}", r.split_time_secs),
+    );
     field(&mut out, "matches", r.matches.to_string());
     field(&mut out, "compares", r.compares.to_string());
     field(&mut out, "initial_nodes", r.initial_nodes.to_string());
@@ -126,14 +148,23 @@ pub fn render_json(r: &JoinReport) -> String {
     field(&mut out, "spilled_nodes", r.spilled_nodes.to_string());
     field(&mut out, "build_tuples", r.build_tuples.to_string());
     field(&mut out, "probe_tuples", r.probe_tuples.to_string());
-    field(&mut out, "extra_build_chunks", r.extra_build_chunks().to_string());
-    field(&mut out, "extra_probe_chunks", r.extra_probe_chunks().to_string());
+    field(
+        &mut out,
+        "extra_build_chunks",
+        r.extra_build_chunks().to_string(),
+    );
+    field(
+        &mut out,
+        "extra_probe_chunks",
+        r.extra_probe_chunks().to_string(),
+    );
     field(&mut out, "load_min", load.min.to_string());
     field(&mut out, "load_avg", format!("{:.2}", load.avg));
     field(&mut out, "load_max", load.max.to_string());
     field(&mut out, "net_bytes", r.net_bytes.to_string());
     field(&mut out, "disk_bytes", r.disk_bytes.to_string());
     field(&mut out, "sim_events", r.sim_events.to_string());
+    field(&mut out, "trace_events", r.trace.total.to_string());
     let timeline = r
         .timeline
         .iter()

@@ -9,10 +9,9 @@
 //! rejoins the working set for the probe phase (§4.1.2).
 
 use crate::node::{ClusterSpec, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// How the scheduler picks the next join node from the potential list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectionPolicy {
     /// The paper's policy: largest available memory first (minimizes the
     /// number of additional nodes).

@@ -1,13 +1,10 @@
 //! Cluster node descriptors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a join-node slot within a cluster. Distinct from the runtime's
 //  actor ids: the driver maps node ids onto actor ids when it wires a run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -17,14 +14,14 @@ impl fmt::Display for NodeId {
 }
 
 /// Static description of one compute node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeSpec {
     /// Memory available to the join process's hash table, in bytes.
     pub hash_memory_bytes: u64,
 }
 
 /// Static description of the whole cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterSpec {
     /// Per-node specs; `NodeId(i)` indexes this list.
     pub nodes: Vec<NodeSpec>,

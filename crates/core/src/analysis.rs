@@ -15,10 +15,8 @@
 //! what Figure 5 measures. [`OverheadModel::crossover_expansion`] locates the expansion
 //! factor where split starts losing.
 
-use serde::{Deserialize, Serialize};
-
 /// Inputs to the §4.2.4 model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// Bucket size in bytes (`B`).
     pub bucket_bytes: f64,
@@ -59,8 +57,7 @@ impl OverheadModel {
     /// if split never loses within the limit.
     #[must_use]
     pub fn crossover_expansion(&self, limit: f64) -> Option<f64> {
-        let diff =
-            |e: f64| self.split_overhead_secs(e) - self.hybrid_overhead_secs(e);
+        let diff = |e: f64| self.split_overhead_secs(e) - self.hybrid_overhead_secs(e);
         // Split starts below hybrid for E slightly above 1
         // (log2(E)/2 < (E-1)/E near 1... actually compare numerically).
         let mut lo = 1.0 + 1e-9;
@@ -108,7 +105,10 @@ mod tests {
         let h16 = m.hybrid_overhead_secs(16.0);
         let h256 = m.hybrid_overhead_secs(256.0);
         let cap = m.bucket_bytes * m.secs_per_byte;
-        assert!(h16 < cap && h256 < cap, "hybrid overhead is capped at B·t_b");
+        assert!(
+            h16 < cap && h256 < cap,
+            "hybrid overhead is capped at B·t_b"
+        );
         assert!(h256 - h16 < 0.1 * cap, "hybrid overhead saturates");
     }
 

@@ -6,10 +6,9 @@ use ehj_data::{RelationSpec, Schema, DEFAULT_CHUNK_TUPLES};
 use ehj_hash::AttrHasher;
 use ehj_sim::{DiskConfig, NetConfig, SimTime};
 use ehj_storage::GraceConfig;
-use serde::{Deserialize, Serialize};
 
 /// The four join algorithms compared in the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Replication-based EHJA (§4.2.2).
     Replicated,
@@ -44,7 +43,7 @@ impl Algorithm {
 }
 
 /// Which bucket the split-based algorithm splits on overflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SplitPolicy {
     /// The paper's linear-hashing discipline: split the bucket at the split
     /// pointer, in order (§4.2.1; Amin et al., Litwin).
@@ -57,7 +56,7 @@ pub enum SplitPolicy {
 }
 
 /// Which relation builds the hash table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BuildSide {
     /// Build from R, probe with S (the default everywhere in the paper).
     #[default]
@@ -67,7 +66,7 @@ pub enum BuildSide {
 }
 
 /// CPU cost model, calibrated to the paper's Pentium III 933 MHz nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Generating (or scanning) one tuple at a data source.
     pub gen_per_tuple: SimTime,
@@ -103,7 +102,7 @@ impl Default for CostModel {
 }
 
 /// Complete description of one join run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JoinConfig {
     /// Which algorithm to run.
     pub algorithm: Algorithm,
@@ -142,6 +141,9 @@ pub struct JoinConfig {
     pub allow_spill_fallback: bool,
     /// Simulation event budget (safety valve).
     pub max_events: u64,
+    /// Optional virtual-time budget for the simulated backend; exceeding it
+    /// stops the run and surfaces as a stall diagnostic.
+    pub max_sim_time: Option<SimTime>,
 }
 
 impl JoinConfig {
@@ -182,6 +184,7 @@ impl JoinConfig {
             grace: GraceConfig::default(),
             allow_spill_fallback: true,
             max_events: 500_000_000,
+            max_sim_time: None,
         }
     }
 
@@ -310,8 +313,7 @@ mod tests {
         let full = JoinConfig::paper_default(Algorithm::Split);
         let scaled = JoinConfig::paper_scaled(Algorithm::Split, 50);
         let ratio = |c: &JoinConfig| {
-            c.r.tuples as f64
-                / (c.cluster.spec(ehj_cluster::NodeId(0)).hash_memory_bytes as f64)
+            c.r.tuples as f64 / (c.cluster.spec(ehj_cluster::NodeId(0)).hash_memory_bytes as f64)
         };
         assert!((ratio(&full) - ratio(&scaled)).abs() / ratio(&full) < 1e-6);
     }

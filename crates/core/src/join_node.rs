@@ -23,7 +23,7 @@ use crate::msg::{Histogram, Msg, NodeReport};
 use crate::routing::RoutingTable;
 use ehj_data::Tuple;
 use ehj_hash::{HashRange, JoinHashTable, PositionSpace, SplitStep};
-use ehj_metrics::{CommCategory, CommCounters, Phase};
+use ehj_metrics::{CommCategory, CommCounters, Phase, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context};
 use ehj_storage::{GraceJoin, GraceResult, SpillBackend};
 use std::collections::{BTreeMap, VecDeque};
@@ -56,6 +56,7 @@ pub struct JoinNode<B: SpillBackend + Default + Send> {
     spill_build_tuples: u64,
     grace_result: Option<GraceResult>,
     reported: bool,
+    tracer: Tracer,
 }
 
 impl<B: SpillBackend + Default + Send> JoinNode<B> {
@@ -89,7 +90,26 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             spill_build_tuples: 0,
             grace_result: None,
             reported: false,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a tracer; events are emitted through it from then on.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Emits a summary-level trace event attributed to this node.
+    fn trace(&self, ctx: &dyn Context<Msg>, phase: Phase, kind: TraceKind) {
+        self.tracer.emit(ctx.now().as_nanos(), self.me, phase, kind);
+    }
+
+    /// Emits a detail-level trace event attributed to this node.
+    fn trace_detail(&self, ctx: &dyn Context<Msg>, phase: Phase, kind: TraceKind) {
+        self.tracer
+            .emit_detail(ctx.now().as_nanos(), self.me, phase, kind);
     }
 
     /// Tuples currently resident in the in-memory table (post-run
@@ -181,6 +201,14 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         ctx.consume_cpu(self.cfg.costs.route_per_tuple * n);
         let bytes = grace.append_build(&drained);
         ctx.disk_write(bytes); // first spill positions the fragment files
+        self.trace(
+            ctx,
+            Phase::Build,
+            TraceKind::Spill {
+                bytes,
+                fragments: grace.fragments() as u64,
+            },
+        );
         self.spill = Some(grace);
         // Pending tuples finally have a home.
         let pending: Vec<Tuple> = std::mem::take(&mut self.pending).into();
@@ -197,7 +225,9 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         let grace = self.spill.as_mut().expect("spill active");
         ctx.consume_cpu(self.cfg.costs.route_per_tuple * tuples.len() as u64);
         let bytes = grace.append_build(tuples);
+        let fragments = grace.fragments() as u64;
         ctx.disk_append(bytes);
+        self.trace_detail(ctx, Phase::Build, TraceKind::Spill { bytes, fragments });
     }
 
     fn handle_build(&mut self, ctx: &mut dyn Context<Msg>, tuples: Vec<Tuple>) {
@@ -242,12 +272,9 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         if newly_pending > 0 && !self.awaiting_relief {
             self.awaiting_relief = true;
             self.reported_full = true;
-            ctx.send(
-                self.scheduler,
-                Msg::MemoryFull {
-                    pending: self.pending.len() as u64,
-                },
-            );
+            let pending = self.pending.len() as u64;
+            self.trace(ctx, Phase::Build, TraceKind::BucketOverflow { pending });
+            ctx.send(self.scheduler, Msg::MemoryFull { pending });
         }
     }
 
@@ -308,12 +335,9 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             // the uncontrolled-split discipline of linear hashing).
             self.awaiting_relief = true;
             self.reported_full = true;
-            ctx.send(
-                self.scheduler,
-                Msg::MemoryFull {
-                    pending: self.pending.len() as u64,
-                },
-            );
+            let pending = self.pending.len() as u64;
+            self.trace(ctx, Phase::Build, TraceKind::BucketOverflow { pending });
+            ctx.send(self.scheduler, Msg::MemoryFull { pending });
         }
     }
 
@@ -322,7 +346,9 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         if let Some(grace) = self.spill.as_mut() {
             ctx.consume_cpu(costs.route_per_tuple * tuples.len() as u64);
             let bytes = grace.append_probe(&tuples);
+            let fragments = grace.fragments() as u64;
             ctx.disk_append(bytes);
+            self.trace_detail(ctx, Phase::Probe, TraceKind::Spill { bytes, fragments });
             return;
         }
         let mut compared: u64 = 0;
@@ -467,6 +493,14 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             }
             sent += extracted.len() as u64;
             ctx.consume_cpu(self.cfg.costs.route_per_tuple * extracted.len() as u64);
+            self.trace_detail(
+                ctx,
+                Phase::Reshuffle,
+                TraceKind::ReshuffleChunk {
+                    to: owner,
+                    tuples: extracted.len() as u64,
+                },
+            );
             self.send_tuples(
                 ctx,
                 owner,
@@ -475,7 +509,13 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
                 extracted,
             );
         }
-        ctx.send(self.scheduler, Msg::ReshuffleDone { group, sent_tuples: sent });
+        ctx.send(
+            self.scheduler,
+            Msg::ReshuffleDone {
+                group,
+                sent_tuples: sent,
+            },
+        );
     }
 
     fn handle_report_request(&mut self, ctx: &mut dyn Context<Msg>) {
@@ -488,6 +528,13 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             let result = grace.finalize();
             ctx.disk_read(result.bytes_read);
             ctx.disk_write(result.bytes_rewritten);
+            self.trace(
+                ctx,
+                Phase::Probe,
+                TraceKind::SpillFetch {
+                    bytes: result.bytes_read,
+                },
+            );
             let costs = self.cfg.costs;
             ctx.consume_cpu(
                 costs.insert_per_tuple * result.build_inserts
@@ -514,11 +561,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
 
     fn dispatch(&mut self, ctx: &mut dyn Context<Msg>, from: ActorId, msg: Msg) {
         match msg {
-            Msg::Data {
-                phase,
-                tuples,
-                ..
-            } => {
+            Msg::Data { phase, tuples, .. } => {
                 self.recv_chunks[phase.index()] += 1;
                 ctx.consume_cpu(self.cfg.costs.chunk_handling);
                 // Flow-control credit back to the sender (sources gate on
@@ -606,7 +649,6 @@ impl<B: SpillBackend + Default + Send> Actor<Msg> for JoinNode<B> {
     // when dispatched from `activate`.
 }
 
-
 #[cfg(test)]
 mod tests {
     //! Unit tests drive the node through a scripted context; full-protocol
@@ -642,10 +684,7 @@ mod tests {
         RoutingTable::Disjoint(RangeMap::partitioned(1000, &[ME, OTHER]))
     }
 
-    fn activated_node(
-        algorithm: Algorithm,
-        cap_tuples: u64,
-    ) -> (JoinNode<MemBackend>, ScriptCtx) {
+    fn activated_node(algorithm: Algorithm, cap_tuples: u64) -> (JoinNode<MemBackend>, ScriptCtx) {
         let cfg = test_cfg(algorithm);
         let cap = capacity_tuples(&cfg, cap_tuples);
         let mut node = JoinNode::<MemBackend>::new(cfg, SCHED, ME, cap);
@@ -735,7 +774,14 @@ mod tests {
         ctx.sent.clear();
         // New routing: our whole old range now actively owned by node 12.
         let routing = RoutingTable::Disjoint(RangeMap::partitioned(1000, &[12, OTHER]));
-        node.on_message(&mut ctx, SCHED, Msg::RoutingUpdate { routing, version: 2 });
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::RoutingUpdate {
+                routing,
+                version: 2,
+            },
+        );
         assert!(node.pending.is_empty());
         assert!(!node.awaiting_relief);
         let forwarded: u64 = ctx
@@ -778,7 +824,11 @@ mod tests {
         node.on_message(
             &mut ctx,
             1,
-            build_data(vec![Tuple::new(1, 100), Tuple::new(2, 100), Tuple::new(3, 105)]),
+            build_data(vec![
+                Tuple::new(1, 100),
+                Tuple::new(2, 100),
+                Tuple::new(3, 105),
+            ]),
         );
         node.on_message(
             &mut ctx,
@@ -853,7 +903,14 @@ mod tests {
         moved.sort_unstable();
         assert_eq!(moved, vec![300, 499]);
         assert!(ctx.sent.iter().any(|(to, m)| {
-            *to == SCHED && matches!(m, Msg::SplitDone { moved_tuples: 2, .. })
+            *to == SCHED
+                && matches!(
+                    m,
+                    Msg::SplitDone {
+                        moved_tuples: 2,
+                        ..
+                    }
+                )
         }));
     }
 
@@ -903,10 +960,10 @@ mod tests {
                 range: HashRange::new(100, 101),
             },
         );
-        assert!(ctx.sent.iter().any(|(_, m)| matches!(
-            m,
-            Msg::RangeSplitDone { ok: false, .. }
-        )));
+        assert!(ctx
+            .sent
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::RangeSplitDone { ok: false, .. })));
         assert_eq!(node.resident_tuples(), 10);
     }
 
@@ -917,7 +974,11 @@ mod tests {
         node.on_message(
             &mut ctx,
             1,
-            build_data(vec![Tuple::new(1, 100), Tuple::new(2, 105), Tuple::new(3, 300)]),
+            build_data(vec![
+                Tuple::new(1, 100),
+                Tuple::new(2, 105),
+                Tuple::new(3, 300),
+            ]),
         );
         ctx.sent.clear();
         node.on_message(
@@ -955,7 +1016,13 @@ mod tests {
         );
         assert_eq!(node.resident_tuples(), 2);
         assert!(ctx.sent.iter().any(|(to, m)| *to == OTHER
-            && matches!(m, Msg::Data { phase: Phase::Reshuffle, .. })));
+            && matches!(
+                m,
+                Msg::Data {
+                    phase: Phase::Reshuffle,
+                    ..
+                }
+            )));
         assert!(ctx
             .sent
             .iter()

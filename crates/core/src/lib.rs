@@ -63,5 +63,5 @@ pub use multiway::{MultiwayPlan, MultiwayReport};
 pub use reference::{expected_matches, expected_matches_for};
 pub use report::JoinReport;
 pub use routing::RoutingTable;
-pub use runner::{Backend, JoinError, JoinRunner};
+pub use runner::{Backend, JoinError, JoinRunner, RunOptions};
 pub use topology::Topology;

@@ -230,16 +230,16 @@ impl Message for Msg {
     fn wire_bytes(&self) -> u64 {
         match self {
             Msg::Data {
-                tuples, tuple_bytes, ..
+                tuples,
+                tuple_bytes,
+                ..
             } => CONTROL_BYTES + tuples.len() as u64 * tuple_bytes,
             Msg::Activate { routing, .. }
             | Msg::RoutingUpdate { routing, .. }
             | Msg::StartBuild { routing, .. }
             | Msg::StartProbe { routing, .. } => CONTROL_BYTES + routing.wire_bytes(),
             Msg::ReshuffleCounts { histogram, .. } => histogram.wire_bytes(),
-            Msg::ReshufflePlan { assignments, .. } => {
-                CONTROL_BYTES + 16 * assignments.len() as u64
-            }
+            Msg::ReshufflePlan { assignments, .. } => CONTROL_BYTES + 16 * assignments.len() as u64,
             Msg::SourcePhaseDone { .. } | Msg::Report(_) => 256,
             _ => CONTROL_BYTES,
         }

@@ -23,10 +23,9 @@ use crate::config::JoinConfig;
 use crate::report::JoinReport;
 use crate::runner::{JoinError, JoinRunner};
 use ehj_data::RelationSpec;
-use serde::{Deserialize, Serialize};
 
 /// A left-deep multi-way join plan.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiwayPlan {
     /// Template configuration: algorithm, cluster, costs, chunking. Its
     /// `r`/`s` fields are overwritten per level.
@@ -41,7 +40,7 @@ pub struct MultiwayPlan {
 }
 
 /// The outcome of a multi-way pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiwayReport {
     /// Per-level reports, in execution order.
     pub stages: Vec<JoinReport>,
@@ -114,7 +113,10 @@ impl MultiwayPlan {
                 .saturating_add(probe.schema.payload_bytes);
             build = RelationSpec::uniform(
                 report.matches,
-                build.seed.wrapping_mul(0x9E37_79B9).wrapping_add(level as u64 + 1),
+                build
+                    .seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(level as u64 + 1),
             )
             .with_domain(build.domain)
             .with_payload(payload);

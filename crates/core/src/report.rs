@@ -1,11 +1,10 @@
 //! The result of one join run.
 
 use crate::config::Algorithm;
-use ehj_metrics::{CommCounters, LoadStats, PhaseTimes};
-use serde::{Deserialize, Serialize};
+use ehj_metrics::{CommCounters, LoadStats, PhaseTimes, TraceRollup};
 
 /// One noteworthy event during a run, stamped with simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelineEvent {
     /// Simulated seconds since the run started.
     pub at_secs: f64,
@@ -14,7 +13,7 @@ pub struct TimelineEvent {
 }
 
 /// Event kinds recorded on the scheduler's timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimelineKind {
     /// A new join node was recruited (its cluster node id).
     Recruited(u32),
@@ -49,7 +48,7 @@ impl TimelineKind {
 }
 
 /// Everything the paper's figures plot, for one run of one algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JoinReport {
     /// Which algorithm ran.
     pub algorithm: Algorithm,
@@ -93,6 +92,9 @@ pub struct JoinReport {
     /// Chronological record of expansions, splits, spills and phase
     /// transitions, as observed by the scheduler.
     pub timeline: Vec<TimelineEvent>,
+    /// Per-phase / per-node / per-kind structured trace event counts
+    /// (empty when tracing is off).
+    pub trace: TraceRollup,
 }
 
 impl JoinReport {
@@ -124,7 +126,11 @@ impl JoinReport {
     /// bandwidth, `links` the number of transmitting parties (typically
     /// sources + final join nodes).
     #[must_use]
-    pub fn throughput(&self, link_bytes_per_sec: u64, links: usize) -> ehj_metrics::ThroughputSummary {
+    pub fn throughput(
+        &self,
+        link_bytes_per_sec: u64,
+        links: usize,
+    ) -> ehj_metrics::ThroughputSummary {
         ehj_metrics::ThroughputSummary::compute(
             &self.times,
             self.build_tuples,

@@ -19,10 +19,9 @@
 use ehj_data::JoinAttr;
 use ehj_hash::{BucketMap, PositionSpace, RangeMap, ReplicaMap};
 use ehj_sim::ActorId;
-use serde::{Deserialize, Serialize};
 
 /// One routing table, versioned by the scheduler.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoutingTable {
     /// Disjoint contiguous position ranges.
     Disjoint(RangeMap<ActorId>),

@@ -1,5 +1,11 @@
 //! The high-level entry point: wire up a cluster, run one join, return the
 //! report.
+//!
+//! [`JoinRunner::run_with`] also owns the tracing plumbing: it builds the
+//! [`Tracer`] shared by the scheduler, sources and join nodes, always keeps
+//! a bounded ring of recent events so every [`JoinError`] carries a
+//! diagnostic tail, folds the rollup counters into the final
+//! [`JoinReport`], and optionally streams JSONL to a file.
 
 use crate::config::JoinConfig;
 use crate::join_node::JoinNode;
@@ -8,10 +14,21 @@ use crate::report::JoinReport;
 use crate::scheduler::Scheduler;
 use crate::source::DataSource;
 use crate::topology::Topology;
+use ehj_metrics::{
+    JsonlSink, Phase, RingSink, RollupSink, StopCause, TraceEvent, TraceKind, TraceLevel,
+    TraceSink, Tracer,
+};
 use ehj_sim::{Engine, EngineConfig, EngineError, StopReason, ThreadedEngine};
 use ehj_storage::{FileBackend, MemBackend};
-use parking_lot::Mutex;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::sync::Mutex;
+
+/// How many trailing trace events are kept for error diagnostics.
+const ERROR_TAIL_EVENTS: usize = 64;
+
+/// How many of those the `Display` impl prints.
+const ERROR_TAIL_SHOWN: usize = 8;
 
 /// Which runtime executes the join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,59 +37,215 @@ pub enum Backend {
     /// 2004-cluster cost model (the figures' backend).
     #[default]
     Simulated,
-    /// Real OS threads over crossbeam channels, with real temp-file spills
+    /// Real OS threads over mpsc channels, with real temp-file spills
     /// (wall-clock benchmarking backend).
     Threaded,
 }
 
-/// Errors surfaced by [`JoinRunner`].
+/// Errors surfaced by [`JoinRunner`]. The engine and stall variants carry
+/// the tail of the structured trace so a failed run is diagnosable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinError {
     /// The configuration failed validation.
     Config(String),
     /// The simulation engine aborted (event-budget livelock guard).
-    Engine(EngineError),
-    /// The run ended without producing a report — a protocol stall.
-    Stalled,
+    Engine {
+        /// The underlying engine error.
+        source: EngineError,
+        /// Last trace events before the abort (empty when tracing is off).
+        trace: Vec<TraceEvent>,
+    },
+    /// The run ended without producing a report — a protocol stall (or an
+    /// exceeded virtual-time budget).
+    Stalled {
+        /// Last trace events before the stall (empty when tracing is off).
+        trace: Vec<TraceEvent>,
+    },
+}
+
+impl JoinError {
+    /// The diagnostic trace tail, if this error carries one.
+    #[must_use]
+    pub fn trace_tail(&self) -> &[TraceEvent] {
+        match self {
+            Self::Config(_) => &[],
+            Self::Engine { trace, .. } | Self::Stalled { trace } => trace,
+        }
+    }
+
+    fn fmt_tail(trace: &[TraceEvent], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if trace.is_empty() {
+            return write!(f, " (no trace recorded; raise the trace level)");
+        }
+        let shown = &trace[trace.len().saturating_sub(ERROR_TAIL_SHOWN)..];
+        write!(f, "; last {} trace events:", shown.len())?;
+        for ev in shown {
+            write!(
+                f,
+                "\n  [{:>12.6}s] actor {:>3} {:<9} {}",
+                ev.at_nanos as f64 / 1e9,
+                ev.node,
+                ev.phase.name(),
+                ev.kind.describe()
+            )?;
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Display for JoinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Config(e) => write!(f, "invalid configuration: {e}"),
-            Self::Engine(e) => write!(f, "engine error: {e}"),
-            Self::Stalled => write!(f, "join protocol stalled without a report"),
+            Self::Engine { source, trace } => {
+                write!(f, "engine error: {source}")?;
+                Self::fmt_tail(trace, f)
+            }
+            Self::Stalled { trace } => {
+                write!(f, "join protocol stalled without a report")?;
+                Self::fmt_tail(trace, f)
+            }
         }
     }
 }
 
 impl std::error::Error for JoinError {}
 
+/// Execution options beyond the [`JoinConfig`] itself.
+pub struct RunOptions {
+    /// Which runtime executes the join.
+    pub backend: Backend,
+    /// How much to trace. At [`TraceLevel::Summary`] and above, the runner
+    /// always keeps a diagnostic ring and a rollup; [`TraceLevel::Off`]
+    /// makes every emit a no-op.
+    pub trace_level: TraceLevel,
+    /// Stream every event as one JSON object per line to this file.
+    pub trace_out: Option<PathBuf>,
+    /// Additional sinks (tests, embedders).
+    pub extra_sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            backend: Backend::Simulated,
+            trace_level: TraceLevel::Summary,
+            trace_out: None,
+            extra_sinks: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("backend", &self.backend)
+            .field("trace_level", &self.trace_level)
+            .field("trace_out", &self.trace_out)
+            .field("extra_sinks", &self.extra_sinks.len())
+            .finish()
+    }
+}
+
+impl RunOptions {
+    /// Options for `backend` with default tracing.
+    #[must_use]
+    pub fn on(backend: Backend) -> Self {
+        Self {
+            backend,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything the runner wires into a run's tracer.
+struct TraceHarness {
+    tracer: Tracer,
+    ring: Option<Arc<RingSink>>,
+    rollup: Option<Arc<RollupSink>>,
+}
+
+impl TraceHarness {
+    fn build(opts: &RunOptions) -> Result<Self, JoinError> {
+        if opts.trace_level == TraceLevel::Off {
+            return Ok(Self {
+                tracer: Tracer::off(),
+                ring: None,
+                rollup: None,
+            });
+        }
+        let ring = Arc::new(RingSink::new(ERROR_TAIL_EVENTS));
+        let rollup = Arc::new(RollupSink::default());
+        let mut sinks: Vec<Arc<dyn TraceSink>> =
+            vec![Arc::clone(&ring) as _, Arc::clone(&rollup) as _];
+        if let Some(path) = &opts.trace_out {
+            let file = std::fs::File::create(path).map_err(|e| {
+                JoinError::Config(format!("cannot open trace output {}: {e}", path.display()))
+            })?;
+            sinks.push(Arc::new(JsonlSink::new(Box::new(std::io::BufWriter::new(file)))) as _);
+        }
+        sinks.extend(opts.extra_sinks.iter().cloned());
+        Ok(Self {
+            tracer: Tracer::new(opts.trace_level, sinks),
+            ring: Some(ring),
+            rollup: Some(rollup),
+        })
+    }
+
+    fn tail(&self) -> Vec<TraceEvent> {
+        self.ring.as_ref().map(|r| r.tail()).unwrap_or_default()
+    }
+
+    /// Records the stop reason, folds the rollup into the report, and
+    /// flushes every sink.
+    fn finish(&self, at_nanos: u64, cause: StopCause, report: Option<&mut JoinReport>) {
+        self.tracer.emit(
+            at_nanos,
+            0,
+            Phase::Probe,
+            TraceKind::EngineStop { reason: cause },
+        );
+        if let (Some(rollup), Some(report)) = (self.rollup.as_ref(), report) {
+            report.trace = rollup.snapshot();
+        }
+        self.tracer.flush();
+    }
+}
+
 /// Runs joins described by a [`JoinConfig`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JoinRunner;
 
 impl JoinRunner {
-    /// Runs one join on the simulated backend.
+    /// Runs one join on the simulated backend with default tracing.
     ///
     /// # Errors
     /// See [`JoinError`].
     pub fn run(cfg: &JoinConfig) -> Result<JoinReport, JoinError> {
-        Self::run_on(cfg, Backend::Simulated)
+        Self::run_with(cfg, &RunOptions::default())
     }
 
-    /// Runs one join on the chosen backend.
+    /// Runs one join on the chosen backend with default tracing.
     ///
     /// # Errors
     /// See [`JoinError`].
     pub fn run_on(cfg: &JoinConfig, backend: Backend) -> Result<JoinReport, JoinError> {
+        Self::run_with(cfg, &RunOptions::on(backend))
+    }
+
+    /// Runs one join with full control over backend and tracing.
+    ///
+    /// # Errors
+    /// See [`JoinError`].
+    pub fn run_with(cfg: &JoinConfig, opts: &RunOptions) -> Result<JoinReport, JoinError> {
         cfg.validate().map_err(JoinError::Config)?;
         let cfg = Arc::new(cfg.clone());
         let topo = Topology::standard(cfg.sources, cfg.cluster.len());
         let result: Arc<Mutex<Option<JoinReport>>> = Arc::new(Mutex::new(None));
-        match backend {
-            Backend::Simulated => Self::run_simulated(&cfg, topo, &result),
-            Backend::Threaded => Self::run_threaded(&cfg, topo, &result),
+        let harness = TraceHarness::build(opts)?;
+        match opts.backend {
+            Backend::Simulated => Self::run_simulated(&cfg, topo, &result, &harness),
+            Backend::Threaded => Self::run_threaded(&cfg, topo, &result, &harness),
         }
     }
 
@@ -80,45 +253,74 @@ impl JoinRunner {
         cfg: &Arc<JoinConfig>,
         topo: Topology,
         result: &Arc<Mutex<Option<JoinReport>>>,
+        harness: &TraceHarness,
     ) -> Result<JoinReport, JoinError> {
         let mut engine: Engine<Msg> = Engine::new(EngineConfig {
             net: cfg.net,
             disk: cfg.disk,
             max_events: cfg.max_events,
-            max_time: None,
+            max_time: cfg.max_sim_time,
         });
-        let sched = engine.add_actor(Box::new(Scheduler::new(
-            Arc::clone(cfg),
-            topo.clone(),
-            Arc::clone(result),
-        )));
+        let tracer = &harness.tracer;
+        let sched = engine.add_actor(Box::new(
+            Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
+                .with_tracer(tracer.clone()),
+        ));
         debug_assert_eq!(sched, topo.scheduler);
         for i in 0..cfg.sources {
-            let id = engine.add_actor(Box::new(DataSource::new(
-                Arc::clone(cfg),
-                i,
-                topo.scheduler,
-            )));
+            let id = engine.add_actor(Box::new(
+                DataSource::new(Arc::clone(cfg), i, topo.scheduler).with_tracer(tracer.clone()),
+            ));
             debug_assert_eq!(id, topo.sources[i]);
         }
         for node in cfg.cluster.node_ids() {
             let capacity = cfg.cluster.spec(node).hash_memory_bytes;
-            let id = engine.add_actor(Box::new(JoinNode::<MemBackend>::new(
-                Arc::clone(cfg),
-                topo.scheduler,
-                topo.node_actor(node),
-                capacity,
-            )));
+            let id = engine.add_actor(Box::new(
+                JoinNode::<MemBackend>::new(
+                    Arc::clone(cfg),
+                    topo.scheduler,
+                    topo.node_actor(node),
+                    capacity,
+                )
+                .with_tracer(tracer.clone()),
+            ));
             debug_assert_eq!(id, topo.node_actor(node));
         }
-        let summary = engine.run().map_err(JoinError::Engine)?;
-        if summary.reason != StopReason::Stopped {
-            return Err(JoinError::Stalled);
+        let summary = match engine.run() {
+            Ok(s) => s,
+            Err(source) => {
+                harness.finish(0, StopCause::EventLimit, None);
+                return Err(JoinError::Engine {
+                    source,
+                    trace: harness.tail(),
+                });
+            }
+        };
+        let end = summary.end_time.as_nanos();
+        match summary.reason {
+            StopReason::Stopped => {}
+            reason => {
+                let cause = match reason {
+                    StopReason::TimeLimit => StopCause::TimeLimit,
+                    _ => StopCause::Quiescent,
+                };
+                harness.finish(end, cause, None);
+                return Err(JoinError::Stalled {
+                    trace: harness.tail(),
+                });
+            }
         }
-        let mut report = result.lock().take().ok_or(JoinError::Stalled)?;
+        let report = result.lock().expect("report lock").take();
+        let Some(mut report) = report else {
+            harness.finish(end, StopCause::Quiescent, None);
+            return Err(JoinError::Stalled {
+                trace: harness.tail(),
+            });
+        };
         report.sim_events = summary.events;
         report.net_bytes = summary.net_bytes;
         report.disk_bytes = summary.disk_bytes;
+        harness.finish(end, StopCause::Completed, Some(&mut report));
         Ok(report)
     }
 
@@ -126,37 +328,47 @@ impl JoinRunner {
         cfg: &Arc<JoinConfig>,
         topo: Topology,
         result: &Arc<Mutex<Option<JoinReport>>>,
+        harness: &TraceHarness,
     ) -> Result<JoinReport, JoinError> {
         let mut engine: ThreadedEngine<Msg> = ThreadedEngine::new();
-        let sched = engine.add_actor(Box::new(Scheduler::new(
-            Arc::clone(cfg),
-            topo.clone(),
-            Arc::clone(result),
-        )));
+        let tracer = &harness.tracer;
+        let sched = engine.add_actor(Box::new(
+            Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
+                .with_tracer(tracer.clone()),
+        ));
         debug_assert_eq!(sched, topo.scheduler);
         for i in 0..cfg.sources {
-            let id = engine.add_actor(Box::new(DataSource::new(
-                Arc::clone(cfg),
-                i,
-                topo.scheduler,
-            )));
+            let id = engine.add_actor(Box::new(
+                DataSource::new(Arc::clone(cfg), i, topo.scheduler).with_tracer(tracer.clone()),
+            ));
             debug_assert_eq!(id, topo.sources[i]);
         }
         for node in cfg.cluster.node_ids() {
             let capacity = cfg.cluster.spec(node).hash_memory_bytes;
-            let id = engine.add_actor(Box::new(JoinNode::<FileBackend>::new(
-                Arc::clone(cfg),
-                topo.scheduler,
-                topo.node_actor(node),
-                capacity,
-            )));
+            let id = engine.add_actor(Box::new(
+                JoinNode::<FileBackend>::new(
+                    Arc::clone(cfg),
+                    topo.scheduler,
+                    topo.node_actor(node),
+                    capacity,
+                )
+                .with_tracer(tracer.clone()),
+            ));
             debug_assert_eq!(id, topo.node_actor(node));
         }
         let (elapsed, _actors) = engine.run();
-        let mut report = result.lock().take().ok_or(JoinError::Stalled)?;
+        let end = elapsed.as_nanos();
+        let report = result.lock().expect("report lock").take();
+        let Some(mut report) = report else {
+            harness.finish(end, StopCause::Quiescent, None);
+            return Err(JoinError::Stalled {
+                trace: harness.tail(),
+            });
+        };
         // Under the threaded backend the phase timings accumulated from
         // wall-clock `now()`; total is authoritative from the engine.
         report.times.total_secs = elapsed.as_secs_f64();
+        harness.finish(end, StopCause::Completed, Some(&mut report));
         Ok(report)
     }
 }

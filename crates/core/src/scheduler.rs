@@ -21,11 +21,11 @@ use crate::routing::RoutingTable;
 use crate::topology::Topology;
 use ehj_cluster::SchedulerBook;
 use ehj_hash::{greedy_equal_partition, BucketMap, HashRange, RangeMap, ReplicaMap};
-use ehj_metrics::{CommCounters, Phase, PhaseTimes};
+use ehj_metrics::{CommCounters, Phase, PhaseTimes, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context, SimTime};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Delay between barrier re-polls while chunks are still in flight.
 const FLUSH_RETRY_DELAY: SimTime = SimTime::from_millis(1);
@@ -104,6 +104,7 @@ pub struct Scheduler {
     node_reports: Vec<NodeReport>,
     reports_expected: usize,
     result: Arc<Mutex<Option<JoinReport>>>,
+    tracer: Tracer,
 }
 
 impl Scheduler {
@@ -116,11 +117,8 @@ impl Scheduler {
         result: Arc<Mutex<Option<JoinReport>>>,
     ) -> Self {
         let book = SchedulerBook::new(&cfg.cluster, cfg.initial_nodes, cfg.selection_policy);
-        let initial_actors: Vec<ActorId> = book
-            .working()
-            .iter()
-            .map(|&n| topo.node_actor(n))
-            .collect();
+        let initial_actors: Vec<ActorId> =
+            book.working().iter().map(|&n| topo.node_actor(n)).collect();
         let routing = match (cfg.algorithm, cfg.split_policy) {
             (Algorithm::Replicated | Algorithm::Hybrid, _) => {
                 RoutingTable::Replica(ReplicaMap::partitioned(cfg.positions, &initial_actors))
@@ -165,7 +163,15 @@ impl Scheduler {
             node_reports: Vec::new(),
             reports_expected: 0,
             result,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a tracer; events are emitted through it from then on.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     fn record(&mut self, ctx: &dyn Context<Msg>, kind: TimelineKind) {
@@ -173,6 +179,19 @@ impl Scheduler {
             at_secs: ctx.now().as_secs_f64(),
             kind,
         });
+    }
+
+    /// Emits a structured trace event attributed to the scheduler itself.
+    fn trace(&self, ctx: &dyn Context<Msg>, kind: TraceKind) {
+        self.tracer
+            .emit(ctx.now().as_nanos(), ctx.me(), self.data_phase(), kind);
+    }
+
+    /// Emits a structured trace event attributed to a specific actor
+    /// (events that describe one node's state, like `NodeFull`).
+    fn trace_at(&self, ctx: &dyn Context<Msg>, node: ActorId, kind: TraceKind) {
+        self.tracer
+            .emit(ctx.now().as_nanos(), node, self.data_phase(), kind);
     }
 
     fn active_actors(&self) -> Vec<ActorId> {
@@ -239,10 +258,9 @@ impl Scheduler {
                         }
                     }
                 }
-                Algorithm::Split
-                    if self.rb_op.is_some() => {
-                        return; // range-bisect splits stay serialized
-                    }
+                Algorithm::Split if self.rb_op.is_some() => {
+                    return; // range-bisect splits stay serialized
+                }
                 _ => {}
             }
             let Some(full_actor) = self.overflow_queue.pop_front() else {
@@ -268,20 +286,31 @@ impl Scheduler {
                 }
                 let Some(new_node) = self.book.recruit() else {
                     self.spilled_actors.insert(full_actor);
+                    self.trace_at(ctx, full_actor, TraceKind::PoolExhausted);
                     ctx.send(full_actor, Msg::NoMoreNodes);
                     return;
                 };
                 let new_actor = self.topo.node_actor(new_node);
                 self.expansions += 1;
                 self.record(ctx, TimelineKind::Recruited(new_node.0));
+                self.trace(ctx, TraceKind::Recruited { node: new_node.0 });
                 let RoutingTable::Replica(m) = &mut self.routing else {
                     unreachable!();
                 };
-                let _range = m.replicate(full_actor, new_actor);
+                let range = m.replicate(full_actor, new_actor);
+                self.trace_at(
+                    ctx,
+                    new_actor,
+                    TraceKind::Replicated {
+                        start: range.start,
+                        end: range.end,
+                    },
+                );
                 // The full node stops receiving: bookkeeping per §4.1.2.
                 if let Some(full_node) = self.topo.node_of_actor(full_actor) {
                     if self.book.working().contains(&full_node) {
                         self.book.mark_full(full_node);
+                        self.trace_at(ctx, full_actor, TraceKind::NodeFull);
                     }
                 }
                 ctx.send(
@@ -299,28 +328,41 @@ impl Scheduler {
                     // went out of core (the bucket's contents are on disk).
                     // Expansion is over: the reporter must spill too.
                     let pointer_owner = match &self.routing {
-                        RoutingTable::Buckets(m) => {
-                            m.owner_of_bucket(m.split_ptr())
-                        }
+                        RoutingTable::Buckets(m) => m.owner_of_bucket(m.split_ptr()),
                         _ => unreachable!("linear-pointer split uses bucket routing"),
                     };
                     if self.spilled_actors.contains(&pointer_owner) {
                         self.spilled_actors.insert(full_actor);
-                    ctx.send(full_actor, Msg::NoMoreNodes);
+                        self.trace_at(ctx, full_actor, TraceKind::PoolExhausted);
+                        ctx.send(full_actor, Msg::NoMoreNodes);
                         return;
                     }
                     let Some(new_node) = self.book.recruit() else {
                         self.spilled_actors.insert(full_actor);
-                    ctx.send(full_actor, Msg::NoMoreNodes);
+                        self.trace_at(ctx, full_actor, TraceKind::PoolExhausted);
+                        ctx.send(full_actor, Msg::NoMoreNodes);
                         return;
                     };
                     let new_actor = self.topo.node_actor(new_node);
                     self.expansions += 1;
                     self.record(ctx, TimelineKind::Recruited(new_node.0));
-                    let RoutingTable::Buckets(m) = &mut self.routing else {
-                        unreachable!("linear-pointer split uses bucket routing");
+                    self.trace(ctx, TraceKind::Recruited { node: new_node.0 });
+                    let (step, old_owner, pointer) = {
+                        let RoutingTable::Buckets(m) = &mut self.routing else {
+                            unreachable!("linear-pointer split uses bucket routing");
+                        };
+                        let (step, old_owner) = m.split(new_actor);
+                        (step, old_owner, m.split_ptr())
                     };
-                    let (step, old_owner) = m.split(new_actor);
+                    self.trace(
+                        ctx,
+                        TraceKind::SplitIssued {
+                            bucket: step.old,
+                            from: old_owner,
+                            to: new_actor,
+                        },
+                    );
+                    self.trace(ctx, TraceKind::SplitPointerAdvance { pointer });
                     ctx.send(
                         new_actor,
                         Msg::Activate {
@@ -347,11 +389,13 @@ impl Scheduler {
                     };
                     let Some(new_node) = self.book.recruit() else {
                         self.spilled_actors.insert(full_actor);
-                    ctx.send(full_actor, Msg::NoMoreNodes);
+                        self.trace_at(ctx, full_actor, TraceKind::PoolExhausted);
+                        ctx.send(full_actor, Msg::NoMoreNodes);
                         return;
                     };
                     let new_actor = self.topo.node_actor(new_node);
                     self.record(ctx, TimelineKind::Recruited(new_node.0));
+                    self.trace(ctx, TraceKind::Recruited { node: new_node.0 });
                     ctx.send(
                         new_actor,
                         Msg::Activate {
@@ -377,12 +421,19 @@ impl Scheduler {
         }
     }
 
-    fn handle_split_done(&mut self, ctx: &mut dyn Context<Msg>, old_bucket: u32) {
+    fn handle_split_done(&mut self, ctx: &mut dyn Context<Msg>, old_bucket: u32, moved: u64) {
         let Some(started) = self.lp_inflight.remove(&old_bucket) else {
             return;
         };
         self.split_time += ctx.now().saturating_sub(started);
         self.record(ctx, TimelineKind::SplitDone(old_bucket));
+        self.trace(
+            ctx,
+            TraceKind::SplitDone {
+                bucket: old_bucket,
+                moved,
+            },
+        );
         self.process_overflows(ctx);
         self.maybe_start_flush(ctx);
     }
@@ -391,6 +442,7 @@ impl Scheduler {
         &mut self,
         ctx: &mut dyn Context<Msg>,
         cut: u32,
+        moved: u64,
         ok: bool,
     ) {
         let Some(RangeBisectOp {
@@ -403,6 +455,7 @@ impl Scheduler {
         };
         self.split_time += ctx.now().saturating_sub(started);
         self.rb_op = None;
+        self.trace(ctx, TraceKind::RangeSplit { cut, moved, ok });
         if ok {
             self.record(ctx, TimelineKind::RangeSplit(cut));
             self.expansions += 1;
@@ -425,7 +478,8 @@ impl Scheduler {
                 self.book.return_to_potential(node);
             }
             self.spilled_actors.insert(full_actor);
-                    ctx.send(full_actor, Msg::NoMoreNodes);
+            self.trace_at(ctx, full_actor, TraceKind::PoolExhausted);
+            ctx.send(full_actor, Msg::NoMoreNodes);
         }
         self.process_overflows(ctx);
         self.maybe_start_flush(ctx);
@@ -440,10 +494,7 @@ impl Scheduler {
             _ => return false,
         };
         let reshuffle_ready = self.phase != SchedPhase::Reshuffle
-            || self
-                .groups
-                .iter()
-                .all(|g| g.done == g.members.len());
+            || self.groups.iter().all(|g| g.done == g.members.len());
         (self.sources_done >= sources_needed)
             && self.overflow_queue.is_empty()
             && self.lp_inflight.is_empty()
@@ -520,6 +571,7 @@ impl Scheduler {
             SchedPhase::Build => {
                 self.build_done_at = ctx.now();
                 self.record(ctx, TimelineKind::BuildDone);
+                self.trace(ctx, TraceKind::PhaseDone);
                 if self.cfg.algorithm == Algorithm::Hybrid && self.start_reshuffle(ctx) {
                     self.phase = SchedPhase::Reshuffle;
                 } else {
@@ -530,10 +582,12 @@ impl Scheduler {
             SchedPhase::Reshuffle => {
                 self.reshuffle_done_at = ctx.now();
                 self.record(ctx, TimelineKind::ReshuffleDone);
+                self.trace(ctx, TraceKind::PhaseDone);
                 self.install_reshuffled_routing();
                 self.start_probe(ctx);
             }
             SchedPhase::Probe => {
+                self.trace(ctx, TraceKind::PhaseDone);
                 self.phase = SchedPhase::Reporting;
                 let actors = self.active_actors();
                 self.reports_expected = actors.len();
@@ -596,12 +650,7 @@ impl Scheduler {
         true
     }
 
-    fn handle_reshuffle_counts(
-        &mut self,
-        ctx: &mut dyn Context<Msg>,
-        gid: u32,
-        counts: Vec<u64>,
-    ) {
+    fn handle_reshuffle_counts(&mut self, ctx: &mut dyn Context<Msg>, gid: u32, counts: Vec<u64>) {
         let g = &mut self.groups[gid as usize];
         debug_assert_eq!(counts.len(), g.hist.len());
         for (acc, c) in g.hist.iter_mut().zip(counts) {
@@ -625,6 +674,13 @@ impl Scheduler {
             .collect();
         let plan = g.assignments.clone();
         let members = g.members.clone();
+        self.trace(
+            ctx,
+            TraceKind::ReshufflePlanned {
+                group: gid,
+                members: members.len() as u64,
+            },
+        );
         for member in members {
             ctx.send(
                 member,
@@ -742,8 +798,9 @@ impl Scheduler {
             net_bytes: 0,
             disk_bytes: 0,
             timeline: std::mem::take(&mut self.timeline),
+            trace: ehj_metrics::TraceRollup::default(),
         };
-        *self.result.lock() = Some(report);
+        *self.result.lock().expect("report lock") = Some(report);
         ctx.stop();
     }
 }
@@ -785,9 +842,15 @@ impl Actor<Msg> for Scheduler {
                 }
                 self.handle_relieved(from);
             }
-            Msg::SplitDone { step, .. } => self.handle_split_done(ctx, step.old),
-            Msg::RangeSplitDone { cut, ok, .. } => {
-                self.handle_range_split_done(ctx, cut, ok);
+            Msg::SplitDone { step, moved_tuples } => {
+                self.handle_split_done(ctx, step.old, moved_tuples);
+            }
+            Msg::RangeSplitDone {
+                cut,
+                moved_tuples,
+                ok,
+            } => {
+                self.handle_range_split_done(ctx, cut, moved_tuples, ok);
             }
             Msg::SourcePhaseDone {
                 sent_chunks, comm, ..
@@ -1139,7 +1202,14 @@ mod tests {
         assert_eq!(planned.len(), 2);
         ctx.sent.clear();
         for &member in &[N0, new_actor] {
-            sched.on_message(&mut ctx, member, Msg::ReshuffleDone { group: 0, sent_tuples: 3 });
+            sched.on_message(
+                &mut ctx,
+                member,
+                Msg::ReshuffleDone {
+                    group: 0,
+                    sent_tuples: 3,
+                },
+            );
         }
         // Reshuffle data barrier: nodes report balanced reshuffle chunks.
         ack_all(&mut sched, &mut ctx, 1, 1);
@@ -1195,7 +1265,11 @@ mod tests {
             );
         }
         assert!(ctx.stopped, "the scheduler stops the engine when done");
-        let report = slot.lock().take().expect("report written");
+        let report = slot
+            .lock()
+            .expect("report lock")
+            .take()
+            .expect("report written");
         assert_eq!(report.matches, 14);
         assert_eq!(report.build_tuples, 100);
         assert_eq!(report.final_nodes, 2);
@@ -1211,10 +1285,8 @@ mod tests {
             Arc::new(cfg)
         };
         // Rebuild routing for the policy (normally done in new()).
-        sched.routing = RoutingTable::Disjoint(RangeMap::partitioned(
-            sched.cfg.positions,
-            &[N0, N1],
-        ));
+        sched.routing =
+            RoutingTable::Disjoint(RangeMap::partitioned(sched.cfg.positions, &[N0, N1]));
         sched.on_start(&mut ctx);
         ctx.sent.clear();
         let potential_before = sched.book.potential().len();
@@ -1279,10 +1351,24 @@ mod robustness_tests {
                 _ => None,
             })
             .expect("split requested");
-        sched.on_message(&mut ctx, 2, Msg::SplitDone { step, moved_tuples: 3 });
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::SplitDone {
+                step,
+                moved_tuples: 3,
+            },
+        );
         let splits_after_first = sched.split_time;
         // A duplicate completion for the same bucket must be a no-op.
-        sched.on_message(&mut ctx, 2, Msg::SplitDone { step, moved_tuples: 3 });
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::SplitDone {
+                step,
+                moved_tuples: 3,
+            },
+        );
         assert_eq!(sched.split_time, splits_after_first);
         assert!(sched.lp_inflight.is_empty());
     }

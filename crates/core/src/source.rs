@@ -27,7 +27,7 @@ use crate::msg::Msg;
 use crate::routing::RoutingTable;
 use ehj_data::{SourceGenerator, Tuple};
 use ehj_hash::PositionSpace;
-use ehj_metrics::{CommCategory, CommCounters, Phase};
+use ehj_metrics::{CommCategory, CommCounters, Phase, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -65,6 +65,7 @@ pub struct DataSource {
     sent_tuples: u64,
     comm: CommCounters,
     dest_scratch: Vec<ActorId>,
+    tracer: Tracer,
 }
 
 impl DataSource {
@@ -92,7 +93,15 @@ impl DataSource {
             sent_tuples: 0,
             comm: CommCounters::new(chunk),
             dest_scratch: Vec::new(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a tracer; events are emitted through it from then on.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     fn tuple_bytes(&self) -> u64 {
@@ -168,10 +177,7 @@ impl DataSource {
     fn handle_ack(&mut self, ctx: &mut dyn Context<Msg>, from: ActorId) {
         // Release one blocked chunk for this destination, or bank the
         // credit.
-        let queued = self
-            .blocked
-            .get_mut(&from)
-            .and_then(VecDeque::pop_front);
+        let queued = self.blocked.get_mut(&from).and_then(VecDeque::pop_front);
         if let Some(tuples) = queued {
             self.transmit(ctx, from, tuples);
         } else {
@@ -209,6 +215,8 @@ impl DataSource {
         let tb = self.tuple_bytes();
         let mut dests = std::mem::take(&mut self.dest_scratch);
         let mut routed: u64 = 0;
+        let mut fanout_tuples: u64 = 0;
+        let mut fanout_copies: u64 = 0;
         for t in tuples {
             match self.phase {
                 Phase::Build => {
@@ -219,6 +227,10 @@ impl DataSource {
                 Phase::Reshuffle => unreachable!(),
             }
             routed += dests.len() as u64;
+            if dests.len() > 1 {
+                fanout_tuples += 1;
+                fanout_copies += dests.len() as u64;
+            }
             // `dests` is a local scratch vec, so iterating it does not
             // alias the `&mut self` the buffer pushes need.
             let dest_list = std::mem::take(&mut dests);
@@ -238,6 +250,19 @@ impl DataSource {
             self.routing = Some(routing);
         }
         ctx.consume_cpu(self.cfg.costs.route_per_tuple * routed);
+        if fanout_tuples > 0 {
+            // One aggregated event per generation batch keeps the trace
+            // proportional to batches, not tuples.
+            self.tracer.emit_detail(
+                ctx.now().as_nanos(),
+                ctx.me(),
+                self.phase,
+                TraceKind::ProbeFanout {
+                    tuples: fanout_tuples,
+                    copies: fanout_copies,
+                },
+            );
+        }
     }
 
     fn gen_step(&mut self, ctx: &mut dyn Context<Msg>) {
@@ -323,13 +348,12 @@ impl Actor<Msg> for DataSource {
             Msg::StartProbe { routing, version } => {
                 self.start_phase(ctx, Phase::Probe, routing, version);
             }
-            Msg::RoutingUpdate { routing, version }
-                if version > self.routing_version => {
-                    self.routing = Some(routing);
-                    self.routing_version = version;
-                    self.reroute_blocked(ctx);
-                    self.check_drained(ctx);
-                }
+            Msg::RoutingUpdate { routing, version } if version > self.routing_version => {
+                self.routing = Some(routing);
+                self.routing_version = version;
+                self.reroute_blocked(ctx);
+                self.check_drained(ctx);
+            }
             Msg::DataAck => self.handle_ack(ctx, from),
             Msg::GenStep => self.gen_step(ctx),
             // Sources ignore everything else.

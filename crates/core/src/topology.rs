@@ -2,12 +2,11 @@
 
 use ehj_cluster::NodeId;
 use ehj_sim::ActorId;
-use serde::{Deserialize, Serialize};
 
 /// Maps the system's roles onto engine actor ids. The runner registers the
 /// scheduler first, then the data sources, then every cluster node's join
 /// process (active or not), so ids are dense and predictable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     /// The scheduler actor (always 0).
     pub scheduler: ActorId,

@@ -9,7 +9,18 @@ fn fig2_shape_at_scale_100() {
             let mut cfg = JoinConfig::paper_scaled(alg, 100);
             cfg.initial_nodes = initial;
             let r = JoinRunner::run(&cfg).expect("join");
-            line += &format!("  {}={:6.2}s(n{:02},x{:04})", match alg { Algorithm::Replicated=>"R", Algorithm::Split=>"S", Algorithm::Hybrid=>"H", Algorithm::OutOfCore=>"O" }, r.times.total_secs, r.final_nodes, r.extra_build_chunks());
+            line += &format!(
+                "  {}={:6.2}s(n{:02},x{:04})",
+                match alg {
+                    Algorithm::Replicated => "R",
+                    Algorithm::Split => "S",
+                    Algorithm::Hybrid => "H",
+                    Algorithm::OutOfCore => "O",
+                },
+                r.times.total_secs,
+                r.final_nodes,
+                r.extra_build_chunks()
+            );
         }
         println!("{line}");
     }

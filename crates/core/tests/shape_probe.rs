@@ -6,10 +6,22 @@ fn run_line(label: &str, mk: impl Fn(Algorithm) -> JoinConfig) {
     for alg in Algorithm::ALL {
         let cfg = mk(alg);
         match JoinRunner::run(&cfg) {
-            Ok(r) => line += &format!(
-                "  {}={:6.2}s(n{:02},xb{:04},xp{:04},sp{})",
-                match alg { Algorithm::Replicated=>"R", Algorithm::Split=>"S", Algorithm::Hybrid=>"H", Algorithm::OutOfCore=>"O" },
-                r.times.total_secs, r.final_nodes, r.extra_build_chunks(), r.extra_probe_chunks(), r.spilled_nodes),
+            Ok(r) => {
+                line += &format!(
+                    "  {}={:6.2}s(n{:02},xb{:04},xp{:04},sp{})",
+                    match alg {
+                        Algorithm::Replicated => "R",
+                        Algorithm::Split => "S",
+                        Algorithm::Hybrid => "H",
+                        Algorithm::OutOfCore => "O",
+                    },
+                    r.times.total_secs,
+                    r.final_nodes,
+                    r.extra_build_chunks(),
+                    r.extra_probe_chunks(),
+                    r.spilled_nodes
+                )
+            }
             Err(e) => line += &format!("  {alg:?}=ERR({e})"),
         }
     }
@@ -36,7 +48,10 @@ fn fig10_skew() {
 #[test]
 #[ignore = "calibration probe"]
 fn fig8_build_from_larger() {
-    for (name, r_t, s_t) in [("R=10M,S=100M", 100_000u64, 1_000_000u64), ("R=100M,S=10M", 1_000_000, 100_000)] {
+    for (name, r_t, s_t) in [
+        ("R=10M,S=100M", 100_000u64, 1_000_000u64),
+        ("R=100M,S=10M", 1_000_000, 100_000),
+    ] {
         run_line(name, |alg| {
             let mut cfg = JoinConfig::paper_scaled(alg, 100);
             cfg.r.tuples = r_t;
@@ -56,6 +71,9 @@ fn fig5_split_vs_reshuffle() {
         let mut cfg = JoinConfig::paper_scaled(Algorithm::Hybrid, 100);
         cfg.initial_nodes = init;
         let h = JoinRunner::run(&cfg).unwrap();
-        println!("init={init:2}  split_time={:6.3}s  reshuffle_time={:6.3}s", s.split_time_secs, h.reshuffle_time_secs);
+        println!(
+            "init={init:2}  split_time={:6.3}s  reshuffle_time={:6.3}s",
+            s.split_time_secs, h.reshuffle_time_secs
+        );
     }
 }

@@ -38,7 +38,11 @@ fn spill_heavy_builds_still_match_reference() {
         let r = JoinRunner::run(&cfg).expect("join must complete");
         println!(
             "spill-heavy {:12} matches={} expect={} spilled={} final={}",
-            alg.label(), r.matches, expect, r.spilled_nodes, r.final_nodes
+            alg.label(),
+            r.matches,
+            expect,
+            r.spilled_nodes,
+            r.final_nodes
         );
         assert_eq!(r.matches, expect, "{} must match reference", alg.label());
         assert!(r.spilled_nodes > 0, "{} should have spilled", alg.label());

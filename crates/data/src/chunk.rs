@@ -9,7 +9,6 @@
 
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 
 /// The paper's chunk granularity: 10 000 tuples per chunk (Figures 4, 11).
 pub const DEFAULT_CHUNK_TUPLES: usize = 10_000;
@@ -18,7 +17,7 @@ pub const DEFAULT_CHUNK_TUPLES: usize = 10_000;
 pub const CHUNK_HEADER_BYTES: u64 = 64;
 
 /// A batch of tuples shipped between processes as one message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chunk {
     /// The tuples in this chunk.
     pub tuples: Vec<Tuple>,

@@ -9,7 +9,6 @@
 
 use crate::rng::Xoshiro256StarStar;
 use crate::tuple::JoinAttr;
-use serde::{Deserialize, Serialize};
 
 /// Default join-attribute domain: values are drawn from `[0, 2^32)`.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_ATTR_DOMAIN: u64 = 1 << 32;
 
 /// Distribution of join-attribute values over a normalized `[0, 1)` range.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Distribution {
     /// Uniform over the whole attribute domain.
     Uniform,
@@ -112,8 +111,7 @@ impl ZipfState {
         let zetan = Self::zetan(n, theta);
         let zeta2 = Self::zetan(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta =
-            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
         Self {
             theta,
             alpha,
@@ -131,8 +129,7 @@ impl ZipfState {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(n - 1)
     }
 }

@@ -33,4 +33,4 @@ pub use dist::{Distribution, JoinAttrSampler, DEFAULT_ATTR_DOMAIN};
 pub use gen::{RelationSpec, SourceGenerator, TupleGenerator};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use schema::Schema;
-pub use tuple::{JoinAttr, MatchPair, MaterializedTuple, Tuple, TupleIndex};
+pub use tuple::{JoinAttr, MatchPair, MaterializedTuple, Payload, Tuple, TupleIndex};

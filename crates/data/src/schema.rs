@@ -1,11 +1,9 @@
 //! Relation schema: column sizing used for all byte accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Describes the row layout of a relation: the two fixed 64-bit columns plus
 /// an `n`-byte data payload (§5 of the paper). Both R and S share one schema
 /// in every experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Schema {
     /// Size of the opaque data column in bytes (the paper's `n`; 100 B in
     /// most experiments, varied to 200/400 B in Figure 7).

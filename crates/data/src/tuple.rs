@@ -7,8 +7,12 @@
 //! byte count through [`crate::Schema`]. [`MaterializedTuple`] carries real
 //! payload bytes for callers that need them (e.g. end-to-end examples).
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable payload bytes (shared via [`Arc`], so clones
+/// are reference bumps rather than copies, matching `bytes::Bytes` semantics
+/// without the external dependency).
+pub type Payload = Arc<[u8]>;
 
 /// The 64-bit row index column.
 pub type TupleIndex = u64;
@@ -18,7 +22,7 @@ pub type JoinAttr = u64;
 
 /// A relation element: 64-bit index + 64-bit join attribute. The `n`-byte
 /// payload is tracked by size via [`crate::Schema`] (see crate docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Tuple {
     /// Unique row identifier within its relation.
     pub index: TupleIndex,
@@ -44,13 +48,13 @@ pub struct MaterializedTuple {
     /// The two fixed 64-bit columns.
     pub head: Tuple,
     /// The opaque `n`-byte data column.
-    pub payload: Bytes,
+    pub payload: Payload,
 }
 
 impl MaterializedTuple {
     /// Creates a materialized tuple from its columns.
     #[must_use]
-    pub fn new(index: TupleIndex, join_attr: JoinAttr, payload: Bytes) -> Self {
+    pub fn new(index: TupleIndex, join_attr: JoinAttr, payload: Payload) -> Self {
         Self {
             head: Tuple::new(index, join_attr),
             payload,
@@ -69,7 +73,7 @@ impl MaterializedTuple {
 /// The paper "outputs r and s"; downstream consumers (disk, client, next
 /// query stage) are out of scope, so the reproduction forwards or counts
 /// these pairs. The pair is enough to reconstruct the full rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatchPair {
     /// Index of the build-side tuple (relation R by default).
     pub build_index: TupleIndex,
@@ -89,13 +93,13 @@ mod tests {
 
     #[test]
     fn materialized_wire_bytes_counts_payload() {
-        let t = MaterializedTuple::new(1, 2, Bytes::from(vec![0u8; 100]));
+        let t = MaterializedTuple::new(1, 2, Payload::from(vec![0u8; 100]));
         assert_eq!(t.wire_bytes(), 116);
     }
 
     #[test]
     fn materialized_empty_payload() {
-        let t = MaterializedTuple::new(1, 2, Bytes::new());
+        let t = MaterializedTuple::new(1, 2, Payload::from(Vec::new()));
         assert_eq!(t.wire_bytes(), 16);
     }
 }

@@ -1,77 +1,92 @@
-//! Property-based tests for the data substrate.
+//! Randomized-property tests for the data substrate, driven by the crate's
+//! own deterministic generators (fixed seeds, no external property-testing
+//! dependency).
 
 use ehj_data::{
     Chunk, ChunkSet, Distribution, JoinAttrSampler, RelationSpec, Schema, SplitMix64, Tuple,
     Xoshiro256StarStar,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn xoshiro_next_below_is_always_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
-        let mut g = Xoshiro256StarStar::new(seed);
+#[test]
+fn xoshiro_next_below_is_always_in_range() {
+    let mut g = Xoshiro256StarStar::new(0x1001);
+    for _ in 0..64 {
+        let seed = g.next_u64();
+        let bound = 1 + g.next_below(u64::MAX - 1);
+        let mut x = Xoshiro256StarStar::new(seed);
         for _ in 0..64 {
-            prop_assert!(g.next_below(bound) < bound);
+            assert!(x.next_below(bound) < bound);
         }
     }
+}
 
-    #[test]
-    fn xoshiro_streams_are_reproducible(seed in any::<u64>()) {
+#[test]
+fn xoshiro_streams_are_reproducible() {
+    let mut g = Xoshiro256StarStar::new(0x2002);
+    for _ in 0..64 {
+        let seed = g.next_u64();
         let mut a = Xoshiro256StarStar::new(seed);
         let mut b = Xoshiro256StarStar::new(seed);
         for _ in 0..32 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    #[test]
-    fn derive_is_pure_and_distinct(seed in any::<u64>(), n in 0u64..1000) {
-        let g = SplitMix64::new(seed);
-        prop_assert_eq!(g.derive(n), g.derive(n));
-        prop_assert_ne!(g.derive(n), g.derive(n + 1));
+#[test]
+fn derive_is_pure_and_distinct() {
+    let mut g = Xoshiro256StarStar::new(0x3003);
+    for _ in 0..256 {
+        let seed = g.next_u64();
+        let n = g.next_below(1000);
+        let sm = SplitMix64::new(seed);
+        assert_eq!(sm.derive(n), sm.derive(n));
+        assert_ne!(sm.derive(n), sm.derive(n + 1));
     }
+}
 
-    #[test]
-    fn sampler_stays_in_domain(
-        seed in any::<u64>(),
-        domain in 1u64..u64::MAX / 2,
-        mean in 0.0f64..1.0,
-        sigma in 1e-6f64..10.0,
-    ) {
-        let mut s = JoinAttrSampler::new(
-            Distribution::Gaussian { mean, sigma },
-            domain,
-            seed,
-        );
+#[test]
+fn sampler_stays_in_domain() {
+    let mut g = Xoshiro256StarStar::new(0x4004);
+    for _ in 0..128 {
+        let seed = g.next_u64();
+        let domain = 1 + g.next_below(u64::MAX / 2 - 1);
+        let mean = g.next_f64();
+        let sigma = 1e-6 + g.next_f64() * 10.0;
+        let mut s = JoinAttrSampler::new(Distribution::Gaussian { mean, sigma }, domain, seed);
         for _ in 0..64 {
-            prop_assert!(s.sample() < domain);
+            assert!(s.sample() < domain);
         }
     }
+}
 
-    #[test]
-    fn source_slices_partition_the_relation(
-        tuples in 0u64..100_000,
-        sources in 1usize..32,
-    ) {
+#[test]
+fn source_slices_partition_the_relation() {
+    let mut g = Xoshiro256StarStar::new(0x5005);
+    for _ in 0..256 {
+        let tuples = g.next_below(100_000);
+        let sources = 1 + g.next_below(31) as usize;
         let spec = RelationSpec::uniform(tuples, 1);
         let mut covered = 0u64;
         let mut prev_end = 0u64;
         for s in 0..sources {
             let (start, end) = spec.slice_for_source(s, sources);
-            prop_assert_eq!(start, prev_end);
-            prop_assert!(end >= start);
+            assert_eq!(start, prev_end);
+            assert!(end >= start);
             covered += end - start;
             prev_end = end;
         }
-        prop_assert_eq!(covered, tuples);
+        assert_eq!(covered, tuples);
     }
+}
 
-    #[test]
-    fn distributed_generation_is_a_permutation_invariant_multiset(
-        tuples in 1u64..3000,
-        sources in 1usize..8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn distributed_generation_is_a_permutation_invariant_multiset() {
+    let mut g = Xoshiro256StarStar::new(0x6006);
+    for _ in 0..32 {
+        let tuples = 1 + g.next_below(2999);
+        let sources = 1 + g.next_below(7) as usize;
+        let seed = g.next_u64();
         // Indices must cover 0..tuples exactly once regardless of the
         // source count (attribute streams differ by design).
         let spec = RelationSpec::uniform(tuples, seed);
@@ -82,39 +97,43 @@ proptest! {
             .collect();
         indices.sort_unstable();
         let expect: Vec<u64> = (0..tuples).collect();
-        prop_assert_eq!(indices, expect);
+        assert_eq!(indices, expect);
     }
+}
 
-    #[test]
-    fn chunk_set_conserves_tuples(
-        dests in 1usize..6,
-        cap in 1usize..50,
-        n in 0u64..2000,
-    ) {
+#[test]
+fn chunk_set_conserves_tuples() {
+    let mut g = Xoshiro256StarStar::new(0x7007);
+    for _ in 0..64 {
+        let dests = 1 + g.next_below(5) as usize;
+        let cap = 1 + g.next_below(49) as usize;
+        let n = g.next_below(2000);
         let mut cs = ChunkSet::new(dests, cap);
         let mut emitted = 0u64;
         for i in 0..n {
             let t = Tuple::new(i, i * 17);
             if let Some(chunk) = cs.push((i % dests as u64) as usize, t) {
-                prop_assert_eq!(chunk.len(), cap);
+                assert_eq!(chunk.len(), cap);
                 emitted += chunk.len() as u64;
             }
         }
         let flushed: u64 = cs.flush_all().iter().map(|(_, c)| c.len() as u64).sum();
-        prop_assert_eq!(emitted + flushed, n);
-        prop_assert_eq!(cs.buffered_tuples(), 0);
+        assert_eq!(emitted + flushed, n);
+        assert_eq!(cs.buffered_tuples(), 0);
     }
+}
 
-    #[test]
-    fn chunk_wire_bytes_scale_with_payload(
-        n in 0usize..500,
-        payload in 0u32..1000,
-    ) {
+#[test]
+fn chunk_wire_bytes_scale_with_payload() {
+    let mut g = Xoshiro256StarStar::new(0x8008);
+    for _ in 0..256 {
+        let n = g.next_below(500) as usize;
+        let payload = g.next_below(1000) as u32;
         let c = Chunk::new(vec![Tuple::new(0, 0); n]);
         let s = Schema::with_payload(payload);
-        prop_assert_eq!(
+        assert_eq!(
             c.wire_bytes(s),
-            ehj_data::CHUNK_HEADER_BYTES + (n as u64) * (16 + payload as u64)
+            ehj_data::CHUNK_HEADER_BYTES + (n as u64) * (16 + u64::from(payload))
         );
     }
 }

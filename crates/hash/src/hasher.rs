@@ -15,10 +15,9 @@
 //! scatters values uniformly.
 
 use ehj_data::JoinAttr;
-use serde::{Deserialize, Serialize};
 
 /// Maps a join-attribute value to a hash value within the same domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AttrHasher {
     /// Hash value = attribute value (the paper's locality-preserving
     /// behaviour; default).
@@ -49,7 +48,7 @@ impl AttrHasher {
 
 /// The global hash-table position space: `positions` slots over an attribute
 /// domain of `domain` values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PositionSpace {
     /// Number of hash-table positions (the paper's "hash table consists of
     /// H elements").
@@ -133,7 +132,10 @@ mod tests {
         for v in 4000..4300u64 {
             seen[ps.position_of(v) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "300-wide window must cover 100 positions");
+        assert!(
+            seen.iter().all(|&s| s),
+            "300-wide window must cover 100 positions"
+        );
         // A narrow window concentrates on a contiguous band.
         let mut band = [false; 100];
         for v in 4000..4010u64 {
@@ -147,7 +149,10 @@ mod tests {
         let ps = PositionSpace::new(1 << 16, 1 << 32, AttrHasher::Fibonacci);
         let a = ps.position_of(1000);
         let b = ps.position_of(1001);
-        assert!(a.abs_diff(b) > 10, "adjacent values should scatter: {a} vs {b}");
+        assert!(
+            a.abs_diff(b) > 10,
+            "adjacent values should scatter: {a} vs {b}"
+        );
     }
 
     #[test]

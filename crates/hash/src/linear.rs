@@ -21,11 +21,9 @@
 //! re-splitting one halving per round, moving the same tuples many times,
 //! while a single hot cell can never be separated at all.
 
-use serde::{Deserialize, Serialize};
-
 /// Description of one split step: bucket `old`'s subrange `[lo, hi)` halves
 /// at `mid`; values in `[mid, hi)` move to the new bucket `new`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitStep {
     /// The bucket that was split (the pre-split split pointer).
     pub old: u32,
@@ -49,7 +47,7 @@ impl SplitStep {
 /// disjoint hash-value subranges, one per bucket, with the linear-hashing
 /// split-pointer discipline ordering the splits. `T` is the owner handle
 /// (a node id).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BucketMap<T> {
     /// `[lo, hi)` per bucket id (creation order; ids never change).
     buckets: Vec<(u64, u64)>,
@@ -317,7 +315,11 @@ mod tests {
         let b0 = m.bucket_of(hot);
         let _ = m.split(4); // splits bucket 0; hot value lives in bucket 2
         assert_eq!(m.bucket_of(hot), b0);
-        assert_eq!(m.bucket_of(hot + 50), b0, "hot neighbourhood sticks together");
+        assert_eq!(
+            m.bucket_of(hot + 50),
+            b0,
+            "hot neighbourhood sticks together"
+        );
     }
 
     #[test]

@@ -7,10 +7,8 @@
 //! [`ReplicaMap`] extends it with per-range replica lists for the
 //! replication-based build and probe phases.
 
-use serde::{Deserialize, Serialize};
-
 /// A half-open range of hash-table positions `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HashRange {
     /// First position in the range.
     pub start: u32,
@@ -82,7 +80,7 @@ impl HashRange {
 }
 
 /// A disjoint, covering map from position ranges to owners.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeMap<T> {
     entries: Vec<(HashRange, T)>,
 }
@@ -138,9 +136,7 @@ impl<T: Copy + Eq> RangeMap<T> {
     /// Panics if `pos` is outside the covered space.
     #[must_use]
     pub fn entry_of(&self, pos: u32) -> (HashRange, T) {
-        let idx = self
-            .entries
-            .partition_point(|(r, _)| r.end <= pos);
+        let idx = self.entries.partition_point(|(r, _)| r.end <= pos);
         let e = self.entries.get(idx).copied();
         match e {
             Some(e) if e.0.contains(pos) => e,
@@ -206,7 +202,7 @@ impl<T: Copy + Eq> RangeMap<T> {
 /// One replicated range: every owner holds part of the build side; the
 /// *active* owner (the most recently recruited) receives new build tuples,
 /// and probe tuples are broadcast to all owners (§4.2.2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaEntry<T> {
     /// The replicated position range.
     pub range: HashRange,
@@ -224,7 +220,7 @@ impl<T: Copy + Eq> ReplicaEntry<T> {
 
 /// Range map with replica lists: the replication-based algorithm's routing
 /// state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaMap<T> {
     entries: Vec<ReplicaEntry<T>>,
 }
@@ -330,7 +326,11 @@ impl<T: Copy + Eq> ReplicaMap<T> {
     /// Largest replica-list length (1 = no replication happened).
     #[must_use]
     pub fn max_replication(&self) -> usize {
-        self.entries.iter().map(|e| e.owners.len()).max().unwrap_or(0)
+        self.entries
+            .iter()
+            .map(|e| e.owners.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -398,10 +398,7 @@ mod tests {
         // Reshuffle node 2's range [50,100) between nodes 2 and 5.
         m.replace_range(
             HashRange::new(50, 100),
-            vec![
-                (HashRange::new(50, 80), 2),
-                (HashRange::new(80, 100), 5),
-            ],
+            vec![(HashRange::new(50, 80), 2), (HashRange::new(80, 100), 5)],
         );
         assert_eq!(m.owner_of(49), 1);
         assert_eq!(m.owner_of(79), 2);

@@ -189,7 +189,11 @@ impl JoinHashTable {
     /// Removes and returns all tuples whose position lies in
     /// `[range_start, range_end)` (reshuffle redistribution).
     pub fn extract_range(&mut self, range_start: u32, range_end: u32) -> Vec<Tuple> {
-        let keys: Vec<u32> = self.chains.range(range_start..range_end).map(|(&k, _)| k).collect();
+        let keys: Vec<u32> = self
+            .chains
+            .range(range_start..range_end)
+            .map(|(&k, _)| k)
+            .collect();
         let mut out = Vec::new();
         for k in keys {
             let chain = self.chains.remove(&k).expect("key just enumerated");
@@ -265,7 +269,9 @@ mod tests {
         for i in 0..3 {
             t.insert(Tuple::new(i, i * 10)).expect("fits");
         }
-        let err = t.insert(Tuple::new(9, 90)).expect_err("fourth must overflow");
+        let err = t
+            .insert(Tuple::new(9, 90))
+            .expect_err("fourth must overflow");
         assert_eq!(err.capacity_bytes, t.capacity_bytes());
         assert_eq!(t.len(), 3);
         assert_eq!(t.bytes_used(), 3 * t.bytes_per_tuple());

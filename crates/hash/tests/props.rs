@@ -1,70 +1,81 @@
-//! Property-based tests for the hashing substrate: the invariants every
+//! Randomized-property tests for the hashing substrate: the invariants every
 //! algorithm's correctness rests on.
+//!
+//! Cases are driven by the repo's own deterministic [`Xoshiro256StarStar`]
+//! generator (fixed seeds), so the suite is reproducible and needs no
+//! external property-testing dependency.
 
-use ehj_data::{Schema, Tuple};
+use ehj_data::{Schema, Tuple, Xoshiro256StarStar};
 use ehj_hash::{
     greedy_equal_partition, part_loads, AttrHasher, BucketMap, HashRange, JoinHashTable,
     PositionSpace, RangeMap, ReplicaMap,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn positions_are_always_in_range(
-        positions in 1u32..1_000_000,
-        domain in 1u64..u64::MAX / 2,
-        attr in any::<u64>(),
-    ) {
+#[test]
+fn positions_are_always_in_range() {
+    let mut g = Xoshiro256StarStar::new(0xA11CE);
+    for _ in 0..256 {
+        let positions = 1 + g.next_below(1_000_000 - 1) as u32;
+        let domain = 1 + g.next_below(u64::MAX / 2 - 1);
+        let attr = g.next_u64();
         for hasher in [AttrHasher::Identity, AttrHasher::Fibonacci] {
             let ps = PositionSpace::new(positions, domain, hasher);
-            prop_assert!(ps.position_of(attr) < positions);
+            assert!(ps.position_of(attr) < positions);
         }
     }
+}
 
-    #[test]
-    fn range_partition_covers_disjointly(total in 1u32..1_000_000, k in 1usize..64) {
+#[test]
+fn range_partition_covers_disjointly() {
+    let mut g = Xoshiro256StarStar::new(0xB0B);
+    for _ in 0..256 {
+        let total = 1 + g.next_below(1_000_000 - 1) as u32;
+        let k = 1 + g.next_below(63) as usize;
         let parts = HashRange::partition(total, k);
-        prop_assert_eq!(parts.len(), k);
-        prop_assert_eq!(parts[0].start, 0);
-        prop_assert_eq!(parts[k - 1].end, total);
+        assert_eq!(parts.len(), k);
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts[k - 1].end, total);
         for w in parts.windows(2) {
-            prop_assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end, w[1].start);
         }
     }
+}
 
-    /// Every position has exactly one owner in a RangeMap, and replication
-    /// only ever appends owners.
-    #[test]
-    #[allow(clippy::explicit_counter_loop)]
-    fn replica_map_owner_lists_only_grow(
-        positions in 8u32..4096,
-        owners in 2usize..8,
-        replications in 0usize..6,
-        probe_pos in 0u32..4096,
-    ) {
+/// Every position has exactly one owner in a ReplicaMap, and replication
+/// only ever appends owners.
+#[test]
+fn replica_map_owner_lists_only_grow() {
+    let mut g = Xoshiro256StarStar::new(0xC0FFEE);
+    for _ in 0..128 {
+        let positions = 8 + g.next_below(4096 - 8) as u32;
+        let owners = 2 + g.next_below(6) as usize;
+        let replications = g.next_below(6) as usize;
+        let probe_pos = g.next_below(4096) as u32;
+
         let owner_ids: Vec<u32> = (0..owners as u32).collect();
         let mut m = ReplicaMap::partitioned(positions, &owner_ids);
-        let mut next = 100u32;
-        for _ in 0..replications {
+        for next in 100..100 + replications as u32 {
             let active = m.active_of(probe_pos % positions);
             let before = m.owners_of(probe_pos % positions).len();
             let _ = m.replicate(active, next);
             let after = m.owners_of(probe_pos % positions).len();
-            prop_assert_eq!(after, before + 1);
-            prop_assert_eq!(m.active_of(probe_pos % positions), next);
-            next += 1;
+            assert_eq!(after, before + 1);
+            assert_eq!(m.active_of(probe_pos % positions), next);
         }
     }
+}
 
-    /// BucketMap routing must always agree with incrementally applying each
-    /// SplitStep's predicate — this is exactly what keeps data placement and
-    /// probe routing consistent in the split-based algorithm.
-    #[test]
-    fn bucket_map_routing_tracks_split_steps(
-        n0 in 1usize..6,
-        domain in 64u64..8192,
-        splits in 0usize..40,
-    ) {
+/// BucketMap routing must always agree with incrementally applying each
+/// SplitStep's predicate — this is exactly what keeps data placement and
+/// probe routing consistent in the split-based algorithm.
+#[test]
+fn bucket_map_routing_tracks_split_steps() {
+    let mut g = Xoshiro256StarStar::new(0xD00D);
+    for _ in 0..24 {
+        let n0 = 1 + g.next_below(5) as usize;
+        let domain = 64 + g.next_below(8192 - 64);
+        let splits = g.next_below(40) as usize;
+
         let owners: Vec<u32> = (0..n0 as u32).collect();
         let mut m = BucketMap::new(owners, domain);
         let mut assignment: Vec<u32> = (0..domain).map(|v| m.bucket_of(v)).collect();
@@ -76,78 +87,94 @@ proptest! {
                 }
             }
             for v in 0..domain {
-                prop_assert_eq!(m.bucket_of(v), assignment[v as usize]);
+                assert_eq!(m.bucket_of(v), assignment[v as usize]);
             }
         }
     }
+}
 
-    /// The reshuffle heuristic's contract: k contiguous parts covering the
-    /// histogram, each no heavier than the ideal share plus one cell.
-    #[test]
-    fn greedy_partition_is_balanced_cover(
-        counts in proptest::collection::vec(0u64..10_000, 0..400),
-        k in 1usize..17,
-    ) {
+/// The reshuffle heuristic's contract: k contiguous parts covering the
+/// histogram, each no heavier than the ideal share plus one cell.
+#[test]
+fn greedy_partition_is_balanced_cover() {
+    let mut g = Xoshiro256StarStar::new(0xFACE);
+    for _ in 0..200 {
+        let len = g.next_below(400) as usize;
+        let counts: Vec<u64> = (0..len).map(|_| g.next_below(10_000)).collect();
+        let k = 1 + g.next_below(16) as usize;
+
         let parts = greedy_equal_partition(&counts, k);
-        prop_assert_eq!(parts.len(), k);
-        prop_assert_eq!(parts.first().map(|p| p.0), Some(0));
-        prop_assert_eq!(parts.last().map(|p| p.1), Some(counts.len()));
+        assert_eq!(parts.len(), k);
+        assert_eq!(parts.first().map(|p| p.0), Some(0));
+        assert_eq!(parts.last().map(|p| p.1), Some(counts.len()));
         for w in parts.windows(2) {
-            prop_assert_eq!(w[0].1, w[1].0);
+            assert_eq!(w[0].1, w[1].0);
         }
         let loads = part_loads(&counts, &parts);
         let total: u64 = counts.iter().sum();
-        prop_assert_eq!(loads.iter().sum::<u64>(), total);
+        assert_eq!(loads.iter().sum::<u64>(), total);
         let max_cell = counts.iter().copied().max().unwrap_or(0);
         let ideal = total / k as u64;
         for &l in &loads {
-            prop_assert!(l <= ideal + max_cell + 1);
+            assert!(l <= ideal + max_cell + 1);
         }
     }
+}
 
-    /// Hash-table conservation: histogram totals, extraction and probes
-    /// must all agree with the inserted multiset.
-    #[test]
-    fn table_conserves_tuples(
-        attrs in proptest::collection::vec(0u64..500, 0..300),
-        cut in 0u32..100,
-    ) {
+/// Hash-table conservation: histogram totals, extraction and probes
+/// must all agree with the inserted multiset.
+#[test]
+fn table_conserves_tuples() {
+    let mut g = Xoshiro256StarStar::new(0xBEEF);
+    for _ in 0..100 {
+        let len = g.next_below(300) as usize;
+        let attrs: Vec<u64> = (0..len).map(|_| g.next_below(500)).collect();
+        let cut = g.next_below(100) as u32;
+
         let space = PositionSpace::new(100, 500, AttrHasher::Identity);
         let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
         for (i, &a) in attrs.iter().enumerate() {
             t.insert(Tuple::new(i as u64, a)).expect("unbounded");
         }
         let hist = t.position_histogram(0, 100);
-        prop_assert_eq!(hist.iter().sum::<u64>(), attrs.len() as u64);
+        assert_eq!(hist.iter().sum::<u64>(), attrs.len() as u64);
         let lower = t.extract_range(0, cut);
         let upper_count = t.len();
-        prop_assert_eq!(lower.len() as u64 + upper_count, attrs.len() as u64);
+        assert_eq!(lower.len() as u64 + upper_count, attrs.len() as u64);
         for tp in &lower {
-            prop_assert!(space.position_of(tp.join_attr) < cut);
+            assert!(space.position_of(tp.join_attr) < cut);
         }
         for tp in t.iter() {
-            prop_assert!(space.position_of(tp.join_attr) >= cut);
+            assert!(space.position_of(tp.join_attr) >= cut);
         }
     }
+}
 
-    /// Probing counts exactly the number of equal-attribute build tuples.
-    #[test]
-    fn probe_counts_equal_attrs(
-        attrs in proptest::collection::vec(0u64..64, 1..300),
-        probe in 0u64..64,
-    ) {
+/// Probing counts exactly the number of equal-attribute build tuples.
+#[test]
+fn probe_counts_equal_attrs() {
+    let mut g = Xoshiro256StarStar::new(0x5EED);
+    for _ in 0..100 {
+        let len = 1 + g.next_below(299) as usize;
+        let attrs: Vec<u64> = (0..len).map(|_| g.next_below(64)).collect();
+        let probe = g.next_below(64);
+
         let space = PositionSpace::new(16, 64, AttrHasher::Identity);
         let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
         for (i, &a) in attrs.iter().enumerate() {
             t.insert(Tuple::new(i as u64, a)).expect("unbounded");
         }
         let expect = attrs.iter().filter(|&&a| a == probe).count() as u64;
-        prop_assert_eq!(t.probe(probe).matches, expect);
+        assert_eq!(t.probe(probe).matches, expect);
     }
+}
 
-    /// Capacity is a hard wall: inserts succeed exactly `capacity` times.
-    #[test]
-    fn capacity_is_exact(cap_tuples in 0u64..200) {
+/// Capacity is a hard wall: inserts succeed exactly `capacity` times.
+#[test]
+fn capacity_is_exact() {
+    let mut g = Xoshiro256StarStar::new(0xCAFE);
+    for _ in 0..64 {
+        let cap_tuples = g.next_below(200);
         let space = PositionSpace::new(16, 64, AttrHasher::Identity);
         let schema = Schema::default_paper();
         let bpt = schema.tuple_bytes() + ehj_hash::ENTRY_OVERHEAD_BYTES;
@@ -158,21 +185,25 @@ proptest! {
                 ok += 1;
             }
         }
-        prop_assert_eq!(ok, cap_tuples);
+        assert_eq!(ok, cap_tuples);
     }
+}
 
-    /// RangeMap::replace_range preserves the disjoint cover.
-    #[test]
-    fn replace_range_preserves_cover(
-        positions in 16u32..1024,
-        owners in 2usize..6,
-        cut_frac in 0.01f64..0.99,
-    ) {
+/// RangeMap::replace_range preserves the disjoint cover.
+#[test]
+fn replace_range_preserves_cover() {
+    let mut g = Xoshiro256StarStar::new(0x7777);
+    for _ in 0..128 {
+        let positions = 16 + g.next_below(1024 - 16) as u32;
+        let owners = 2 + g.next_below(4) as usize;
+        let cut_frac = 0.01 + g.next_f64() * 0.98;
+
         let ids: Vec<u32> = (0..owners as u32).collect();
         let mut m = RangeMap::partitioned(positions, &ids);
         let victim = m.range_of_owner(1).expect("owner 1 exists");
         if victim.len() >= 2 {
-            let cut = victim.start + ((victim.len() as f64 * cut_frac) as u32).clamp(1, victim.len() - 1);
+            let cut =
+                victim.start + ((victim.len() as f64 * cut_frac) as u32).clamp(1, victim.len() - 1);
             m.replace_range(
                 victim,
                 vec![

@@ -9,10 +9,9 @@
 //! the paper plots.
 
 use crate::phases::Phase;
-use serde::{Deserialize, Serialize};
 
 /// What a message was for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommCategory {
     /// Ordinary delivery of relation tuples from a data source to the one
     /// join node that owns them. Not "extra" communication.
@@ -62,7 +61,7 @@ impl CommCategory {
 }
 
 /// One cell of the accounting matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommCell {
     /// Messages (the paper's "chunks" when tuples are involved).
     pub messages: u64,
@@ -81,7 +80,7 @@ impl CommCell {
 }
 
 /// Per-phase, per-category communication counters for one run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommCounters {
     cells: [[CommCell; 6]; 3],
     /// Tuple count a "chunk" is normalized to when reporting chunk volumes

@@ -12,9 +12,14 @@ pub mod load;
 pub mod phases;
 pub mod report;
 pub mod summary;
+pub mod trace;
 
 pub use comm::{CommCategory, CommCell, CommCounters};
 pub use load::LoadStats;
 pub use phases::{Phase, PhaseTimes};
-pub use report::{fmt_secs, TextTable};
+pub use report::{fmt_secs, trace_rollup_table, TextTable};
 pub use summary::ThroughputSummary;
+pub use trace::{
+    lane_marker, render_trace_lanes, JsonlSink, RingSink, RollupSink, StopCause, TraceEvent,
+    TraceKind, TraceLevel, TraceRollup, TraceSink, Tracer,
+};

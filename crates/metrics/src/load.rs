@@ -4,10 +4,8 @@
 //! chunks of tuples) across join nodes after the build (and, for the
 //! hybrid, the reshuffle).
 
-use serde::{Deserialize, Serialize};
-
 /// Min / avg / max of a per-node load distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LoadStats {
     /// Smallest per-node load.
     pub min: u64,

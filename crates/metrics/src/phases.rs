@@ -1,10 +1,8 @@
 //! Execution phases and phase timing.
 
-use serde::{Deserialize, Serialize};
-
 /// The phases of an expanding hash-based join (§4: build, the hybrid's
 /// reshuffling step, probe).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Hash-table building phase (relation R streams in).
     Build,
@@ -40,7 +38,7 @@ impl Phase {
 }
 
 /// Wall (virtual) seconds spent in each phase of one run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseTimes {
     /// Hash-table building time (Figures 3, 9).
     pub build_secs: f64,

@@ -94,7 +94,11 @@ impl TextTable {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -105,6 +109,26 @@ impl TextTable {
         }
         out
     }
+}
+
+/// Renders a trace rollup as a table: one row per event kind, plus
+/// per-phase totals.
+#[must_use]
+pub fn trace_rollup_table(rollup: &crate::trace::TraceRollup) -> TextTable {
+    let mut t = TextTable::new("trace events", &["kind", "count"]);
+    for (kind, count) in &rollup.by_kind {
+        t.row(vec![(*kind).to_owned(), count.to_string()]);
+    }
+    for (i, phase) in crate::phases::Phase::ALL.iter().enumerate() {
+        if rollup.by_phase[i] > 0 {
+            t.row(vec![
+                format!("(phase) {}", phase.name()),
+                rollup.by_phase[i].to_string(),
+            ]);
+        }
+    }
+    t.row(vec!["total".to_owned(), rollup.total.to_string()]);
+    t
 }
 
 /// Formats seconds with figure-friendly precision.

@@ -1,10 +1,9 @@
 //! Derived performance summaries: throughputs and network utilization.
 
 use crate::phases::PhaseTimes;
-use serde::{Deserialize, Serialize};
 
 /// Throughput view of one run, derived from tuple counts and phase times.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ThroughputSummary {
     /// Build-side tuples ingested per second during the build phase.
     pub build_tuples_per_sec: f64,

@@ -1,0 +1,1061 @@
+//! Structured event tracing for join runs.
+//!
+//! Every interesting control-plane action of the EHJA protocol — bucket
+//! overflow, split issue/completion, barrier-split-pointer advance, node
+//! recruitment, range replication, full-node hand-off, reshuffle planning
+//! and chunk movement, spill/fetch, probe fan-out and engine stop — can be
+//! emitted as a [`TraceEvent`] through a [`Tracer`]. Events carry a
+//! timestamp in nanoseconds (virtual time on the simulated backend, wall
+//! time on the threaded one), the emitting actor id and the phase, so the
+//! same instrumentation works on both runtimes.
+//!
+//! Three sink implementations cover the diagnostic needs:
+//!
+//! * [`RingSink`] — a bounded in-memory ring whose [`RingSink::tail`] is
+//!   attached to join errors, making protocol stalls diagnosable;
+//! * [`JsonlSink`] — one JSON object per line, for `--trace-out`;
+//! * [`RollupSink`] — per-phase / per-node / per-kind counters merged into
+//!   the final report.
+//!
+//! Tracing is off by default; a disabled [`Tracer`] reduces every `emit` to
+//! a single branch so the hot paths pay nothing measurable.
+
+use crate::phases::Phase;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// How much to trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// No events are recorded at all.
+    #[default]
+    Off,
+    /// Control-plane events only (splits, recruitment, reshuffle plans,
+    /// spills, phase ends) — a few hundred events per run.
+    Summary,
+    /// Also per-chunk data movement and probe fan-out events.
+    Detail,
+}
+
+impl TraceLevel {
+    /// Stable name, matching the CLI flag values.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Summary => "summary",
+            Self::Detail => "detail",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(Self::Off),
+            "summary" => Some(Self::Summary),
+            "detail" => Some(Self::Detail),
+            _ => None,
+        }
+    }
+}
+
+/// Why the engine stopped, as recorded on the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The scheduler collected all reports and stopped the run.
+    Completed,
+    /// The event queue drained without a stop — a protocol stall.
+    Quiescent,
+    /// The virtual-time budget was exhausted.
+    TimeLimit,
+    /// The event budget was exhausted (livelock guard).
+    EventLimit,
+}
+
+impl StopCause {
+    /// Stable name used in the JSONL form.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Completed => "completed",
+            Self::Quiescent => "quiescent",
+            Self::TimeLimit => "time_limit",
+            Self::EventLimit => "event_limit",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(Self::Completed),
+            "quiescent" => Some(Self::Quiescent),
+            "time_limit" => Some(Self::TimeLimit),
+            "event_limit" => Some(Self::EventLimit),
+            _ => None,
+        }
+    }
+}
+
+/// What happened. Node ids in payloads are actor ids of the run topology
+/// (scheduler, sources, then join nodes), except `Recruited::node`, which
+/// is the recruit's cluster node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A join node ran out of hash-table memory (`pending` unhoused tuples).
+    BucketOverflow {
+        /// Tuples queued without a home when the report was raised.
+        pending: u64,
+    },
+    /// The scheduler recruited a potential node into the working set.
+    Recruited {
+        /// Cluster node id of the recruit.
+        node: u32,
+    },
+    /// A hash range was replicated onto the recruit (§4.2.2).
+    Replicated {
+        /// First position of the replicated range.
+        start: u32,
+        /// One past the last position of the replicated range.
+        end: u32,
+    },
+    /// A linear-pointer bucket split was issued to the old owner (§4.2.1).
+    SplitIssued {
+        /// The bucket being split.
+        bucket: u32,
+        /// Actor that owns the bucket's current contents.
+        from: u32,
+        /// Actor receiving the upper half.
+        to: u32,
+    },
+    /// The barrier split pointer advanced after a split was issued.
+    SplitPointerAdvance {
+        /// New pointer value.
+        pointer: u32,
+    },
+    /// The old owner finished shipping a split bucket's movers.
+    SplitDone {
+        /// The bucket that was split.
+        bucket: u32,
+        /// Tuples that moved to the new bucket.
+        moved: u64,
+    },
+    /// A range-bisect split completed (ablation policy).
+    RangeSplit {
+        /// Cut position (range start when `ok` is false).
+        cut: u32,
+        /// Tuples that moved.
+        moved: u64,
+        /// Whether a usable cut existed.
+        ok: bool,
+    },
+    /// A full node stopped receiving build data (hand-off, §4.1.2).
+    NodeFull,
+    /// No potential nodes remained; the reporter falls back to spilling.
+    PoolExhausted,
+    /// Tuples were spilled to local disk (Grace-style).
+    Spill {
+        /// Raw tuple bytes written in this spill step.
+        bytes: u64,
+        /// Spill fragments the node partitions into.
+        fragments: u64,
+    },
+    /// Spilled fragments were read back for the out-of-core join.
+    SpillFetch {
+        /// Raw tuple bytes read back.
+        bytes: u64,
+    },
+    /// The hybrid's reshuffle plan for one replica group was computed.
+    ReshufflePlanned {
+        /// Group index.
+        group: u32,
+        /// Members redistributing among themselves.
+        members: u64,
+    },
+    /// One reshuffle extraction was shipped (detail level).
+    ReshuffleChunk {
+        /// Receiving actor.
+        to: u32,
+        /// Tuples moved.
+        tuples: u64,
+    },
+    /// Probe tuples were broadcast to multiple replicas (detail level).
+    ProbeFanout {
+        /// Tuples routed to more than one destination in this batch.
+        tuples: u64,
+        /// Total copies shipped for those tuples.
+        copies: u64,
+    },
+    /// The phase named by the event's `phase` field completed.
+    PhaseDone,
+    /// The engine stopped.
+    EngineStop {
+        /// Why.
+        reason: StopCause,
+    },
+}
+
+impl TraceKind {
+    /// Stable snake_case name used as the JSONL `kind` discriminator.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::BucketOverflow { .. } => "bucket_overflow",
+            Self::Recruited { .. } => "recruited",
+            Self::Replicated { .. } => "replicated",
+            Self::SplitIssued { .. } => "split_issued",
+            Self::SplitPointerAdvance { .. } => "split_pointer_advance",
+            Self::SplitDone { .. } => "split_done",
+            Self::RangeSplit { .. } => "range_split",
+            Self::NodeFull => "node_full",
+            Self::PoolExhausted => "pool_exhausted",
+            Self::Spill { .. } => "spill",
+            Self::SpillFetch { .. } => "spill_fetch",
+            Self::ReshufflePlanned { .. } => "reshuffle_planned",
+            Self::ReshuffleChunk { .. } => "reshuffle_chunk",
+            Self::ProbeFanout { .. } => "probe_fanout",
+            Self::PhaseDone => "phase_done",
+            Self::EngineStop { .. } => "engine_stop",
+        }
+    }
+
+    /// Human-readable one-liner for error tails and timelines.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Self::BucketOverflow { pending } => {
+                format!("memory full ({pending} pending tuples)")
+            }
+            Self::Recruited { node } => format!("recruited cluster node n{node}"),
+            Self::Replicated { start, end } => {
+                format!("replicated range [{start},{end})")
+            }
+            Self::SplitIssued { bucket, from, to } => {
+                format!("split of bucket {bucket} issued ({from} -> {to})")
+            }
+            Self::SplitPointerAdvance { pointer } => {
+                format!("split pointer advanced to {pointer}")
+            }
+            Self::SplitDone { bucket, moved } => {
+                format!("bucket {bucket} split done ({moved} tuples moved)")
+            }
+            Self::RangeSplit { cut, moved, ok } => {
+                if *ok {
+                    format!("range split at {cut} ({moved} tuples moved)")
+                } else {
+                    format!("range split failed at {cut} (unsplittable)")
+                }
+            }
+            Self::NodeFull => "node marked full (stops receiving)".to_owned(),
+            Self::PoolExhausted => "no potential nodes left".to_owned(),
+            Self::Spill { bytes, fragments } => {
+                format!("spilled {bytes} bytes into {fragments} fragments")
+            }
+            Self::SpillFetch { bytes } => format!("fetched {bytes} spilled bytes"),
+            Self::ReshufflePlanned { group, members } => {
+                format!("reshuffle plan for group {group} ({members} members)")
+            }
+            Self::ReshuffleChunk { to, tuples } => {
+                format!("reshuffle moved {tuples} tuples to actor {to}")
+            }
+            Self::ProbeFanout { tuples, copies } => {
+                format!("probe fan-out: {tuples} tuples -> {copies} copies")
+            }
+            Self::PhaseDone => "phase complete".to_owned(),
+            Self::EngineStop { reason } => format!("engine stopped: {}", reason.name()),
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the run started (virtual or wall clock).
+    pub at_nanos: u64,
+    /// Actor id of the emitter (0 = scheduler, then sources, then nodes).
+    pub node: u32,
+    /// Phase the emitter was in.
+    pub phase: Phase,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Serializes as one flat JSON object (the JSONL schema).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"t_ns\":{},\"node\":{},\"phase\":\"{}\",\"kind\":\"{}\"",
+            self.at_nanos,
+            self.node,
+            self.phase.name(),
+            self.kind.name()
+        );
+        match self.kind {
+            TraceKind::BucketOverflow { pending } => {
+                let _ = write!(out, ",\"pending\":{pending}");
+            }
+            TraceKind::Recruited { node } => {
+                let _ = write!(out, ",\"new_node\":{node}");
+            }
+            TraceKind::Replicated { start, end } => {
+                let _ = write!(out, ",\"start\":{start},\"end\":{end}");
+            }
+            TraceKind::SplitIssued { bucket, from, to } => {
+                let _ = write!(out, ",\"bucket\":{bucket},\"from\":{from},\"to\":{to}");
+            }
+            TraceKind::SplitPointerAdvance { pointer } => {
+                let _ = write!(out, ",\"pointer\":{pointer}");
+            }
+            TraceKind::SplitDone { bucket, moved } => {
+                let _ = write!(out, ",\"bucket\":{bucket},\"moved\":{moved}");
+            }
+            TraceKind::RangeSplit { cut, moved, ok } => {
+                let _ = write!(out, ",\"cut\":{cut},\"moved\":{moved},\"ok\":{ok}");
+            }
+            TraceKind::NodeFull | TraceKind::PoolExhausted | TraceKind::PhaseDone => {}
+            TraceKind::Spill { bytes, fragments } => {
+                let _ = write!(out, ",\"bytes\":{bytes},\"fragments\":{fragments}");
+            }
+            TraceKind::SpillFetch { bytes } => {
+                let _ = write!(out, ",\"bytes\":{bytes}");
+            }
+            TraceKind::ReshufflePlanned { group, members } => {
+                let _ = write!(out, ",\"group\":{group},\"members\":{members}");
+            }
+            TraceKind::ReshuffleChunk { to, tuples } => {
+                let _ = write!(out, ",\"to\":{to},\"tuples\":{tuples}");
+            }
+            TraceKind::ProbeFanout { tuples, copies } => {
+                let _ = write!(out, ",\"tuples\":{tuples},\"copies\":{copies}");
+            }
+            TraceKind::EngineStop { reason } => {
+                let _ = write!(out, ",\"reason\":\"{}\"", reason.name());
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line back into an event. Returns `None` for
+    /// malformed lines or unknown kinds.
+    #[must_use]
+    pub fn from_json_line(line: &str) -> Option<Self> {
+        let fields = parse_flat_json(line)?;
+        let num = |k: &str| -> Option<u64> {
+            match fields.get(k)? {
+                JsonVal::Num(n) => Some(*n),
+                _ => None,
+            }
+        };
+        let num32 = |k: &str| -> Option<u32> { num(k).and_then(|n| u32::try_from(n).ok()) };
+        let text = |k: &str| -> Option<&str> {
+            match fields.get(k)? {
+                JsonVal::Str(s) => Some(s.as_str()),
+                _ => None,
+            }
+        };
+        let phase = match text("phase")? {
+            "build" => Phase::Build,
+            "reshuffle" => Phase::Reshuffle,
+            "probe" => Phase::Probe,
+            _ => return None,
+        };
+        let kind = match text("kind")? {
+            "bucket_overflow" => TraceKind::BucketOverflow {
+                pending: num("pending")?,
+            },
+            "recruited" => TraceKind::Recruited {
+                node: num32("new_node")?,
+            },
+            "replicated" => TraceKind::Replicated {
+                start: num32("start")?,
+                end: num32("end")?,
+            },
+            "split_issued" => TraceKind::SplitIssued {
+                bucket: num32("bucket")?,
+                from: num32("from")?,
+                to: num32("to")?,
+            },
+            "split_pointer_advance" => TraceKind::SplitPointerAdvance {
+                pointer: num32("pointer")?,
+            },
+            "split_done" => TraceKind::SplitDone {
+                bucket: num32("bucket")?,
+                moved: num("moved")?,
+            },
+            "range_split" => TraceKind::RangeSplit {
+                cut: num32("cut")?,
+                moved: num("moved")?,
+                ok: match fields.get("ok")? {
+                    JsonVal::Bool(b) => *b,
+                    _ => return None,
+                },
+            },
+            "node_full" => TraceKind::NodeFull,
+            "pool_exhausted" => TraceKind::PoolExhausted,
+            "spill" => TraceKind::Spill {
+                bytes: num("bytes")?,
+                fragments: num("fragments")?,
+            },
+            "spill_fetch" => TraceKind::SpillFetch {
+                bytes: num("bytes")?,
+            },
+            "reshuffle_planned" => TraceKind::ReshufflePlanned {
+                group: num32("group")?,
+                members: num("members")?,
+            },
+            "reshuffle_chunk" => TraceKind::ReshuffleChunk {
+                to: num32("to")?,
+                tuples: num("tuples")?,
+            },
+            "probe_fanout" => TraceKind::ProbeFanout {
+                tuples: num("tuples")?,
+                copies: num("copies")?,
+            },
+            "phase_done" => TraceKind::PhaseDone,
+            "engine_stop" => TraceKind::EngineStop {
+                reason: StopCause::parse(text("reason")?)?,
+            },
+            _ => return None,
+        };
+        Some(Self {
+            at_nanos: num("t_ns")?,
+            node: num32("node")?,
+            phase,
+            kind,
+        })
+    }
+}
+
+enum JsonVal {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Minimal parser for the flat JSON objects this module emits: string keys,
+/// and unsigned-integer / boolean / escape-free string values.
+fn parse_flat_json(line: &str) -> Option<BTreeMap<String, JsonVal>> {
+    let mut out = BTreeMap::new();
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    let (i0, c0) = chars.next()?;
+    if c0 != '{' || i0 != 0 {
+        return None;
+    }
+    loop {
+        match chars.peek()? {
+            (_, '}') => {
+                chars.next();
+                return if chars.next().is_none() {
+                    Some(out)
+                } else {
+                    None
+                };
+            }
+            (_, ',') => {
+                chars.next();
+            }
+            _ => {}
+        }
+        // Key.
+        let (_, q) = chars.next()?;
+        if q != '"' {
+            return None;
+        }
+        let start = chars.peek()?.0;
+        let mut end = start;
+        for (i, c) in chars.by_ref() {
+            if c == '"' {
+                end = i;
+                break;
+            }
+        }
+        let key = s.get(start..end)?.to_owned();
+        let (_, colon) = chars.next()?;
+        if colon != ':' {
+            return None;
+        }
+        // Value.
+        let val = match chars.peek()? {
+            (_, '"') => {
+                chars.next();
+                let start = chars.peek()?.0;
+                let mut end = start;
+                for (i, c) in chars.by_ref() {
+                    if c == '"' {
+                        end = i;
+                        break;
+                    }
+                }
+                JsonVal::Str(s.get(start..end)?.to_owned())
+            }
+            (_, 't' | 'f') => {
+                let start = chars.peek()?.0;
+                while matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic()) {
+                    chars.next();
+                }
+                let end = chars.peek().map_or(s.len(), |&(i, _)| i);
+                match s.get(start..end)? {
+                    "true" => JsonVal::Bool(true),
+                    "false" => JsonVal::Bool(false),
+                    _ => return None,
+                }
+            }
+            (_, c) if c.is_ascii_digit() => {
+                let start = chars.peek()?.0;
+                while matches!(chars.peek(), Some((_, c)) if c.is_ascii_digit()) {
+                    chars.next();
+                }
+                let end = chars.peek().map_or(s.len(), |&(i, _)| i);
+                JsonVal::Num(s.get(start..end)?.parse().ok()?)
+            }
+            _ => return None,
+        };
+        out.insert(key, val);
+    }
+}
+
+/// A consumer of trace events. Sinks must be shareable across actor
+/// threads (the threaded backend emits concurrently).
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, ev: &TraceEvent);
+    /// Flushes buffered output (end of run).
+    fn flush(&self) {}
+}
+
+/// Cheap cloneable handle that actors emit through. A level of
+/// [`TraceLevel::Off`] (the default) turns every emit into one branch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    level: TraceLevel,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("level", &self.level)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer (no sinks, level off).
+    #[must_use]
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// A tracer at `level` feeding `sinks`.
+    #[must_use]
+    pub fn new(level: TraceLevel, sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { level, sinks }
+    }
+
+    /// Whether summary-level events are recorded.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.level >= TraceLevel::Summary && !self.sinks.is_empty()
+    }
+
+    /// Whether detail-level (per-chunk) events are recorded.
+    #[inline]
+    #[must_use]
+    pub fn detail(&self) -> bool {
+        self.level >= TraceLevel::Detail && !self.sinks.is_empty()
+    }
+
+    /// Emits a summary-level event.
+    #[inline]
+    pub fn emit(&self, at_nanos: u64, node: u32, phase: Phase, kind: TraceKind) {
+        if !self.enabled() {
+            return;
+        }
+        self.dispatch(&TraceEvent {
+            at_nanos,
+            node,
+            phase,
+            kind,
+        });
+    }
+
+    /// Emits a detail-level event (per-chunk data movement, fan-out).
+    #[inline]
+    pub fn emit_detail(&self, at_nanos: u64, node: u32, phase: Phase, kind: TraceKind) {
+        if !self.detail() {
+            return;
+        }
+        self.dispatch(&TraceEvent {
+            at_nanos,
+            node,
+            phase,
+            kind,
+        });
+    }
+
+    fn dispatch(&self, ev: &TraceEvent) {
+        for s in &self.sinks {
+            s.record(ev);
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Bounded in-memory ring buffer; keeps the last `capacity` events.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained tail, oldest first.
+    #[must_use]
+    pub fn tail(&self) -> Vec<TraceEvent> {
+        self.buf
+            .lock()
+            .expect("ring lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, ev: &TraceEvent) {
+        let mut buf = self.buf.lock().expect("ring lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(*ev);
+    }
+}
+
+/// Writes one JSON object per event to an arbitrary writer.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps a writer (typically a buffered file).
+    #[must_use]
+    pub fn new(out: Box<dyn std::io::Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, ev: &TraceEvent) {
+        let mut out = self.out.lock().expect("jsonl lock");
+        let _ = writeln!(out, "{}", ev.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl lock").flush();
+    }
+}
+
+use std::io::Write as _;
+
+/// Per-phase / per-node / per-kind event counts for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceRollup {
+    /// Total events recorded.
+    pub total: u64,
+    /// Events per phase (dense by [`Phase::index`]).
+    pub by_phase: [u64; 3],
+    /// Events per kind name.
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Events per emitting actor.
+    pub by_node: BTreeMap<u32, u64>,
+}
+
+impl TraceRollup {
+    /// Counts one event.
+    pub fn note(&mut self, ev: &TraceEvent) {
+        self.total += 1;
+        self.by_phase[ev.phase.index()] += 1;
+        *self.by_kind.entry(ev.kind.name()).or_insert(0) += 1;
+        *self.by_node.entry(ev.node).or_insert(0) += 1;
+    }
+
+    /// Merges another rollup (e.g. across runs).
+    pub fn merge(&mut self, other: &Self) {
+        self.total += other.total;
+        for (acc, v) in self.by_phase.iter_mut().zip(other.by_phase) {
+            *acc += v;
+        }
+        for (k, v) in &other.by_kind {
+            *self.by_kind.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.by_node {
+            *self.by_node.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Count for one kind name (0 when absent).
+    #[must_use]
+    pub fn kind_count(&self, name: &str) -> u64 {
+        self.by_kind.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Accumulates a [`TraceRollup`] as events arrive.
+#[derive(Default)]
+pub struct RollupSink {
+    inner: Mutex<TraceRollup>,
+}
+
+impl RollupSink {
+    /// The rollup so far.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceRollup {
+        self.inner.lock().expect("rollup lock").clone()
+    }
+}
+
+impl TraceSink for RollupSink {
+    fn record(&self, ev: &TraceEvent) {
+        self.inner.lock().expect("rollup lock").note(ev);
+    }
+}
+
+/// Marker character used for a kind on the timeline lanes.
+#[must_use]
+pub const fn lane_marker(kind: &TraceKind) -> char {
+    match kind {
+        TraceKind::BucketOverflow { .. } => '!',
+        TraceKind::Recruited { .. } | TraceKind::Replicated { .. } => 'R',
+        TraceKind::SplitIssued { .. }
+        | TraceKind::SplitPointerAdvance { .. }
+        | TraceKind::SplitDone { .. }
+        | TraceKind::RangeSplit { .. } => 'S',
+        TraceKind::NodeFull => 'F',
+        TraceKind::PoolExhausted => 'X',
+        TraceKind::Spill { .. } => 'v',
+        TraceKind::SpillFetch { .. } => '^',
+        TraceKind::ReshufflePlanned { .. } | TraceKind::ReshuffleChunk { .. } => '#',
+        TraceKind::ProbeFanout { .. } => 'f',
+        TraceKind::PhaseDone => '|',
+        TraceKind::EngineStop { .. } => 'E',
+    }
+}
+
+/// Renders per-node, per-phase timeline lanes: one `width`-column lane per
+/// (actor, phase) that saw events, with kind markers placed by timestamp
+/// (`*` marks a cell where different kinds collide).
+#[must_use]
+pub fn render_trace_lanes(events: &[TraceEvent], width: usize) -> String {
+    let width = width.max(10);
+    if events.is_empty() {
+        return "no trace events\n".to_owned();
+    }
+    let t0 = events.iter().map(|e| e.at_nanos).min().expect("non-empty");
+    let t1 = events.iter().map(|e| e.at_nanos).max().expect("non-empty");
+    let span = (t1 - t0).max(1);
+    let mut lanes: BTreeMap<(u32, usize), Vec<char>> = BTreeMap::new();
+    for ev in events {
+        let col = ((ev.at_nanos - t0) as u128 * (width as u128 - 1) / span as u128) as usize;
+        let lane = lanes
+            .entry((ev.node, ev.phase.index()))
+            .or_insert_with(|| vec!['.'; width]);
+        let m = lane_marker(&ev.kind);
+        lane[col] = match lane[col] {
+            '.' => m,
+            c if c == m => m,
+            _ => '*',
+        };
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} trace events over {:.4}s ({} lanes; column = {:.4}s)",
+        events.len(),
+        span as f64 / 1e9,
+        lanes.len(),
+        span as f64 / 1e9 / width as f64
+    );
+    let _ = writeln!(
+        out,
+        "legend: ! overflow  R recruit/replicate  S split  F full  X exhausted  \
+         v spill  ^ fetch  # reshuffle  f fan-out  | phase-done  E stop  * mixed"
+    );
+    for ((node, phase_idx), lane) in &lanes {
+        let _ = writeln!(
+            out,
+            "  actor {:>3} {:<9} |{}|",
+            node,
+            Phase::ALL[*phase_idx].name(),
+            lane.iter().collect::<String>()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_kind() -> Vec<TraceKind> {
+        vec![
+            TraceKind::BucketOverflow { pending: 17 },
+            TraceKind::Recruited { node: 5 },
+            TraceKind::Replicated { start: 0, end: 64 },
+            TraceKind::SplitIssued {
+                bucket: 3,
+                from: 2,
+                to: 9,
+            },
+            TraceKind::SplitPointerAdvance { pointer: 4 },
+            TraceKind::SplitDone {
+                bucket: 3,
+                moved: 1234,
+            },
+            TraceKind::RangeSplit {
+                cut: 100,
+                moved: 55,
+                ok: true,
+            },
+            TraceKind::RangeSplit {
+                cut: 7,
+                moved: 0,
+                ok: false,
+            },
+            TraceKind::NodeFull,
+            TraceKind::PoolExhausted,
+            TraceKind::Spill {
+                bytes: 9999,
+                fragments: 16,
+            },
+            TraceKind::SpillFetch { bytes: 4321 },
+            TraceKind::ReshufflePlanned {
+                group: 2,
+                members: 3,
+            },
+            TraceKind::ReshuffleChunk { to: 11, tuples: 42 },
+            TraceKind::ProbeFanout {
+                tuples: 10,
+                copies: 20,
+            },
+            TraceKind::PhaseDone,
+            TraceKind::EngineStop {
+                reason: StopCause::Completed,
+            },
+            TraceKind::EngineStop {
+                reason: StopCause::TimeLimit,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_kind() {
+        for (i, kind) in every_kind().into_iter().enumerate() {
+            let ev = TraceEvent {
+                at_nanos: 1_000_000 + i as u64,
+                node: i as u32,
+                phase: Phase::ALL[i % 3],
+                kind,
+            };
+            let line = ev.to_json_line();
+            let back =
+                TraceEvent::from_json_line(&line).unwrap_or_else(|| panic!("must parse: {line}"));
+            assert_eq!(back, ev, "round trip of {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"t_ns\":1}",
+            "{\"t_ns\":1,\"node\":0,\"phase\":\"build\",\"kind\":\"nope\"}",
+            "{\"t_ns\":1,\"node\":0,\"phase\":\"warp\",\"kind\":\"phase_done\"}",
+            "{\"t_ns\":1,\"node\":0,\"phase\":\"build\",\"kind\":\"phase_done\"} trailing",
+        ] {
+            assert!(TraceEvent::from_json_line(bad).is_none(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn tracer_off_records_nothing() {
+        let ring = Arc::new(RingSink::new(8));
+        let t = Tracer::new(TraceLevel::Off, vec![ring.clone()]);
+        t.emit(1, 0, Phase::Build, TraceKind::PhaseDone);
+        t.emit_detail(2, 0, Phase::Build, TraceKind::PhaseDone);
+        assert!(!t.enabled());
+        assert!(ring.tail().is_empty());
+    }
+
+    #[test]
+    fn summary_level_drops_detail_events() {
+        let ring = Arc::new(RingSink::new(8));
+        let t = Tracer::new(TraceLevel::Summary, vec![ring.clone()]);
+        t.emit(1, 0, Phase::Build, TraceKind::PhaseDone);
+        t.emit_detail(
+            2,
+            0,
+            Phase::Probe,
+            TraceKind::ProbeFanout {
+                tuples: 1,
+                copies: 2,
+            },
+        );
+        assert_eq!(ring.tail().len(), 1);
+        let t = Tracer::new(TraceLevel::Detail, vec![ring.clone()]);
+        t.emit_detail(
+            3,
+            0,
+            Phase::Probe,
+            TraceKind::ProbeFanout {
+                tuples: 1,
+                copies: 2,
+            },
+        );
+        assert_eq!(ring.tail().len(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let ring = RingSink::new(3);
+        for i in 0..10u64 {
+            ring.record(&TraceEvent {
+                at_nanos: i,
+                node: 0,
+                phase: Phase::Build,
+                kind: TraceKind::PhaseDone,
+            });
+        }
+        let tail = ring.tail();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].at_nanos, 7);
+        assert_eq!(tail[2].at_nanos, 9);
+    }
+
+    #[test]
+    fn rollup_counts_and_merges() {
+        let mut a = TraceRollup::default();
+        a.note(&TraceEvent {
+            at_nanos: 1,
+            node: 2,
+            phase: Phase::Build,
+            kind: TraceKind::NodeFull,
+        });
+        let mut b = TraceRollup::default();
+        b.note(&TraceEvent {
+            at_nanos: 2,
+            node: 2,
+            phase: Phase::Probe,
+            kind: TraceKind::NodeFull,
+        });
+        b.note(&TraceEvent {
+            at_nanos: 3,
+            node: 4,
+            phase: Phase::Build,
+            kind: TraceKind::PhaseDone,
+        });
+        a.merge(&b);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.by_phase, [2, 0, 1]);
+        assert_eq!(a.kind_count("node_full"), 2);
+        assert_eq!(a.kind_count("phase_done"), 1);
+        assert_eq!(a.by_node.get(&2), Some(&2));
+        assert!(!a.is_empty());
+        assert!(TraceRollup::default().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buf").extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        for kind in every_kind() {
+            sink.record(&TraceEvent {
+                at_nanos: 7,
+                node: 1,
+                phase: Phase::Reshuffle,
+                kind,
+            });
+        }
+        sink.flush();
+        let text = String::from_utf8(buf.lock().expect("buf").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), every_kind().len());
+        for line in lines {
+            assert!(TraceEvent::from_json_line(line).is_some(), "bad: {line}");
+        }
+    }
+
+    #[test]
+    fn lanes_render_markers_per_phase() {
+        let events = vec![
+            TraceEvent {
+                at_nanos: 0,
+                node: 2,
+                phase: Phase::Build,
+                kind: TraceKind::BucketOverflow { pending: 1 },
+            },
+            TraceEvent {
+                at_nanos: 500,
+                node: 2,
+                phase: Phase::Build,
+                kind: TraceKind::SplitDone {
+                    bucket: 0,
+                    moved: 9,
+                },
+            },
+            TraceEvent {
+                at_nanos: 1000,
+                node: 3,
+                phase: Phase::Probe,
+                kind: TraceKind::PhaseDone,
+            },
+        ];
+        let s = render_trace_lanes(&events, 40);
+        assert!(s.contains("actor   2 build"));
+        assert!(s.contains("actor   3 probe"));
+        assert!(s.contains('!'));
+        assert!(s.contains('S'));
+        assert!(s.contains("legend"));
+        assert_eq!(render_trace_lanes(&[], 40), "no trace events\n");
+    }
+}

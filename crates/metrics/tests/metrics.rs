@@ -1,0 +1,177 @@
+//! External-API tests for `ehj-metrics`: communication accounting,
+//! phase timing, load balance and the trace-event wire format, exercised
+//! exactly as downstream crates use them.
+
+use ehj_metrics::{
+    trace_rollup_table, CommCategory, CommCounters, LoadStats, Phase, PhaseTimes, StopCause,
+    TraceEvent, TraceKind, TraceLevel, TraceRollup,
+};
+
+#[test]
+fn comm_counters_accumulate_per_cell() {
+    let mut c = CommCounters::new(10_000);
+    c.record(
+        Phase::Build,
+        CommCategory::SourceDelivery,
+        10_000,
+        1_160_000,
+    );
+    c.record(Phase::Build, CommCategory::SplitTransfer, 4_000, 464_000);
+    c.record(Phase::Build, CommCategory::SplitTransfer, 4_000, 464_000);
+    let cell = c.cell(Phase::Build, CommCategory::SplitTransfer);
+    assert_eq!(cell.messages, 2);
+    assert_eq!(cell.tuples, 8_000);
+    assert_eq!(cell.bytes, 928_000);
+    // Source delivery is baseline traffic, never "extra".
+    assert_eq!(c.extra_tuples(Phase::Build), 8_000);
+    assert_eq!(c.extra_chunks(Phase::Build), 1);
+    assert_eq!(c.total_bytes(), 1_160_000 + 928_000);
+}
+
+#[test]
+fn comm_counters_merge_is_cellwise_addition() {
+    let mut total = CommCounters::new(100);
+    let mut node = CommCounters::new(100);
+    node.record(Phase::Reshuffle, CommCategory::ReshuffleTransfer, 150, 1500);
+    node.record(Phase::Probe, CommCategory::ProbeBroadcastExtra, 30, 300);
+    total.merge(&node);
+    total.merge(&node);
+    assert_eq!(
+        total
+            .cell(Phase::Reshuffle, CommCategory::ReshuffleTransfer)
+            .tuples,
+        300
+    );
+    assert_eq!(total.extra_tuples(Phase::Probe), 60);
+    assert_eq!(total.total_extra_tuples(), 360);
+    assert_eq!(total.total_extra_chunks(), 4); // ceil(360 / 100)
+}
+
+#[test]
+fn merge_with_default_is_identity() {
+    let mut c = CommCounters::new(10);
+    c.record(Phase::Build, CommCategory::ReplicaForward, 5, 50);
+    let before = c.clone();
+    c.merge(&CommCounters::default());
+    assert_eq!(c, before);
+}
+
+#[test]
+fn phase_times_cover_the_total() {
+    let t = PhaseTimes {
+        build_secs: 10.0,
+        reshuffle_secs: 2.5,
+        probe_secs: 7.5,
+        total_secs: 21.0,
+    };
+    let phase_sum: f64 = Phase::ALL.iter().map(|p| t.of(*p)).sum();
+    assert!((phase_sum - 20.0).abs() < 1e-12);
+    // Barrier time between phases makes the total exceed the phase sum.
+    assert!(t.total_secs >= phase_sum);
+}
+
+#[test]
+fn load_stats_imbalance_is_max_over_avg() {
+    let s = LoadStats::from_counts(&[100, 100, 100, 500]);
+    assert_eq!(s.min, 100);
+    assert_eq!(s.max, 500);
+    assert_eq!(s.nodes, 4);
+    assert!((s.avg - 200.0).abs() < 1e-12);
+    assert!((s.imbalance() - 2.5).abs() < 1e-12);
+    // Degenerate distributions report perfect balance, not NaN.
+    assert_eq!(LoadStats::from_counts(&[]).imbalance(), 1.0);
+    assert_eq!(LoadStats::from_counts(&[0, 0, 0]).imbalance(), 1.0);
+}
+
+#[test]
+fn load_stats_chunk_conversion_rounds_conservatively() {
+    let s = LoadStats::from_counts(&[9_999, 20_001]).in_chunks(10_000);
+    assert_eq!(s.min, 0); // rounds down: guaranteed-full chunks
+    assert_eq!(s.max, 3); // rounds up: worst case
+}
+
+#[test]
+fn trace_events_round_trip_through_json_lines() {
+    let events = [
+        TraceEvent {
+            at_nanos: 0,
+            node: 1,
+            phase: Phase::Build,
+            kind: TraceKind::BucketOverflow { pending: 42 },
+        },
+        TraceEvent {
+            at_nanos: 1_500_000,
+            node: 0,
+            phase: Phase::Build,
+            kind: TraceKind::SplitIssued {
+                bucket: 7,
+                from: 1,
+                to: 5,
+            },
+        },
+        TraceEvent {
+            at_nanos: 2_000_000,
+            node: 3,
+            phase: Phase::Reshuffle,
+            kind: TraceKind::ReshuffleChunk { to: 2, tuples: 512 },
+        },
+        TraceEvent {
+            at_nanos: u64::MAX,
+            node: u32::MAX,
+            phase: Phase::Probe,
+            kind: TraceKind::EngineStop {
+                reason: StopCause::Completed,
+            },
+        },
+    ];
+    for ev in events {
+        let line = ev.to_json_line();
+        let back = TraceEvent::from_json_line(&line)
+            .unwrap_or_else(|| panic!("round trip failed for {line}"));
+        assert_eq!(back, ev, "through {line}");
+    }
+}
+
+#[test]
+fn trace_parser_rejects_non_events() {
+    for bad in [
+        "",
+        "not json",
+        "{}",
+        r#"{"t_ns":1,"node":0,"phase":"build","kind":"warp_drive"}"#,
+        r#"{"t_ns":1,"node":0,"phase":"launch","kind":"spill","bytes":1,"fragments":1}"#,
+    ] {
+        assert!(TraceEvent::from_json_line(bad).is_none(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn trace_levels_order_off_summary_detail() {
+    assert!(TraceLevel::Off < TraceLevel::Summary);
+    assert!(TraceLevel::Summary < TraceLevel::Detail);
+    assert_eq!(TraceLevel::parse("detail"), Some(TraceLevel::Detail));
+    assert_eq!(TraceLevel::parse("loud"), None);
+}
+
+#[test]
+fn rollup_counts_merge_and_render() {
+    let ev = |node, kind| TraceEvent {
+        at_nanos: 1,
+        node,
+        phase: Phase::Build,
+        kind,
+    };
+    let mut a = TraceRollup::default();
+    a.note(&ev(0, TraceKind::NodeFull));
+    a.note(&ev(0, TraceKind::Recruited { node: 4 }));
+    let mut b = TraceRollup::default();
+    b.note(&ev(1, TraceKind::NodeFull));
+    a.merge(&b);
+    assert_eq!(a.total, 3);
+    assert_eq!(a.kind_count("node_full"), 2);
+    assert_eq!(a.kind_count("recruited"), 1);
+    assert_eq!(a.kind_count("spill"), 0);
+    let table = trace_rollup_table(&a).render();
+    assert!(table.contains("node_full"));
+    assert!(table.contains("total"));
+}

@@ -8,7 +8,7 @@
 //!   where [`Context::now`] is virtual time, `consume_cpu` advances the
 //!   actor's virtual clock and `send` is routed through the network model;
 //! * the threaded runtime ([`crate::threaded::ThreadedEngine`]), where each
-//!   actor runs on its own OS thread, `send` maps to a crossbeam channel and
+//!   actor runs on its own OS thread, `send` maps to an OS-thread channel and
 //!   `now` is wall-clock time since start.
 
 use crate::time::SimTime;

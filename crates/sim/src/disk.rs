@@ -9,10 +9,9 @@
 
 use crate::actor::ActorId;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Static disk parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskConfig {
     /// Sequential read bandwidth, bytes per second.
     pub read_bytes_per_sec: u64,

@@ -298,7 +298,10 @@ impl<M: Message> Engine<M> {
     /// Total CPU-busy virtual time charged to `id` so far.
     #[must_use]
     pub fn cpu_busy(&self, id: ActorId) -> SimTime {
-        self.cpu_busy.get(id as usize).copied().unwrap_or(SimTime::ZERO)
+        self.cpu_busy
+            .get(id as usize)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Consumes the engine, returning the actors for post-run inspection.
@@ -338,7 +341,8 @@ impl<M: Message> Context<M> for EngineCtx<'_, M> {
     }
 
     fn schedule(&mut self, delay: SimTime, msg: M) {
-        self.staged.push((self.local + delay, self.me, self.me, msg));
+        self.staged
+            .push((self.local + delay, self.me, self.me, msg));
     }
 
     fn consume_cpu(&mut self, amount: SimTime) {

@@ -9,7 +9,7 @@
 //!   calibrated cost model — per-NIC link serialization and switch latency
 //!   ([`net`]), blocking local-disk I/O ([`disk`]), and per-actor CPUs; and
 //! * a **threaded runtime** ([`threaded::ThreadedEngine`]) that runs the
-//!   same [`actor::Actor`] implementations on real OS threads over crossbeam
+//!   same [`actor::Actor`] implementations on real OS threads over mpsc
 //!   channels.
 //!
 //! Algorithms are written once against [`actor::Context`]; the figures use

@@ -18,10 +18,9 @@
 
 use crate::actor::ActorId;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Static network parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     /// Link bandwidth in bytes per second (both directions; full duplex).
     pub bandwidth_bytes_per_sec: u64,

@@ -1,19 +1,19 @@
 //! Threaded runtime: runs the same actors on real OS threads.
 //!
-//! Each actor gets its own thread and an unbounded crossbeam channel;
+//! Each actor gets its own thread and an unbounded mpsc channel;
 //! `send` is a real channel send (per-sender FIFO, like the simulated NIC),
 //! `now` is wall-clock time since `run` began, and `consume_cpu` /
 //! `disk_*` are accounting no-ops (real work takes real time). A shared
 //! timer service implements `schedule`.
 //!
 //! This backend exists to demonstrate that the join algorithms are a real
-//! message-passing system and to drive the criterion wall-clock benchmarks;
-//! the figures use the deterministic simulated backend.
+//! message-passing system and to drive the wall-clock benchmarks; the
+//! figures use the deterministic simulated backend.
 
 use crate::actor::{Actor, ActorId, Context, Message};
 use crate::time::SimTime;
-use crossbeam::channel::{self, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -76,24 +76,19 @@ impl<M: Message> ThreadedEngine<M> {
         let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = channel::unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
 
         // Timer service: one thread with a deadline heap.
-        let (timer_tx, timer_rx) = channel::unbounded::<TimerCmd<M>>();
+        let (timer_tx, timer_rx) = channel::<TimerCmd<M>>();
         let timer_senders = Arc::clone(&senders);
         let timer_handle = thread::spawn(move || timer_loop(&timer_rx, &timer_senders));
 
         let mut handles = Vec::with_capacity(n);
-        for (id, (mut actor, rx)) in self
-            .actors
-            .into_iter()
-            .zip(receivers)
-            .enumerate()
-        {
+        for (id, (mut actor, rx)) in self.actors.into_iter().zip(receivers).enumerate() {
             let senders = Arc::clone(&senders);
             let stop_flag = Arc::clone(&stop_flag);
             let timer_tx = timer_tx.clone();
@@ -116,8 +111,10 @@ impl<M: Message> ThreadedEngine<M> {
             handles.push(handle);
         }
 
-        let actors: Vec<Box<dyn Actor<M>>> =
-            handles.into_iter().map(|h| h.join().expect("actor thread panicked")).collect();
+        let actors: Vec<Box<dyn Actor<M>>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("actor thread panicked"))
+            .collect();
         let _ = timer_tx.send(TimerCmd::Shutdown);
         timer_handle.join().expect("timer thread panicked");
         let elapsed = start.elapsed();
@@ -173,8 +170,8 @@ fn timer_loop<M: Message>(rx: &Receiver<TimerCmd<M>>, senders: &[Sender<Envelope
                 let wait = top.deadline.saturating_duration_since(Instant::now());
                 match rx.recv_timeout(wait) {
                     Ok(c) => c,
-                    Err(channel::RecvTimeoutError::Timeout) => continue,
-                    Err(channel::RecvTimeoutError::Disconnected) => return,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
                 }
             }
             None => match rx.recv() {

@@ -1,6 +1,5 @@
 //! Virtual time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -10,9 +9,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// `u64` nanoseconds cover ~584 years of simulated time, far beyond any
 /// experiment; arithmetic is checked in debug builds via the standard
 /// integer overflow semantics.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -93,11 +93,7 @@ impl FileBackend {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "ehj-spill-{}-{}",
-            std::process::id(),
-            n
-        ));
+        let dir = std::env::temp_dir().join(format!("ehj-spill-{}-{}", std::process::id(), n));
         fs::create_dir_all(&dir).expect("create spill scratch dir");
         Self {
             dir,
@@ -142,7 +138,8 @@ impl SpillBackend for FileBackend {
         let mut w = BufWriter::new(file);
         for t in tuples {
             w.write_all(&t.index.to_le_bytes()).expect("write spill");
-            w.write_all(&t.join_attr.to_le_bytes()).expect("write spill");
+            w.write_all(&t.join_attr.to_le_bytes())
+                .expect("write spill");
         }
         w.flush().expect("flush spill");
         self.counts[part] += tuples.len() as u64;

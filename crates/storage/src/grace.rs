@@ -23,10 +23,9 @@
 use crate::backend::{PartitionId, SpillBackend};
 use ehj_data::{Schema, Tuple};
 use ehj_hash::{HashRange, JoinHashTable, PositionSpace, ENTRY_OVERHEAD_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Tuning parameters for the out-of-core join.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraceConfig {
     /// Fan-out: fragments created per (re-)partitioning step.
     pub fragments: u32,
@@ -45,7 +44,7 @@ impl Default for GraceConfig {
 }
 
 /// Aggregate result of the out-of-core join of one node's fragments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GraceResult {
     /// Matching (r, s) pairs found.
     pub matches: u64,
@@ -175,6 +174,13 @@ impl<B: SpillBackend> GraceJoin<B> {
     #[must_use]
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    /// Number of fragment pairs the spilled data is partitioned into
+    /// (diagnostic: surfaces in the spill trace events).
+    #[must_use]
+    pub fn fragments(&self) -> usize {
+        self.frags.len()
     }
 
     /// Build-side tuples spilled so far.
@@ -343,7 +349,9 @@ mod tests {
     fn make_relations(n: u64, domain: u64) -> (Vec<Tuple>, Vec<Tuple>) {
         // Deterministic pseudo-data with guaranteed collisions.
         let r: Vec<Tuple> = (0..n).map(|i| Tuple::new(i, (i * 7919) % domain)).collect();
-        let s: Vec<Tuple> = (0..n).map(|i| Tuple::new(i, (i * 104_729) % domain)).collect();
+        let s: Vec<Tuple> = (0..n)
+            .map(|i| Tuple::new(i, (i * 104_729) % domain))
+            .collect();
         (r, s)
     }
 

@@ -53,7 +53,10 @@ fn main() {
         println!("  total: {:.2}s\n", report.total_secs);
     }
 
-    assert_eq!(warm.final_matches, cold.final_matches, "same data, same answer");
+    assert_eq!(
+        warm.final_matches, cold.final_matches,
+        "same data, same answer"
+    );
     println!(
         "keeping the intermediate on the expanded node set saves {:.2}s ({:.0}%),\n\
          exactly the improvement §6 anticipates: the second level starts with\n\

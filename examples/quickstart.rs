@@ -26,9 +26,15 @@ fn main() {
 
     let report = JoinRunner::run(&config).expect("join should complete");
 
-    println!("total execution time : {:>8.3}s (simulated)", report.times.total_secs);
+    println!(
+        "total execution time : {:>8.3}s (simulated)",
+        report.times.total_secs
+    );
     println!("  build phase        : {:>8.3}s", report.times.build_secs);
-    println!("  reshuffle step     : {:>8.3}s", report.times.reshuffle_secs);
+    println!(
+        "  reshuffle step     : {:>8.3}s",
+        report.times.reshuffle_secs
+    );
     println!("  probe phase        : {:>8.3}s", report.times.probe_secs);
     println!("matching pairs found : {:>8}", report.matches);
     println!(

@@ -22,15 +22,46 @@ const SCALE: u64 = 200;
 fn main() {
     let sigmas: [(String, Distribution); 5] = [
         ("uniform".into(), Distribution::Uniform),
-        ("sigma = 0.01".into(), Distribution::Gaussian { mean: 0.5, sigma: 0.01 }),
-        ("sigma = 0.001".into(), Distribution::Gaussian { mean: 0.5, sigma: 0.001 }),
-        ("sigma = 0.0005".into(), Distribution::Gaussian { mean: 0.5, sigma: 0.0005 }),
-        ("sigma = 0.0001".into(), Distribution::Gaussian { mean: 0.5, sigma: 0.0001 }),
+        (
+            "sigma = 0.01".into(),
+            Distribution::Gaussian {
+                mean: 0.5,
+                sigma: 0.01,
+            },
+        ),
+        (
+            "sigma = 0.001".into(),
+            Distribution::Gaussian {
+                mean: 0.5,
+                sigma: 0.001,
+            },
+        ),
+        (
+            "sigma = 0.0005".into(),
+            Distribution::Gaussian {
+                mean: 0.5,
+                sigma: 0.0005,
+            },
+        ),
+        (
+            "sigma = 0.0001".into(),
+            Distribution::Gaussian {
+                mean: 0.5,
+                sigma: 0.0001,
+            },
+        ),
     ];
 
     let mut table = TextTable::new(
         format!("Total execution time by skew (R=S=10M/{SCALE}, 4 initial nodes)"),
-        &["Distribution", "Replicated", "Split", "Hybrid", "Out of Core", "Winner"],
+        &[
+            "Distribution",
+            "Replicated",
+            "Split",
+            "Hybrid",
+            "Out of Core",
+            "Winner",
+        ],
     );
     let mut hybrid_close = 0usize;
     for (label, dist) in &sigmas {

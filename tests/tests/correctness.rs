@@ -1,9 +1,7 @@
 //! End-to-end correctness: every algorithm, on every workload shape, must
 //! produce exactly the reference join cardinality.
 
-use ehj_core::{
-    expected_matches_for, Algorithm, BuildSide, JoinConfig, JoinRunner,
-};
+use ehj_core::{expected_matches_for, Algorithm, BuildSide, JoinConfig, JoinRunner};
 use ehj_data::Distribution;
 
 /// Small, fast base configuration with a domain narrow enough to produce

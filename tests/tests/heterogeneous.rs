@@ -4,13 +4,23 @@
 //! matters when capacities differ.
 
 use ehj_cluster::{ClusterSpec, NodeSpec, SelectionPolicy};
-use ehj_core::{expected_matches_for, Algorithm, JoinConfig, JoinRunner};
 use ehj_core::report::TimelineKind;
+use ehj_core::{expected_matches_for, Algorithm, JoinConfig, JoinRunner};
 
 /// A cluster whose later nodes are big: 8 small nodes then 4 big ones.
 fn skewed_cluster(small: u64, big: u64) -> ClusterSpec {
-    let mut nodes = vec![NodeSpec { hash_memory_bytes: small }; 8];
-    nodes.extend(vec![NodeSpec { hash_memory_bytes: big }; 4]);
+    let mut nodes = vec![
+        NodeSpec {
+            hash_memory_bytes: small
+        };
+        8
+    ];
+    nodes.extend(vec![
+        NodeSpec {
+            hash_memory_bytes: big
+        };
+        4
+    ]);
     ClusterSpec { nodes }
 }
 

@@ -1,7 +1,7 @@
 //! Report integrity: timelines, serde round-trips and counter coherence.
 
-use ehj_core::{Algorithm, JoinConfig, JoinRunner};
 use ehj_core::report::TimelineKind;
+use ehj_core::{Algorithm, JoinConfig, JoinRunner};
 use ehj_metrics::Phase;
 
 fn run(alg: Algorithm) -> (JoinConfig, ehj_core::JoinReport) {

@@ -17,8 +17,7 @@ fn threaded_backend_matches_reference_for_every_algorithm() {
     for alg in Algorithm::ALL {
         let cfg = small(alg);
         let expect = expected_matches_for(&cfg);
-        let report =
-            JoinRunner::run_on(&cfg, Backend::Threaded).expect("threaded join completes");
+        let report = JoinRunner::run_on(&cfg, Backend::Threaded).expect("threaded join completes");
         assert_eq!(
             report.matches,
             expect,
@@ -47,5 +46,8 @@ fn threaded_out_of_core_uses_real_spill_files() {
     let expect = expected_matches_for(&cfg);
     let report = JoinRunner::run_on(&cfg, Backend::Threaded).expect("threaded ooc");
     assert_eq!(report.matches, expect);
-    assert!(report.spilled_nodes > 0, "must actually spill to temp files");
+    assert!(
+        report.spilled_nodes > 0,
+        "must actually spill to temp files"
+    );
 }
