@@ -1,0 +1,447 @@
+//! Tracked benchmark baseline: writes and checks `BENCH_2.json`.
+//!
+//! Two jobs, selected by the command line:
+//!
+//! * **record** (default): run the flat-vs-chained hash-table micro
+//!   benchmark plus the four algorithms (three EHJAs + the out-of-core
+//!   baseline) at the paper's scale-100 scenario and a scale-1000 smoke
+//!   scenario, then write every number to `BENCH_2.json` (or `--out PATH`).
+//! * **check** (`--check PATH`): re-run the micro benchmark and the smoke
+//!   scenario and fail (exit 1) if simulated throughput regressed more than
+//!   20% against the committed file, or if the flat table's insert
+//!   throughput is no longer at least 2x the `BTreeMap` reference.
+//!
+//! Simulated phase times, traffic and match counts are deterministic, so
+//! the smoke comparison is meaningful on any machine; the micro benchmark
+//! is wall-clock, so only the *relative* flat/chained speedup is checked.
+//! No external JSON dependency exists in this container, so the file is
+//! written and parsed by hand (numeric leaves only).
+
+use ehj_bench::harness::black_box;
+use ehj_bench::scenarios;
+use ehj_core::{Algorithm, JoinReport, JoinRunner};
+use ehj_data::{RelationSpec, Schema, Tuple};
+use ehj_hash::{AttrHasher, ChainedTable, JoinHashTable, PositionSpace};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Simulated-throughput regression tolerance for `--check` (fraction).
+const CHECK_TOLERANCE: f64 = 0.20;
+/// Required flat-over-chained insert speedup (the PR's acceptance bar).
+const REQUIRED_SPEEDUP: f64 = 2.0;
+/// Scale divisor of the recorded full baseline (10M → 100k tuples).
+const BASELINE_SCALE: u64 = 100;
+/// Scale divisor of the smoke scenario used by CI.
+const SMOKE_SCALE: u64 = 1000;
+/// Tuples in the micro insert benchmark (the scale-100 relation size).
+const MICRO_TUPLES: u64 = 100_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check: Option<String> = None;
+    let mut out = "BENCH_2.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => {
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match check {
+        Some(path) => run_check(&path),
+        None => run_record(&out),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: baseline [--out PATH] | baseline --check PATH");
+    std::process::exit(2);
+}
+
+// ---------------------------------------------------------------- recording
+
+fn run_record(out: &str) {
+    let micro = micro_bench();
+    println!(
+        "micro: flat {:.1} Mtuples/s, chained {:.1} Mtuples/s, speedup {:.2}x",
+        micro.flat_mtps, micro.chained_mtps, micro.speedup
+    );
+    let mut doc = Doc::new();
+    doc.set("schema_version", 1.0);
+    micro.write(&mut doc);
+    record_scenario(&mut doc, "scale100", BASELINE_SCALE);
+    record_scenario(&mut doc, "smoke", SMOKE_SCALE);
+    std::fs::write(out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+    if micro.speedup < REQUIRED_SPEEDUP {
+        eprintln!(
+            "FAIL: flat-table insert speedup {:.2}x is below the required {REQUIRED_SPEEDUP}x",
+            micro.speedup
+        );
+        std::process::exit(1);
+    }
+}
+
+fn record_scenario(doc: &mut Doc, prefix: &str, scale: u64) {
+    for alg in Algorithm::ALL {
+        let started = Instant::now();
+        let report = run_alg(alg, scale);
+        let wall = started.elapsed().as_secs_f64();
+        println!(
+            "{prefix}/{}: build {:.3}s probe {:.3}s total {:.3}s, {} matches, {} net bytes ({wall:.2}s wall)",
+            alg_key(alg),
+            report.times.build_secs,
+            report.times.probe_secs,
+            report.times.total_secs,
+            report.matches,
+            report.net_bytes
+        );
+        write_report(doc, &format!("{prefix}.{}", alg_key(alg)), &report, wall);
+    }
+}
+
+fn run_alg(alg: Algorithm, scale: u64) -> JoinReport {
+    let cfg = scenarios::base(alg, scale);
+    JoinRunner::run(&cfg).unwrap_or_else(|e| {
+        eprintln!("baseline run failed for {alg:?} at scale {scale}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn alg_key(alg: Algorithm) -> &'static str {
+    match alg {
+        Algorithm::Replicated => "replicated",
+        Algorithm::Split => "split",
+        Algorithm::Hybrid => "hybrid",
+        Algorithm::OutOfCore => "outofcore",
+    }
+}
+
+fn mtps(tuples: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        tuples as f64 / secs / 1e6
+    } else {
+        0.0
+    }
+}
+
+fn write_report(doc: &mut Doc, prefix: &str, r: &JoinReport, wall_secs: f64) {
+    doc.set(&format!("{prefix}.build_secs"), r.times.build_secs);
+    doc.set(&format!("{prefix}.reshuffle_secs"), r.times.reshuffle_secs);
+    doc.set(&format!("{prefix}.probe_secs"), r.times.probe_secs);
+    doc.set(&format!("{prefix}.total_secs"), r.times.total_secs);
+    doc.set(&format!("{prefix}.net_bytes"), r.net_bytes as f64);
+    doc.set(&format!("{prefix}.disk_bytes"), r.disk_bytes as f64);
+    doc.set(&format!("{prefix}.matches"), r.matches as f64);
+    doc.set(&format!("{prefix}.build_tuples"), r.build_tuples as f64);
+    doc.set(&format!("{prefix}.probe_tuples"), r.probe_tuples as f64);
+    doc.set(
+        &format!("{prefix}.build_mtps"),
+        mtps(r.build_tuples, r.times.build_secs),
+    );
+    doc.set(
+        &format!("{prefix}.probe_mtps"),
+        mtps(r.probe_tuples, r.times.probe_secs),
+    );
+    doc.set(&format!("{prefix}.wall_secs"), wall_secs);
+}
+
+// ------------------------------------------------------------- micro bench
+
+struct Micro {
+    flat_mtps: f64,
+    chained_mtps: f64,
+    speedup: f64,
+}
+
+impl Micro {
+    fn write(&self, doc: &mut Doc) {
+        doc.set("micro.tuples", MICRO_TUPLES as f64);
+        doc.set("micro.flat_insert_mtps", self.flat_mtps);
+        doc.set("micro.chained_insert_mtps", self.chained_mtps);
+        doc.set("micro.speedup", self.speedup);
+    }
+}
+
+/// Build-phase insert throughput of the flat arena table vs the chained
+/// reference, same tuples and position space (mirrors
+/// `benches/micro_bench.rs::table_insert`). Best-of-N wall-clock.
+fn micro_bench() -> Micro {
+    let space = PositionSpace::new(1 << 20, 1 << 28, AttrHasher::Identity);
+    let tuples: Vec<Tuple> = RelationSpec::uniform(MICRO_TUPLES, 7)
+        .with_domain(1 << 28)
+        .generate_all();
+    let flat_secs = best_of(5, || {
+        let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
+        for &tp in &tuples {
+            t.insert_unchecked(tp);
+        }
+        black_box(t.len())
+    });
+    let chained_secs = best_of(5, || {
+        let mut t = ChainedTable::new(space, Schema::default_paper(), u64::MAX);
+        for &tp in &tuples {
+            t.insert_unchecked(tp);
+        }
+        black_box(t.len())
+    });
+    let flat_mtps = mtps(MICRO_TUPLES, flat_secs);
+    let chained_mtps = mtps(MICRO_TUPLES, chained_secs);
+    Micro {
+        flat_mtps,
+        chained_mtps,
+        speedup: if flat_secs > 0.0 {
+            chained_secs / flat_secs
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+fn best_of<T>(runs: usize, mut body: impl FnMut() -> T) -> f64 {
+    let _ = black_box(body()); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let _ = black_box(body());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+// --------------------------------------------------------------- checking
+
+fn run_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let committed = parse_flat_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut failures = 0u32;
+
+    let micro = micro_bench();
+    println!(
+        "micro: flat {:.1} Mtuples/s, chained {:.1} Mtuples/s, speedup {:.2}x",
+        micro.flat_mtps, micro.chained_mtps, micro.speedup
+    );
+    if micro.speedup < REQUIRED_SPEEDUP {
+        eprintln!(
+            "FAIL micro.speedup: {:.2}x < required {REQUIRED_SPEEDUP}x",
+            micro.speedup
+        );
+        failures += 1;
+    }
+
+    for alg in Algorithm::ALL {
+        let report = run_alg(alg, SMOKE_SCALE);
+        let prefix = format!("smoke.{}", alg_key(alg));
+        let current = [
+            (
+                "build_mtps",
+                mtps(report.build_tuples, report.times.build_secs),
+            ),
+            (
+                "probe_mtps",
+                mtps(report.probe_tuples, report.times.probe_secs),
+            ),
+        ];
+        for (name, now) in current {
+            let key = format!("{prefix}.{name}");
+            let Some(&baseline) = committed.get(key.as_str()) else {
+                eprintln!("FAIL {key}: missing from {path}");
+                failures += 1;
+                continue;
+            };
+            let floor = baseline * (1.0 - CHECK_TOLERANCE);
+            let status = if now < floor { "FAIL" } else { "ok" };
+            println!("{status:>4} {key}: {now:.3} vs baseline {baseline:.3} (floor {floor:.3})");
+            if now < floor {
+                failures += 1;
+            }
+        }
+        // Matches are deterministic in the simulator: any drift is a
+        // correctness bug, not a perf regression.
+        let key = format!("{prefix}.matches");
+        if let Some(&m) = committed.get(key.as_str()) {
+            if (report.matches as f64 - m).abs() > 0.5 {
+                eprintln!("FAIL {key}: {} != committed {m}", report.matches);
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} baseline check(s) failed against {path}");
+        std::process::exit(1);
+    }
+    println!("all baseline checks passed against {path}");
+}
+
+// ------------------------------------------------------------ JSON (tiny)
+
+/// A flat document of dotted-path → number, rendered as nested JSON.
+struct Doc {
+    values: BTreeMap<String, f64>,
+}
+
+impl Doc {
+    fn new() -> Self {
+        Self {
+            values: BTreeMap::new(),
+        }
+    }
+
+    fn set(&mut self, path: &str, v: f64) {
+        self.values.insert(path.to_owned(), v);
+    }
+
+    /// Renders the dotted paths as a nested, stable-ordered JSON object.
+    fn render(&self) -> String {
+        let entries: Vec<(Vec<&str>, f64)> = self
+            .values
+            .iter()
+            .map(|(k, &v)| (k.split('.').collect(), v))
+            .collect();
+        let mut out = String::new();
+        render_group(&entries, 0, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders a contiguous run of entries sharing a path prefix of `depth`
+/// segments as one JSON object. Entries come from a `BTreeMap`, so keys
+/// with the same parent are already adjacent.
+fn render_group(entries: &[(Vec<&str>, f64)], depth: usize, indent: usize, out: &mut String) {
+    out.push_str("{\n");
+    let pad = "  ".repeat(indent + 1);
+    let mut i = 0;
+    while i < entries.len() {
+        let name = entries[i].0[depth];
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&pad);
+        out.push_str(&format!("\"{name}\": "));
+        if entries[i].0.len() == depth + 1 {
+            let v = entries[i].1;
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                out.push_str(&format!("{}", v as i64));
+            } else {
+                out.push_str(&format!("{v:.6}"));
+            }
+            i += 1;
+        } else {
+            let mut j = i;
+            while j < entries.len() && entries[j].0.len() > depth && entries[j].0[depth] == name {
+                j += 1;
+            }
+            render_group(&entries[i..j], depth + 1, indent + 1, out);
+            i = j;
+        }
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push('}');
+}
+
+/// Parses nested JSON with numeric leaves into dotted-path → number.
+/// Handles exactly the subset `Doc::render` emits (plus whitespace).
+fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let mut chars = text.chars().peekable();
+    let mut path: Vec<String> = Vec::new();
+    let mut pending_key: Option<String> = None;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '{' => {
+                chars.next();
+                if let Some(k) = pending_key.take() {
+                    path.push(k);
+                }
+            }
+            '}' => {
+                chars.next();
+                path.pop();
+            }
+            '"' => {
+                chars.next();
+                let mut key = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '"' {
+                        break;
+                    }
+                    key.push(ch);
+                }
+                pending_key = Some(key);
+            }
+            '0'..='9' | '-' | '+' => {
+                let mut num = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || "+-.eE".contains(d) {
+                        num.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let key = pending_key
+                    .take()
+                    .ok_or_else(|| format!("number {num} without a key"))?;
+                let full = if path.is_empty() {
+                    key
+                } else {
+                    format!("{}.{key}", path.join("."))
+                };
+                let v: f64 = num.parse().map_err(|e| format!("bad number {num}: {e}"))?;
+                out.insert(full, v);
+            }
+            _ => {
+                chars.next();
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("no numeric fields found".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let mut doc = Doc::new();
+        doc.set("schema_version", 1.0);
+        doc.set("micro.speedup", 3.25);
+        doc.set("smoke.split.build_mtps", 12.5);
+        doc.set("smoke.split.matches", 42.0);
+        doc.set("smoke.hybrid.build_mtps", 9.0);
+        let text = doc.render();
+        let parsed = parse_flat_json(&text).expect("parses");
+        assert_eq!(parsed["schema_version"], 1.0);
+        assert_eq!(parsed["micro.speedup"], 3.25);
+        assert_eq!(parsed["smoke.split.build_mtps"], 12.5);
+        assert_eq!(parsed["smoke.split.matches"], 42.0);
+        assert_eq!(parsed["smoke.hybrid.build_mtps"], 9.0);
+        assert_eq!(parsed.len(), 5);
+    }
+}

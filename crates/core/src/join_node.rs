@@ -21,12 +21,12 @@
 use crate::config::{Algorithm, JoinConfig};
 use crate::msg::{Histogram, Msg, NodeReport};
 use crate::routing::RoutingTable;
-use ehj_data::Tuple;
+use ehj_data::{Tuple, TupleBatch};
 use ehj_hash::{HashRange, JoinHashTable, PositionSpace, SplitStep};
 use ehj_metrics::{CommCategory, CommCounters, Phase, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context};
 use ehj_storage::{GraceJoin, GraceResult, SpillBackend};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One join process. `B` selects the spill backend: in-memory under the
@@ -57,6 +57,10 @@ pub struct JoinNode<B: SpillBackend + Default + Send> {
     grace_result: Option<GraceResult>,
     reported: bool,
     tracer: Tracer,
+    /// Reusable per-destination scatter buffers for routing whole batches
+    /// (the destination slots persist across messages; no per-tuple map
+    /// lookups or per-call rebuilds).
+    scatter: Vec<(ActorId, Vec<Tuple>)>,
 }
 
 impl<B: SpillBackend + Default + Send> JoinNode<B> {
@@ -91,6 +95,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             grace_result: None,
             reported: false,
             tracer: Tracer::off(),
+            scatter: Vec::new(),
         }
     }
 
@@ -133,21 +138,21 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         }
     }
 
-    /// Ships `tuples` to `to` in chunk-sized data messages, recording the
-    /// traffic under `cat`.
+    /// Ships a batch to `to` in chunk-sized data messages, recording the
+    /// traffic under `cat`. Chunks are zero-copy views of the batch.
     fn send_tuples(
         &mut self,
         ctx: &mut dyn Context<Msg>,
         to: ActorId,
         phase: Phase,
         cat: CommCategory,
-        tuples: Vec<Tuple>,
+        batch: TupleBatch,
     ) {
-        if tuples.is_empty() {
+        if batch.is_empty() {
             return;
         }
         let tb = self.tuple_bytes();
-        for chunk in tuples.chunks(self.cfg.chunk_tuples) {
+        for chunk in batch.chunks(self.cfg.chunk_tuples) {
             let n = chunk.len() as u64;
             self.comm.record(phase, cat, n, n * tb);
             self.fwd_chunks[phase.index()] += 1;
@@ -156,10 +161,54 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
                 Msg::Data {
                     phase,
                     category: cat,
-                    tuples: chunk.to_vec(),
+                    tuples: chunk,
                     tuple_bytes: tb,
                 },
             );
+        }
+    }
+
+    /// Stages one routed tuple for `dest` in the reusable scatter buffers.
+    /// Destinations are few (active nodes a batch fans out to), so a linear
+    /// slot scan beats any map.
+    #[inline]
+    fn scatter_push(&mut self, dest: ActorId, t: Tuple) {
+        match self.scatter.iter_mut().find(|(d, _)| *d == dest) {
+            Some((_, buf)) => buf.push(t),
+            None => self.scatter.push((dest, vec![t])),
+        }
+    }
+
+    /// Ships every staged scatter group (in destination order, for
+    /// deterministic traffic) and charges the routing CPU. When `whole` is
+    /// the original incoming batch and every tuple routed to one
+    /// destination, that batch is re-forwarded as an `Arc` clone instead of
+    /// re-materializing the tuples — the common stale-routing case where a
+    /// chunk's entire range moved to one new owner.
+    fn ship_scatter(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        phase: Phase,
+        whole: Option<&TupleBatch>,
+    ) {
+        let costs = self.cfg.costs;
+        let fwd_cat = self.forward_category();
+        let mut order: Vec<usize> = (0..self.scatter.len())
+            .filter(|&i| !self.scatter[i].1.is_empty())
+            .collect();
+        order.sort_by_key(|&i| self.scatter[i].0);
+        for i in order {
+            let dest = self.scatter[i].0;
+            let n = self.scatter[i].1.len();
+            ctx.consume_cpu(costs.route_per_tuple * n as u64);
+            let batch = match whole {
+                Some(b) if b.len() == n => {
+                    self.scatter[i].1.clear();
+                    b.clone()
+                }
+                _ => TupleBatch::from(std::mem::take(&mut self.scatter[i].1)),
+            };
+            self.send_tuples(ctx, dest, phase, fwd_cat, batch);
         }
     }
 
@@ -210,12 +259,28 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             },
         );
         self.spill = Some(grace);
-        // Pending tuples finally have a home.
+        self.spill_pending(ctx);
+        ctx.send(self.scheduler, Msg::Spilled);
+    }
+
+    /// Pending tuples finally have a home on disk: append them and retract
+    /// any outstanding overflow report. Shared by spill activation and the
+    /// post-spill pending drain.
+    fn spill_pending(&mut self, ctx: &mut dyn Context<Msg>) {
         let pending: Vec<Tuple> = std::mem::take(&mut self.pending).into();
         self.spill_append_build(ctx, &pending);
         self.awaiting_relief = false;
         self.retract_full_report(ctx);
-        ctx.send(self.scheduler, Msg::Spilled);
+    }
+
+    /// Raises the §4.1.3 "memory full" condition for the current pending
+    /// queue (at most one report outstanding; see `reported_full`).
+    fn report_overflow(&mut self, ctx: &mut dyn Context<Msg>) {
+        self.awaiting_relief = true;
+        self.reported_full = true;
+        let pending = self.pending.len() as u64;
+        self.trace(ctx, Phase::Build, TraceKind::BucketOverflow { pending });
+        ctx.send(self.scheduler, Msg::MemoryFull { pending });
     }
 
     fn spill_append_build(&mut self, ctx: &mut dyn Context<Msg>, tuples: &[Tuple]) {
@@ -230,17 +295,16 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         self.trace_detail(ctx, Phase::Build, TraceKind::Spill { bytes, fragments });
     }
 
-    fn handle_build(&mut self, ctx: &mut dyn Context<Msg>, tuples: Vec<Tuple>) {
+    fn handle_build(&mut self, ctx: &mut dyn Context<Msg>, batch: TupleBatch) {
         let costs = self.cfg.costs;
         let routing = self.routing.take().expect("active node has routing");
-        let mut forwards: BTreeMap<ActorId, Vec<Tuple>> = BTreeMap::new();
         let mut to_spill: Vec<Tuple> = Vec::new();
         let mut inserted: u64 = 0;
         let mut newly_pending: u64 = 0;
-        for t in tuples {
+        for &t in &batch {
             let dest = routing.build_dest(&self.space, t.join_attr);
             if dest != self.me {
-                forwards.entry(dest).or_default().push(t);
+                self.scatter_push(dest, t);
                 continue;
             }
             if self.spill.is_some() {
@@ -263,18 +327,14 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         }
         self.routing = Some(routing);
         ctx.consume_cpu(costs.insert_per_tuple * inserted);
+        let kept_local = inserted + to_spill.len() as u64 + newly_pending;
         self.spill_append_build(ctx, &to_spill);
-        let fwd_cat = self.forward_category();
-        for (dest, group) in forwards {
-            ctx.consume_cpu(costs.route_per_tuple * group.len() as u64);
-            self.send_tuples(ctx, dest, Phase::Build, fwd_cat, group);
-        }
+        // If nothing stayed local, the original batch may be re-forwardable
+        // wholesale (Arc clone) instead of copied out of the scatter buffer.
+        let whole = (kept_local == 0).then_some(&batch);
+        self.ship_scatter(ctx, Phase::Build, whole);
         if newly_pending > 0 && !self.awaiting_relief {
-            self.awaiting_relief = true;
-            self.reported_full = true;
-            let pending = self.pending.len() as u64;
-            self.trace(ctx, Phase::Build, TraceKind::BucketOverflow { pending });
-            ctx.send(self.scheduler, Msg::MemoryFull { pending });
+            self.report_overflow(ctx);
         }
     }
 
@@ -297,21 +357,17 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             return;
         }
         if self.spill.is_some() {
-            let pending: Vec<Tuple> = std::mem::take(&mut self.pending).into();
-            self.spill_append_build(ctx, &pending);
-            self.awaiting_relief = false;
-            self.retract_full_report(ctx);
+            self.spill_pending(ctx);
             return;
         }
         let costs = self.cfg.costs;
         let routing = self.routing.take().expect("active node has routing");
-        let mut forwards: BTreeMap<ActorId, Vec<Tuple>> = BTreeMap::new();
         let mut still = VecDeque::new();
         let mut inserted: u64 = 0;
         for t in std::mem::take(&mut self.pending) {
             let dest = routing.build_dest(&self.space, t.join_attr);
             if dest != self.me {
-                forwards.entry(dest).or_default().push(t);
+                self.scatter_push(dest, t);
             } else {
                 match self.table.insert(t) {
                     Ok(()) => inserted += 1,
@@ -322,26 +378,18 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         self.routing = Some(routing);
         self.pending = still;
         ctx.consume_cpu(costs.insert_per_tuple * inserted);
-        let fwd_cat = self.forward_category();
-        for (dest, group) in forwards {
-            ctx.consume_cpu(costs.route_per_tuple * group.len() as u64);
-            self.send_tuples(ctx, dest, Phase::Build, fwd_cat, group);
-        }
+        self.ship_scatter(ctx, Phase::Build, None);
         if self.pending.is_empty() {
             self.awaiting_relief = false;
             self.retract_full_report(ctx);
         } else {
             // Still full after relief: report again (one split per report,
             // the uncontrolled-split discipline of linear hashing).
-            self.awaiting_relief = true;
-            self.reported_full = true;
-            let pending = self.pending.len() as u64;
-            self.trace(ctx, Phase::Build, TraceKind::BucketOverflow { pending });
-            ctx.send(self.scheduler, Msg::MemoryFull { pending });
+            self.report_overflow(ctx);
         }
     }
 
-    fn handle_probe(&mut self, ctx: &mut dyn Context<Msg>, tuples: Vec<Tuple>) {
+    fn handle_probe(&mut self, ctx: &mut dyn Context<Msg>, tuples: TupleBatch) {
         let costs = self.cfg.costs;
         if let Some(grace) = self.spill.as_mut() {
             ctx.consume_cpu(costs.route_per_tuple * tuples.len() as u64);
@@ -367,11 +415,11 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         );
     }
 
-    fn handle_reshuffle_data(&mut self, ctx: &mut dyn Context<Msg>, tuples: Vec<Tuple>) {
+    fn handle_reshuffle_data(&mut self, ctx: &mut dyn Context<Msg>, tuples: TupleBatch) {
         // Reshuffle receivers insert without a capacity check: the greedy
         // plan equalizes loads, and the paper redistributes unconditionally.
         ctx.consume_cpu(self.cfg.costs.insert_per_tuple * tuples.len() as u64);
-        for t in tuples {
+        for &t in &tuples {
             self.table.insert_unchecked(t);
         }
     }
@@ -398,7 +446,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             new_node,
             Phase::Build,
             CommCategory::SplitTransfer,
-            moved,
+            moved.into(),
         );
         ctx.send(
             self.scheduler,
@@ -451,7 +499,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             new_node,
             Phase::Build,
             CommCategory::SplitTransfer,
-            moved,
+            moved.into(),
         );
         // Apply the cut to this node's own routing immediately: tuples for
         // the upper half that arrive before the scheduler's broadcast must
@@ -506,7 +554,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
                 owner,
                 Phase::Reshuffle,
                 CommCategory::ReshuffleTransfer,
-                extracted,
+                extracted.into(),
             );
         }
         ctx.send(
@@ -705,7 +753,7 @@ mod tests {
         Msg::Data {
             phase: Phase::Build,
             category: CommCategory::SourceDelivery,
-            tuples,
+            tuples: tuples.into(),
             tuple_bytes: 116,
         }
     }
@@ -739,7 +787,7 @@ mod tests {
                 category: CommCategory::ReplicaForward,
                 tuples,
                 ..
-            } => assert_eq!(tuples, &vec![Tuple::new(2, 700)]),
+            } => assert_eq!(tuples.as_slice(), [Tuple::new(2, 700)]),
             other => panic!("expected forwarded data, got {other:?}"),
         }
     }
@@ -836,7 +884,7 @@ mod tests {
             Msg::Data {
                 phase: Phase::Probe,
                 category: CommCategory::SourceDelivery,
-                tuples: vec![Tuple::new(9, 100), Tuple::new(10, 101)],
+                tuples: vec![Tuple::new(9, 100), Tuple::new(10, 101)].into(),
                 tuple_bytes: 116,
             },
         );
@@ -1047,7 +1095,7 @@ mod tests {
             Msg::Data {
                 phase: Phase::Probe,
                 category: CommCategory::SourceDelivery,
-                tuples: vec![Tuple::new(50, 100), Tuple::new(51, 101)],
+                tuples: vec![Tuple::new(50, 100), Tuple::new(51, 101)].into(),
                 tuple_bytes: 116,
             },
         );

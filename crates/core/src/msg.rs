@@ -1,7 +1,7 @@
 //! The message protocol between scheduler, data sources and join processes.
 
 use crate::routing::RoutingTable;
-use ehj_data::Tuple;
+use ehj_data::TupleBatch;
 use ehj_hash::{HashRange, SplitStep};
 use ehj_metrics::{CommCategory, CommCounters, Phase};
 use ehj_sim::{ActorId, Message};
@@ -203,14 +203,16 @@ pub enum Msg {
 
     // ---- data plane (any → join nodes) ----
     /// A batch of tuples. `tuple_bytes` is the schema's payload-inclusive
-    /// row size, carried so the wire charge is payload-accurate.
+    /// row size, carried so the wire charge is payload-accurate. The batch
+    /// is a shared view: fanning one out to every replica of a range clones
+    /// an `Arc`, not the tuples.
     Data {
         /// Phase the data belongs to.
         phase: Phase,
         /// Why it was sent (delivery, split transfer, forward, ...).
         category: CommCategory,
         /// The tuples.
-        tuples: Vec<Tuple>,
+        tuples: TupleBatch,
         /// Row size under the run's schema.
         tuple_bytes: u64,
     },
@@ -249,6 +251,7 @@ impl Message for Msg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ehj_data::Tuple;
     use ehj_hash::RangeMap;
 
     #[test]
@@ -256,7 +259,7 @@ mod tests {
         let m = Msg::Data {
             phase: Phase::Build,
             category: CommCategory::SourceDelivery,
-            tuples: vec![Tuple::new(0, 0); 10],
+            tuples: vec![Tuple::new(0, 0); 10].into(),
             tuple_bytes: 116,
         };
         assert_eq!(m.wire_bytes(), CONTROL_BYTES + 1160);

@@ -356,8 +356,8 @@ impl JoinRunner {
             ));
             debug_assert_eq!(id, topo.node_actor(node));
         }
-        let (elapsed, _actors) = engine.run();
-        let end = elapsed.as_nanos();
+        let (summary, _actors) = engine.run();
+        let end = summary.elapsed.as_nanos();
         let report = result.lock().expect("report lock").take();
         let Some(mut report) = report else {
             harness.finish(end, StopCause::Quiescent, None);
@@ -366,8 +366,10 @@ impl JoinRunner {
             });
         };
         // Under the threaded backend the phase timings accumulated from
-        // wall-clock `now()`; total is authoritative from the engine.
-        report.times.total_secs = elapsed.as_secs_f64();
+        // wall-clock `now()`; total and traffic are authoritative from the
+        // engine (every send is charged its wire bytes, like the sim net).
+        report.times.total_secs = summary.elapsed.as_secs_f64();
+        report.net_bytes = summary.net_bytes;
         harness.finish(end, StopCause::Completed, Some(&mut report));
         Ok(report)
     }

@@ -5,7 +5,8 @@
 //! buffers by hash value and a full buffer is shipped as one chunk. Sources
 //! react to scheduler routing updates as the algorithms expand, and in the
 //! probe phase of the replication-based algorithm they broadcast each tuple
-//! to every replica of its range.
+//! to every replica of its range (the broadcast ships one shared
+//! [`TupleBatch`] — an `Arc` clone per replica, never a tuple copy).
 //!
 //! ## Flow control
 //!
@@ -25,7 +26,7 @@
 use crate::config::JoinConfig;
 use crate::msg::Msg;
 use crate::routing::RoutingTable;
-use ehj_data::{SourceGenerator, Tuple};
+use ehj_data::{SourceGenerator, Tuple, TupleBatch};
 use ehj_hash::PositionSpace;
 use ehj_metrics::{CommCategory, CommCounters, Phase, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context, SimTime};
@@ -52,12 +53,17 @@ pub struct DataSource {
     gen: Option<SourceGenerator>,
     routing: Option<RoutingTable>,
     routing_version: u64,
-    /// Per-destination accumulation buffers (not-yet-full chunks).
-    buffers: HashMap<ActorId, Vec<Tuple>>,
+    /// Accumulation buffers (not-yet-full chunks), keyed by *destination
+    /// set*: a full buffer freezes into one immutable [`TupleBatch`] that is
+    /// shipped to every member, so a probe broadcast to N replicas clones an
+    /// `Arc` N times instead of deep-copying the tuples. In the build phase
+    /// every set is a single node and this degenerates to per-destination
+    /// buffering.
+    buffers: HashMap<Vec<ActorId>, Vec<Tuple>>,
     /// Per-destination credits remaining.
     credits: HashMap<ActorId, usize>,
     /// Full chunks waiting for credit, per destination.
-    blocked: HashMap<ActorId, VecDeque<Vec<Tuple>>>,
+    blocked: HashMap<ActorId, VecDeque<TupleBatch>>,
     gen_paused: bool,
     draining: bool,
     phase_done_sent: bool,
@@ -140,7 +146,7 @@ impl DataSource {
     }
 
     /// Transmits one chunk now (credit already taken).
-    fn transmit(&mut self, ctx: &mut dyn Context<Msg>, dest: ActorId, tuples: Vec<Tuple>) {
+    fn transmit(&mut self, ctx: &mut dyn Context<Msg>, dest: ActorId, tuples: TupleBatch) {
         self.sent_chunks += 1;
         self.sent_tuples += tuples.len() as u64;
         ctx.send(
@@ -155,7 +161,7 @@ impl DataSource {
     }
 
     /// Ships a full chunk, or parks it until a credit returns.
-    fn ship(&mut self, ctx: &mut dyn Context<Msg>, dest: ActorId, tuples: Vec<Tuple>) {
+    fn ship(&mut self, ctx: &mut dyn Context<Msg>, dest: ActorId, tuples: TupleBatch) {
         let credit = self.credits.entry(dest).or_insert(CREDIT_CHUNKS);
         if *credit > 0 {
             *credit -= 1;
@@ -165,12 +171,27 @@ impl DataSource {
         }
     }
 
-    fn push(&mut self, ctx: &mut dyn Context<Msg>, dest: ActorId, t: Tuple) {
-        let buf = self.buffers.entry(dest).or_default();
+    /// Ships one frozen batch to every destination in the set; the tuples
+    /// are shared, each send clones the batch's `Arc`.
+    fn ship_all(&mut self, ctx: &mut dyn Context<Msg>, dests: &[ActorId], batch: TupleBatch) {
+        for &d in dests {
+            self.ship(ctx, d, batch.clone());
+        }
+    }
+
+    /// Buffers one tuple for its destination set, shipping the buffer when
+    /// it reaches chunk size.
+    fn push(&mut self, ctx: &mut dyn Context<Msg>, dests: &[ActorId], t: Tuple) {
+        let buf = match self.buffers.get_mut(dests) {
+            Some(buf) => buf,
+            // Miss: clone the key once; every later tuple for this set hits
+            // the borrowed-slice lookup above.
+            None => self.buffers.entry(dests.to_vec()).or_default(),
+        };
         buf.push(t);
         if buf.len() >= self.cfg.chunk_tuples {
-            let tuples = std::mem::take(self.buffers.get_mut(&dest).expect("just inserted"));
-            self.ship(ctx, dest, tuples);
+            let batch = TupleBatch::from(std::mem::take(buf));
+            self.ship_all(ctx, dests, batch);
         }
     }
 
@@ -198,12 +219,12 @@ impl DataSource {
         if self.phase != Phase::Build {
             return;
         }
-        let parked: Vec<Tuple> = self
-            .blocked
-            .values_mut()
-            .flat_map(|q| q.drain(..))
-            .flatten()
-            .collect();
+        let mut parked: Vec<Tuple> = Vec::new();
+        for q in self.blocked.values_mut() {
+            for batch in q.drain(..) {
+                parked.extend_from_slice(&batch);
+            }
+        }
         if parked.is_empty() {
             return;
         }
@@ -231,18 +252,18 @@ impl DataSource {
                 fanout_tuples += 1;
                 fanout_copies += dests.len() as u64;
             }
-            // `dests` is a local scratch vec, so iterating it does not
-            // alias the `&mut self` the buffer pushes need.
-            let dest_list = std::mem::take(&mut dests);
-            for (i, &d) in dest_list.iter().enumerate() {
+            for i in 0..dests.len() {
                 let cat = if i == 0 {
                     CommCategory::SourceDelivery
                 } else {
                     CommCategory::ProbeBroadcastExtra
                 };
                 self.comm.record_tuples(self.phase, cat, 1, tb);
-                self.push(ctx, d, t);
             }
+            // `dests` is a local scratch vec, so handing it to the buffer
+            // push does not alias the `&mut self` the push needs.
+            let dest_list = std::mem::take(&mut dests);
+            self.push(ctx, &dest_list, t);
             dests = dest_list;
         }
         self.dest_scratch = dests;
@@ -310,15 +331,15 @@ impl DataSource {
         }
         // Re-routing blocked chunks can land tuples back in accumulation
         // buffers after the final flush; push them out again.
-        let mut pending: Vec<(ActorId, Vec<Tuple>)> = self
+        let mut pending: Vec<(Vec<ActorId>, Vec<Tuple>)> = self
             .buffers
             .iter_mut()
             .filter(|(_, b)| !b.is_empty())
-            .map(|(&d, b)| (d, std::mem::take(b)))
+            .map(|(d, b)| (d.clone(), std::mem::take(b)))
             .collect();
-        pending.sort_by_key(|(d, _)| *d);
-        for (dest, tuples) in pending {
-            self.ship(ctx, dest, tuples);
+        pending.sort_by(|(a, _), (b, _)| a.cmp(b));
+        for (dests, tuples) in pending {
+            self.ship_all(ctx, &dests, tuples.into());
         }
         if self.blocked_total() > 0 {
             return;

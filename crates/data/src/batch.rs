@@ -1,0 +1,172 @@
+//! Shared, sliceable tuple batches — the unit of data movement.
+//!
+//! The hot shipping path (source → join node → forwarded node → replicas)
+//! used to deep-copy `Vec<Tuple>` at every hop. A [`TupleBatch`] is instead
+//! a cheap *view* into an immutable, reference-counted tuple buffer:
+//! cloning one (probe fan-out to every replica of a range, re-forwarding a
+//! whole batch that routed to a single destination) copies an `Arc` and two
+//! integers, never the tuples. Splitting a frozen buffer into fixed-size
+//! wire chunks ([`TupleBatch::chunks`]) is equally free.
+//!
+//! Batches are immutable once frozen; staging buffers stay plain
+//! `Vec<Tuple>`s and convert with [`TupleBatch::from`] (zero-copy).
+
+use crate::tuple::Tuple;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted slice of tuples.
+///
+/// Dereferences to `[Tuple]`, so all slice reads work directly. Equality is
+/// by contents (two views over different buffers holding the same tuples
+/// compare equal), which keeps tests natural.
+#[derive(Debug, Clone)]
+pub struct TupleBatch {
+    buf: Arc<Vec<Tuple>>,
+    start: u32,
+    len: u32,
+}
+
+impl TupleBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            buf: Arc::new(Vec::new()),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of tuples in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of `self` (panics if out of bounds, like slice
+    /// indexing).
+    #[must_use]
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(start + len <= self.len(), "batch slice out of bounds");
+        Self {
+            buf: Arc::clone(&self.buf),
+            start: self.start + start as u32,
+            len: len as u32,
+        }
+    }
+
+    /// Splits the batch into consecutive zero-copy views of at most
+    /// `chunk_tuples` tuples each (an empty batch yields nothing).
+    pub fn chunks(&self, chunk_tuples: usize) -> impl Iterator<Item = TupleBatch> + '_ {
+        assert!(chunk_tuples > 0, "chunk size must be positive");
+        (0..self.len()).step_by(chunk_tuples).map(move |start| {
+            let len = chunk_tuples.min(self.len() - start);
+            self.slice(start, len)
+        })
+    }
+
+    /// Copies the viewed tuples into an owned vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.as_slice().to_vec()
+    }
+
+    /// The viewed tuples as a plain slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.buf[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+impl From<Vec<Tuple>> for TupleBatch {
+    /// Freezes a staging buffer into a batch without copying the tuples.
+    fn from(v: Vec<Tuple>) -> Self {
+        let len = v.len() as u32;
+        Self {
+            buf: Arc::new(v),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl Deref for TupleBatch {
+    type Target = [Tuple];
+
+    fn deref(&self) -> &[Tuple] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for TupleBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TupleBatch {}
+
+impl<'a> IntoIterator for &'a TupleBatch {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples(n: u64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(i, i * 10)).collect()
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy_and_deref_works() {
+        let v = tuples(5);
+        let ptr = v.as_ptr();
+        let b = TupleBatch::from(v);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.as_ptr(), ptr, "freezing must not copy the buffer");
+        assert_eq!(b[3].join_attr, 30);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let b = TupleBatch::from(tuples(4));
+        let c = b.clone();
+        assert_eq!(b.as_ptr(), c.as_ptr());
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn chunks_cover_everything_without_copying() {
+        let b = TupleBatch::from(tuples(10));
+        let chunks: Vec<TupleBatch> = b.chunks(4).collect();
+        assert_eq!(
+            chunks.iter().map(TupleBatch::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let flat: Vec<Tuple> = chunks.iter().flat_map(|c| c.to_vec()).collect();
+        assert_eq!(flat, b.to_vec());
+        assert!(chunks.iter().all(|c| c.as_ptr() >= b.as_ptr()));
+        assert!(TupleBatch::empty().chunks(4).next().is_none());
+    }
+
+    #[test]
+    fn equality_is_by_contents() {
+        let a = TupleBatch::from(tuples(3));
+        let b = TupleBatch::from(tuples(3));
+        assert_eq!(a, b);
+        assert_ne!(a, a.slice(0, 2));
+    }
+}

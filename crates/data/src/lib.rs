@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod chunk;
 pub mod dist;
 pub mod gen;
@@ -28,6 +29,7 @@ pub mod rng;
 pub mod schema;
 pub mod tuple;
 
+pub use batch::TupleBatch;
 pub use chunk::{Chunk, ChunkBuffer, ChunkSet, CHUNK_HEADER_BYTES, DEFAULT_CHUNK_TUPLES};
 pub use dist::{Distribution, JoinAttrSampler, DEFAULT_ATTR_DOMAIN};
 pub use gen::{RelationSpec, SourceGenerator, TupleGenerator};

@@ -9,17 +9,21 @@
 //! * [`range`] — contiguous hash-range partitioning with replica lists for
 //!   the replication-based and hybrid algorithms;
 //! * [`partition`] — the hybrid reshuffle's greedy equal-load heuristic;
-//! * [`table`] — the per-node, memory-accounted chained hash table.
+//! * [`table`] — the per-node, memory-accounted flat-arena hash table;
+//! * [`chained`] — the original `BTreeMap`-chained table, kept as a
+//!   reference for differential tests and benchmark baselines.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chained;
 pub mod hasher;
 pub mod linear;
 pub mod partition;
 pub mod range;
 pub mod table;
 
+pub use chained::ChainedTable;
 pub use hasher::{AttrHasher, PositionSpace};
 pub use linear::{BucketMap, SplitStep};
 pub use partition::{greedy_equal_partition, part_loads};

@@ -12,14 +12,34 @@
 //! * per-position entry counts (input to the hybrid reshuffle histogram);
 //! * range extraction (reshuffle redistribution) and predicate drains
 //!   (split-based bucket splits).
+//!
+//! ## Memory layout
+//!
+//! The table is *flat*: tuples live in one contiguous arena (`slots`), and
+//! chains are intrusive singly-linked lists threaded through it with `u32`
+//! arena indices. A dense per-position head array (`heads`, lazily
+//! allocated on first insert so idle potential nodes cost nothing) maps a
+//! global position to the newest slot chained there. An insert is a vector
+//! push plus one head-link write — no per-chain allocation, no tree
+//! rebalancing — and a probe walks a chain of 24-byte slots that were
+//! written adjacently when their inserts were adjacent. Bulk removals
+//! (range extraction, predicate drains) compact the arena and relink in one
+//! pass; they are off the per-tuple hot path, exactly as the paper's
+//! reshuffles and splits are.
+//!
+//! The reference `BTreeMap`-chained layout this replaced survives as
+//! [`crate::ChainedTable`] for differential tests and benchmarks.
 
 use crate::hasher::PositionSpace;
 use ehj_data::{JoinAttr, Schema, Tuple};
-use std::collections::BTreeMap;
 
 /// Bookkeeping bytes charged per stored tuple on top of the schema's raw
-/// tuple size (chain pointer + allocation overhead on the paper's testbed).
+/// tuple size (chain link + position tag + head-array share, mirroring the
+/// chain-pointer/allocator overhead on the paper's testbed).
 pub const ENTRY_OVERHEAD_BYTES: u64 = 16;
+
+/// Chain terminator / empty head marker.
+const NIL: u32 = u32::MAX;
 
 /// Error returned when an insert would exceed the table's memory capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,16 +71,27 @@ pub struct ProbeResult {
     pub compared: u64,
 }
 
-/// A memory-bounded chained hash table over the global position space.
+/// One arena entry: the stored tuple, its global position (cached so bulk
+/// rebuilds never re-hash), and the intrusive chain link.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    pos: u32,
+    next: u32,
+    tuple: Tuple,
+}
+
+/// A memory-bounded hash table over the global position space: contiguous
+/// tuple arena + per-position `u32` chain index (see module docs).
 #[derive(Debug, Clone)]
 pub struct JoinHashTable {
     space: PositionSpace,
     schema: Schema,
-    /// Chains keyed by *global* position; a node only ever holds keys inside
-    /// its assigned range(s). BTreeMap gives cheap range extraction and
-    /// ordered histograms.
-    chains: BTreeMap<u32, Vec<Tuple>>,
-    tuples: u64,
+    /// Newest slot index per global position (`NIL` = empty chain). Empty
+    /// until the first insert.
+    heads: Vec<u32>,
+    /// The tuple arena; `slots.len()` is the live tuple count (bulk removal
+    /// compacts, so there are no tombstones).
+    slots: Vec<Slot>,
     capacity_bytes: u64,
 }
 
@@ -71,8 +102,8 @@ impl JoinHashTable {
         Self {
             space,
             schema,
-            chains: BTreeMap::new(),
-            tuples: 0,
+            heads: Vec::new(),
+            slots: Vec::new(),
             capacity_bytes,
         }
     }
@@ -92,7 +123,7 @@ impl JoinHashTable {
     /// Bytes currently in use.
     #[must_use]
     pub fn bytes_used(&self) -> u64 {
-        self.tuples * self.bytes_per_tuple()
+        self.len() * self.bytes_per_tuple()
     }
 
     /// The configured capacity in bytes.
@@ -104,13 +135,13 @@ impl JoinHashTable {
     /// Number of stored tuples.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.tuples
+        self.slots.len() as u64
     }
 
     /// Whether the table is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.tuples == 0
+        self.slots.is_empty()
     }
 
     /// How many more tuples fit before [`TableFull`].
@@ -125,9 +156,35 @@ impl JoinHashTable {
         self.space.position_of(attr)
     }
 
+    /// Allocates the head array on the first insert (idle tables stay at
+    /// zero overhead).
+    #[inline]
+    fn ensure_heads(&mut self) {
+        if self.heads.is_empty() {
+            self.heads.resize(self.space.positions as usize, NIL);
+        }
+    }
+
+    /// Links `t` into its chain (the shared tail of both insert paths).
+    #[inline]
+    fn link(&mut self, t: Tuple) {
+        let pos = self.space.position_of(t.join_attr);
+        self.ensure_heads();
+        let idx = self.slots.len() as u32;
+        debug_assert!(idx != NIL, "arena index space exhausted");
+        let head = &mut self.heads[pos as usize];
+        self.slots.push(Slot {
+            pos,
+            next: *head,
+            tuple: t,
+        });
+        *head = idx;
+    }
+
     /// Inserts a build tuple, or reports the table full. A failed insert
     /// changes nothing (the tuple stays pending at the caller, exactly as
     /// the paper's join process queues unprocessed buffers).
+    #[inline]
     pub fn insert(&mut self, t: Tuple) -> Result<(), TableFull> {
         if self.bytes_used() + self.bytes_per_tuple() > self.capacity_bytes {
             return Err(TableFull {
@@ -135,114 +192,118 @@ impl JoinHashTable {
                 capacity_bytes: self.capacity_bytes,
             });
         }
-        let pos = self.space.position_of(t.join_attr);
-        self.chains.entry(pos).or_default().push(t);
-        self.tuples += 1;
+        self.link(t);
         Ok(())
     }
 
     /// Inserts without capacity checking (used when re-homing tuples during
     /// reshuffle/split, which never increases a node's accounted usage
     /// beyond what the coordinator planned).
+    #[inline]
     pub fn insert_unchecked(&mut self, t: Tuple) {
-        let pos = self.space.position_of(t.join_attr);
-        self.chains.entry(pos).or_default().push(t);
-        self.tuples += 1;
+        self.link(t);
     }
 
     /// Probes one attribute: scans the chain at its position, counting
     /// equality matches and comparisons (Algorithm 1).
     #[must_use]
+    #[inline]
     pub fn probe(&self, attr: JoinAttr) -> ProbeResult {
-        let pos = self.space.position_of(attr);
-        match self.chains.get(&pos) {
-            None => ProbeResult::default(),
-            Some(chain) => ProbeResult {
-                matches: chain.iter().filter(|t| t.join_attr == attr).count() as u64,
-                compared: chain.len() as u64,
-            },
+        let pos = self.space.position_of(attr) as usize;
+        let mut r = ProbeResult::default();
+        let Some(&head) = self.heads.get(pos) else {
+            return r;
+        };
+        let mut cur = head;
+        while cur != NIL {
+            let slot = &self.slots[cur as usize];
+            r.compared += 1;
+            r.matches += u64::from(slot.tuple.join_attr == attr);
+            cur = slot.next;
         }
+        r
     }
 
-    /// Probes and collects the matching build-tuple indices (test/reference
-    /// use; the hot path uses [`Self::probe`]).
+    /// Probes and collects the matching build tuples (test/reference use;
+    /// the hot path uses [`Self::probe`]).
     #[must_use]
     pub fn probe_collect(&self, attr: JoinAttr) -> Vec<Tuple> {
-        let pos = self.space.position_of(attr);
-        self.chains
-            .get(&pos)
-            .map(|c| c.iter().filter(|t| t.join_attr == attr).copied().collect())
-            .unwrap_or_default()
+        let pos = self.space.position_of(attr) as usize;
+        let mut out = Vec::new();
+        let Some(&head) = self.heads.get(pos) else {
+            return out;
+        };
+        let mut cur = head;
+        while cur != NIL {
+            let slot = &self.slots[cur as usize];
+            if slot.tuple.join_attr == attr {
+                out.push(slot.tuple);
+            }
+            cur = slot.next;
+        }
+        out
     }
 
     /// Per-position entry counts over `[range_start, range_end)` as a dense
     /// histogram indexed relative to `range_start` — the reshuffle input.
+    /// One arena scan: `O(len + range)`.
     #[must_use]
     pub fn position_histogram(&self, range_start: u32, range_end: u32) -> Vec<u64> {
         let mut hist = vec![0u64; (range_end - range_start) as usize];
-        for (&pos, chain) in self.chains.range(range_start..range_end) {
-            hist[(pos - range_start) as usize] = chain.len() as u64;
+        for slot in &self.slots {
+            if slot.pos >= range_start && slot.pos < range_end {
+                hist[(slot.pos - range_start) as usize] += 1;
+            }
         }
         hist
+    }
+
+    /// Drops every slot matched by `take` out of the arena, returning the
+    /// extracted tuples, then relinks the survivors' chains in one pass.
+    fn compact(&mut self, mut take: impl FnMut(&Slot) -> bool) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.slots.retain(|slot| {
+            if take(slot) {
+                out.push(slot.tuple);
+                false
+            } else {
+                true
+            }
+        });
+        if out.is_empty() {
+            return out;
+        }
+        self.heads.fill(NIL);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.next = self.heads[slot.pos as usize];
+            self.heads[slot.pos as usize] = i as u32;
+        }
+        out
     }
 
     /// Removes and returns all tuples whose position lies in
     /// `[range_start, range_end)` (reshuffle redistribution).
     pub fn extract_range(&mut self, range_start: u32, range_end: u32) -> Vec<Tuple> {
-        let keys: Vec<u32> = self
-            .chains
-            .range(range_start..range_end)
-            .map(|(&k, _)| k)
-            .collect();
-        let mut out = Vec::new();
-        for k in keys {
-            let chain = self.chains.remove(&k).expect("key just enumerated");
-            self.tuples -= chain.len() as u64;
-            out.extend(chain);
-        }
-        out
+        self.compact(|slot| slot.pos >= range_start && slot.pos < range_end)
     }
 
     /// Removes and returns all tuples matching `pred` (split-based bucket
     /// split: extract the elements `h_{i+1}` maps to the new bucket). The
-    /// full table is scanned, mirroring the real cost of a bucket split.
+    /// full arena is scanned, mirroring the real cost of a bucket split.
     pub fn drain_filter(&mut self, mut pred: impl FnMut(&Tuple) -> bool) -> Vec<Tuple> {
-        let mut out = Vec::new();
-        let mut emptied = Vec::new();
-        for (&pos, chain) in &mut self.chains {
-            let mut kept = Vec::with_capacity(chain.len());
-            for t in chain.drain(..) {
-                if pred(&t) {
-                    out.push(t);
-                } else {
-                    kept.push(t);
-                }
-            }
-            if kept.is_empty() {
-                emptied.push(pos);
-            }
-            *chain = kept;
-        }
-        for pos in emptied {
-            self.chains.remove(&pos);
-        }
-        self.tuples -= out.len() as u64;
-        out
+        self.compact(|slot| pred(&slot.tuple))
     }
 
-    /// Iterates all stored tuples in position order.
+    /// Iterates all stored tuples in arena (insertion) order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.chains.values().flatten()
+        self.slots.iter().map(|slot| &slot.tuple)
     }
 
     /// Removes everything, returning the tuples (out-of-core spill support).
+    /// The head array is released too: a spilled node never inserts again.
     pub fn drain_all(&mut self) -> Vec<Tuple> {
-        let mut out = Vec::with_capacity(self.tuples as usize);
-        for (_, chain) in std::mem::take(&mut self.chains) {
-            out.extend(chain);
-        }
-        self.tuples = 0;
-        out
+        self.heads = Vec::new();
+        self.slots.drain(..).map(|slot| slot.tuple).collect()
     }
 }
 
@@ -369,5 +430,29 @@ mod tests {
         let mut t = JoinHashTable::new(space(), Schema::default_paper(), 0);
         assert!(t.insert(Tuple::new(0, 0)).is_err());
         assert_eq!(t.remaining_tuples(), 0);
+    }
+
+    #[test]
+    fn chains_survive_compaction() {
+        // Extraction must relink the survivors so later probes and inserts
+        // still see every remaining tuple.
+        let mut t = table(1000);
+        for i in 0..50u64 {
+            t.insert(Tuple::new(i, i % 7)).unwrap(); // positions 0..6
+        }
+        let moved = t.extract_range(0, 3);
+        assert_eq!(moved.len() as u64 + t.len(), 50);
+        t.insert(Tuple::new(99, 5)).unwrap();
+        let before = t.probe(5);
+        assert_eq!(before.matches, 8, "7 original + 1 re-inserted at pos 5");
+        assert_eq!(t.probe(1).matches, 0, "extracted position is empty");
+    }
+
+    #[test]
+    fn empty_table_allocates_no_heads() {
+        let big = PositionSpace::new(1 << 20, 1 << 20, AttrHasher::Identity);
+        let t = JoinHashTable::new(big, Schema::default_paper(), u64::MAX);
+        assert!(t.heads.is_empty(), "idle potential nodes stay cheap");
+        assert_eq!(t.probe(1234).compared, 0);
     }
 }

@@ -7,8 +7,8 @@
 
 use ehj_data::{Schema, Tuple, Xoshiro256StarStar};
 use ehj_hash::{
-    greedy_equal_partition, part_loads, AttrHasher, BucketMap, HashRange, JoinHashTable,
-    PositionSpace, RangeMap, ReplicaMap,
+    greedy_equal_partition, part_loads, AttrHasher, BucketMap, ChainedTable, HashRange,
+    JoinHashTable, PositionSpace, RangeMap, ReplicaMap,
 };
 
 #[test]
@@ -186,6 +186,116 @@ fn capacity_is_exact() {
             }
         }
         assert_eq!(ok, cap_tuples);
+    }
+}
+
+/// Differential property: the flat arena [`JoinHashTable`] must be
+/// observably equivalent to the reference [`ChainedTable`] — identical
+/// [`ehj_hash::ProbeResult`]s, per-position histograms, [`ehj_hash::TableFull`]
+/// trigger points, extraction/drain contents (as multisets) and byte
+/// accounting — across randomized insert/probe/extract/drain sequences.
+#[test]
+fn flat_table_equals_chained_reference() {
+    /// Sorts a removal result so multiset comparison ignores the two
+    /// layouts' different internal orders.
+    fn canon(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort_unstable_by_key(|t| (t.join_attr, t.index));
+        v
+    }
+
+    let mut g = Xoshiro256StarStar::new(0xD1FF);
+    for case in 0..100 {
+        let positions = 16 + g.next_below(256 - 16) as u32;
+        let domain = positions as u64 * (1 + g.next_below(8));
+        let cap_tuples = g.next_below(400);
+        let hasher = if case % 2 == 0 {
+            AttrHasher::Identity
+        } else {
+            AttrHasher::Fibonacci
+        };
+        let space = PositionSpace::new(positions, domain, hasher);
+        let schema = Schema::default_paper();
+        let bpt = schema.tuple_bytes() + ehj_hash::ENTRY_OVERHEAD_BYTES;
+        let mut flat = JoinHashTable::new(space, schema, cap_tuples * bpt);
+        let mut chained = ChainedTable::new(space, schema, cap_tuples * bpt);
+
+        let ops = 20 + g.next_below(60);
+        let mut next_index = 0u64;
+        for _ in 0..ops {
+            match g.next_below(100) {
+                // Insert a burst of tuples (the dominant operation).
+                0..=59 => {
+                    for _ in 0..g.next_below(40) {
+                        let t = Tuple::new(next_index, g.next_below(domain));
+                        next_index += 1;
+                        assert_eq!(
+                            flat.insert(t),
+                            chained.insert(t),
+                            "TableFull must trigger at the same insert"
+                        );
+                    }
+                }
+                // Unchecked insert (reshuffle receiver path).
+                60..=64 => {
+                    let t = Tuple::new(next_index, g.next_below(domain));
+                    next_index += 1;
+                    flat.insert_unchecked(t);
+                    chained.insert_unchecked(t);
+                }
+                // Probe a random attribute.
+                65..=84 => {
+                    let attr = g.next_below(domain);
+                    assert_eq!(flat.probe(attr), chained.probe(attr));
+                    assert_eq!(
+                        canon(flat.probe_collect(attr)),
+                        canon(chained.probe_collect(attr))
+                    );
+                }
+                // Histogram over a random subrange.
+                85..=89 => {
+                    let a = g.next_below(positions as u64) as u32;
+                    let b = a + g.next_below((positions - a) as u64 + 1) as u32;
+                    assert_eq!(
+                        flat.position_histogram(a, b),
+                        chained.position_histogram(a, b)
+                    );
+                }
+                // Extract a random subrange (reshuffle / range split).
+                90..=94 => {
+                    let a = g.next_below(positions as u64) as u32;
+                    let b = a + g.next_below((positions - a) as u64 + 1) as u32;
+                    assert_eq!(
+                        canon(flat.extract_range(a, b)),
+                        canon(chained.extract_range(a, b))
+                    );
+                }
+                // Predicate drain (linear-hash bucket split).
+                95..=97 => {
+                    let m = 2 + g.next_below(5);
+                    assert_eq!(
+                        canon(flat.drain_filter(|t| t.join_attr % m == 0)),
+                        canon(chained.drain_filter(|t| t.join_attr % m == 0))
+                    );
+                }
+                // Full drain (spill activation).
+                _ => {
+                    assert_eq!(canon(flat.drain_all()), canon(chained.drain_all()));
+                }
+            }
+            assert_eq!(flat.len(), chained.len());
+            assert_eq!(flat.bytes_used(), chained.bytes_used());
+            // `remaining_tuples` is only defined while within capacity
+            // (unchecked inserts may exceed it; both layouts then agree on
+            // bytes_used, checked above).
+            if flat.bytes_used() <= flat.capacity_bytes() {
+                assert_eq!(flat.remaining_tuples(), chained.remaining_tuples());
+            }
+        }
+        assert_eq!(
+            canon(flat.iter().copied().collect()),
+            canon(chained.iter().copied().collect()),
+            "final contents must agree"
+        );
     }
 }
 

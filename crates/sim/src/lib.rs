@@ -30,5 +30,5 @@ pub use actor::{Actor, ActorId, Context, Message};
 pub use disk::{DiskConfig, DiskState};
 pub use engine::{Engine, EngineConfig, EngineError, RunSummary, StopReason};
 pub use net::{NetConfig, Network};
-pub use threaded::ThreadedEngine;
+pub use threaded::{ThreadedEngine, ThreadedSummary};
 pub use time::SimTime;

@@ -12,7 +12,7 @@
 
 use crate::actor::{Actor, ActorId, Context, Message};
 use crate::time::SimTime;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread;
@@ -30,6 +30,20 @@ enum TimerCmd<M> {
         msg: M,
     },
     Shutdown,
+}
+
+/// What a threaded run measured: wall-clock time plus real traffic totals
+/// (the counterpart of the simulator's `RunSummary`; each send is charged
+/// its [`Message::wire_bytes`], so byte accounting matches the simulated
+/// backend's per-batch charges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadedSummary {
+    /// Wall-clock time from `run` start to the last actor exiting.
+    pub elapsed: SimTime,
+    /// Total bytes across all sends (self-sends and timer fires included).
+    pub net_bytes: u64,
+    /// Total messages sent.
+    pub net_messages: u64,
 }
 
 /// Multi-threaded engine over the same [`Actor`] abstraction as the
@@ -65,13 +79,15 @@ impl<M: Message> ThreadedEngine<M> {
         self.actors.len()
     }
 
-    /// Runs all actors until one calls [`Context::stop`]. Returns the
-    /// wall-clock elapsed time and the actors (in id order) for post-run
-    /// inspection.
-    pub fn run(self) -> (SimTime, Vec<Box<dyn Actor<M>>>) {
+    /// Runs all actors until one calls [`Context::stop`]. Returns the run
+    /// summary (wall-clock time, traffic totals) and the actors (in id
+    /// order) for post-run inspection.
+    pub fn run(self) -> (ThreadedSummary, Vec<Box<dyn Actor<M>>>) {
         let n = self.actors.len();
         let start = Instant::now();
         let stop_flag = Arc::new(AtomicBool::new(false));
+        let net_bytes = Arc::new(AtomicU64::new(0));
+        let net_messages = Arc::new(AtomicU64::new(0));
 
         let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
@@ -92,6 +108,8 @@ impl<M: Message> ThreadedEngine<M> {
             let senders = Arc::clone(&senders);
             let stop_flag = Arc::clone(&stop_flag);
             let timer_tx = timer_tx.clone();
+            let net_bytes = Arc::clone(&net_bytes);
+            let net_messages = Arc::clone(&net_messages);
             let handle = thread::spawn(move || {
                 let mut ctx = ThreadedCtx {
                     me: id as ActorId,
@@ -99,6 +117,8 @@ impl<M: Message> ThreadedEngine<M> {
                     senders,
                     timer_tx,
                     stop_flag,
+                    net_bytes,
+                    net_messages,
                 };
                 actor.on_start(&mut ctx);
                 // Drain until the Stop envelope (or channel close) so that
@@ -118,7 +138,12 @@ impl<M: Message> ThreadedEngine<M> {
         let _ = timer_tx.send(TimerCmd::Shutdown);
         timer_handle.join().expect("timer thread panicked");
         let elapsed = start.elapsed();
-        (SimTime::from_nanos(elapsed.as_nanos() as u64), actors)
+        let summary = ThreadedSummary {
+            elapsed: SimTime::from_nanos(elapsed.as_nanos() as u64),
+            net_bytes: net_bytes.load(Ordering::Relaxed),
+            net_messages: net_messages.load(Ordering::Relaxed),
+        };
+        (summary, actors)
     }
 }
 
@@ -204,6 +229,8 @@ struct ThreadedCtx<M: Message> {
     senders: Arc<Vec<Sender<Envelope<M>>>>,
     timer_tx: Sender<TimerCmd<M>>,
     stop_flag: Arc<AtomicBool>,
+    net_bytes: Arc<AtomicU64>,
+    net_messages: Arc<AtomicU64>,
 }
 
 impl<M: Message> Context<M> for ThreadedCtx<M> {
@@ -216,6 +243,11 @@ impl<M: Message> Context<M> for ThreadedCtx<M> {
     }
 
     fn send(&mut self, to: ActorId, msg: M) {
+        // Charge the batch's wire bytes exactly as the simulated network
+        // does, so both backends report comparable traffic totals.
+        self.net_bytes
+            .fetch_add(msg.wire_bytes(), Ordering::Relaxed);
+        self.net_messages.fetch_add(1, Ordering::Relaxed);
         // Receivers may have exited after a stop; dropping the message then
         // is correct.
         let _ = self.senders[to as usize].send(Envelope::Msg { from: self.me, msg });
@@ -301,9 +333,13 @@ mod tests {
                 seen: 0,
             }));
         }
-        let (elapsed, actors) = e.run();
+        let (summary, actors) = e.run();
         assert_eq!(actors.len(), 4);
-        assert!(elapsed > SimTime::ZERO);
+        assert!(summary.elapsed > SimTime::ZERO);
+        // 100 counter hops at 8 B each, plus the initial send's hop is part
+        // of the 100 (messages 1..=100).
+        assert_eq!(summary.net_messages, 100);
+        assert_eq!(summary.net_bytes, 800);
     }
 
     #[test]
@@ -324,10 +360,11 @@ mod tests {
         let _ = e.add_actor(Box::new(Delayed {
             fired_at: SimTime::ZERO,
         }));
-        let (elapsed, _) = e.run();
+        let (summary, _) = e.run();
         assert!(
-            elapsed >= SimTime::from_millis(20),
-            "stopped after {elapsed}, before the 20ms timer"
+            summary.elapsed >= SimTime::from_millis(20),
+            "stopped after {}, before the 20ms timer",
+            summary.elapsed
         );
     }
 
