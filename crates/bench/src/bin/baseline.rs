@@ -1,6 +1,7 @@
-//! Tracked benchmark baseline: writes and checks `BENCH_2.json`.
+//! Tracked benchmark baseline: writes and checks `BENCH_2.json` (simulated
+//! suite) and `BENCH_4.json` (threaded executor scaling).
 //!
-//! Two jobs, selected by the command line:
+//! Jobs, selected by the command line:
 //!
 //! * **record** (default): run the flat-vs-chained hash-table micro
 //!   benchmark plus the four algorithms (three EHJAs + the out-of-core
@@ -10,18 +11,31 @@
 //!   scenario and fail (exit 1) if simulated throughput regressed more than
 //!   20% against the committed file, or if the flat table's insert
 //!   throughput is no longer at least 2x the `BTreeMap` reference.
+//! * **threaded record** (`--threaded`): run the scale-100 hybrid join on
+//!   the work-stealing threaded backend at 1/2/8/auto workers (best-of-N
+//!   wall clock) and write `BENCH_4.json` (or `--out PATH`), including the
+//!   recording machine's core count.
+//! * **threaded check** (`--threaded --check PATH`): re-run the scaling
+//!   grid and fail on any match-count drift (matches are a deterministic
+//!   data property on every backend) or on a worker-scaling ratio below
+//!   the floor for *this* machine's core count (see [`speedup_floor`] —
+//!   wall-clock ratios are only gated as hard as the hardware can deliver;
+//!   a single-core host only gates that more workers are not pathological).
 //!
 //! Simulated phase times, traffic and match counts are deterministic, so
 //! the smoke comparison is meaningful on any machine; the micro benchmark
-//! is wall-clock, so only the *relative* flat/chained speedup is checked.
+//! and the threaded grid are wall-clock, so only *relative* numbers are
+//! checked. Threaded `net_bytes` is recorded but never gated: retry-timer
+//! fires are charged to the totals and their count is timing-dependent.
 //! No external JSON dependency exists in this container, so the file is
 //! written and parsed by hand (numeric leaves only).
 
 use ehj_bench::harness::black_box;
 use ehj_bench::scenarios;
-use ehj_core::{Algorithm, JoinReport, JoinRunner};
+use ehj_core::{Algorithm, Backend, JoinReport, JoinRunner, RunOptions};
 use ehj_data::{RelationSpec, Schema, Tuple};
 use ehj_hash::{AttrHasher, ChainedTable, JoinHashTable, PositionSpace};
+use ehj_metrics::TraceLevel;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -35,11 +49,16 @@ const BASELINE_SCALE: u64 = 100;
 const SMOKE_SCALE: u64 = 1000;
 /// Tuples in the micro insert benchmark (the scale-100 relation size).
 const MICRO_TUPLES: u64 = 100_000;
+/// Worker counts of the threaded scaling grid (`0` = available cores).
+const THREADED_WORKERS: [usize; 4] = [1, 2, 8, 0];
+/// Wall-clock repetitions per threaded grid cell (best is kept).
+const THREADED_REPS: usize = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check: Option<String> = None;
-    let mut out = "BENCH_2.json".to_owned();
+    let mut out: Option<String> = None;
+    let mut threaded = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,22 +68,31 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out = args.get(i).cloned().unwrap_or_else(|| usage());
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--threaded" => threaded = true,
             _ => {
                 usage();
             }
         }
         i += 1;
     }
-    match check {
-        Some(path) => run_check(&path),
-        None => run_record(&out),
+    let default_out = if threaded {
+        "BENCH_4.json"
+    } else {
+        "BENCH_2.json"
+    };
+    let out = out.unwrap_or_else(|| default_out.to_owned());
+    match (threaded, check) {
+        (false, Some(path)) => run_check(&path),
+        (false, None) => run_record(&out),
+        (true, Some(path)) => run_threaded_check(&path),
+        (true, None) => run_threaded_record(&out),
     }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: baseline [--out PATH] | baseline --check PATH");
+    eprintln!("usage: baseline [--threaded] [--out PATH] | baseline [--threaded] --check PATH");
     std::process::exit(2);
 }
 
@@ -291,6 +319,198 @@ fn run_check(path: &str) {
         std::process::exit(1);
     }
     println!("all baseline checks passed against {path}");
+}
+
+// -------------------------------------------- threaded scaling (BENCH_4)
+
+/// Logical cores of this machine (the executor's auto worker count).
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// JSON key segment for one grid cell (`w1`, `w2`, `w8`, `auto`).
+fn worker_key(workers: usize) -> String {
+    if workers == 0 {
+        "auto".to_owned()
+    } else {
+        format!("w{workers}")
+    }
+}
+
+/// The 8-vs-1-worker wall-clock ratio this machine must deliver.
+///
+/// The recorded acceptance bar (>= 2x at 8 workers) is only physically
+/// meaningful with enough cores; a dual-core host can at best approach 2x,
+/// and a single-core host cannot speed up at all — there the gate only
+/// rejects pathological slowdowns from the extra (time-sliced) workers.
+fn speedup_floor(cores: usize) -> f64 {
+    match cores {
+        0 | 1 => 0.7,
+        2 | 3 => 1.3,
+        _ => 2.0,
+    }
+}
+
+/// One threaded scaling measurement.
+struct GridCell {
+    /// Effective worker count (`auto` resolved to the core count).
+    effective: usize,
+    /// Best wall-clock seconds over [`THREADED_REPS`] runs.
+    wall_secs: f64,
+    matches: u64,
+    net_bytes: u64,
+}
+
+fn run_threaded_cell(workers: usize) -> GridCell {
+    let cfg = scenarios::base(Algorithm::Hybrid, BASELINE_SCALE);
+    let opts = RunOptions {
+        backend: Backend::Threaded,
+        threads: (workers > 0).then_some(workers),
+        trace_level: TraceLevel::Off,
+        ..RunOptions::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut report: Option<JoinReport> = None;
+    for _ in 0..THREADED_REPS {
+        let t0 = Instant::now();
+        let r = JoinRunner::run_with(&cfg, &opts).unwrap_or_else(|e| {
+            eprintln!("threaded baseline run failed at {workers} workers: {e}");
+            std::process::exit(1);
+        });
+        best = best.min(t0.elapsed().as_secs_f64());
+        if let Some(prev) = &report {
+            assert_eq!(
+                prev.matches, r.matches,
+                "threaded matches must not depend on timing"
+            );
+        }
+        report = Some(r);
+    }
+    let report = report.expect("at least one rep");
+    GridCell {
+        effective: if workers == 0 { cores() } else { workers },
+        wall_secs: best,
+        matches: report.matches,
+        net_bytes: report.net_bytes,
+    }
+}
+
+fn run_threaded_grid() -> Vec<(usize, GridCell)> {
+    THREADED_WORKERS
+        .iter()
+        .map(|&w| {
+            let cell = run_threaded_cell(w);
+            println!(
+                "threaded/{}: {:.4}s wall (best of {THREADED_REPS}), {} matches, {} workers",
+                worker_key(w),
+                cell.wall_secs,
+                cell.matches,
+                cell.effective
+            );
+            (w, cell)
+        })
+        .collect()
+}
+
+fn grid_speedup_8v1(grid: &[(usize, GridCell)]) -> f64 {
+    let wall = |w: usize| {
+        grid.iter()
+            .find(|(k, _)| *k == w)
+            .map(|(_, c)| c.wall_secs)
+            .expect("grid cell")
+    };
+    wall(1) / wall(8).max(f64::MIN_POSITIVE)
+}
+
+fn run_threaded_record(out: &str) {
+    let grid = run_threaded_grid();
+    let speedup = grid_speedup_8v1(&grid);
+    let mut doc = Doc::new();
+    doc.set("schema_version", 1.0);
+    doc.set("threaded.scale", BASELINE_SCALE as f64);
+    doc.set("threaded.cores", cores() as f64);
+    doc.set("threaded.reps", THREADED_REPS as f64);
+    doc.set("threaded.speedup_8v1", speedup);
+    for (w, cell) in &grid {
+        let prefix = format!("threaded.{}", worker_key(*w));
+        doc.set(&format!("{prefix}.workers"), cell.effective as f64);
+        doc.set(&format!("{prefix}.wall_secs"), cell.wall_secs);
+        doc.set(&format!("{prefix}.matches"), cell.matches as f64);
+        doc.set(&format!("{prefix}.net_bytes"), cell.net_bytes as f64);
+    }
+    std::fs::write(out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {out} ({} cores, speedup 8v1 {:.2}x, floor here {:.1}x)",
+        cores(),
+        speedup,
+        speedup_floor(cores())
+    );
+    if speedup < speedup_floor(cores()) {
+        eprintln!(
+            "FAIL: threaded speedup {speedup:.2}x at 8 workers is below this \
+             machine's floor {:.1}x",
+            speedup_floor(cores())
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_threaded_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let committed = parse_flat_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut failures = 0u32;
+    let grid = run_threaded_grid();
+    // Matches are a data property: identical on every machine, every
+    // worker count, and to the committed file.
+    for (w, cell) in &grid {
+        let key = format!("threaded.{}.matches", worker_key(*w));
+        match committed.get(key.as_str()) {
+            Some(&m) if (cell.matches as f64 - m).abs() < 0.5 => {
+                println!("  ok {key}: {}", cell.matches);
+            }
+            Some(&m) => {
+                eprintln!("FAIL {key}: {} != committed {m}", cell.matches);
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL {key}: missing from {path}");
+                failures += 1;
+            }
+        }
+    }
+    // Wall-clock scaling is gated only as hard as this machine can go.
+    let speedup = grid_speedup_8v1(&grid);
+    let floor = speedup_floor(cores());
+    let status = if speedup < floor { "FAIL" } else { "ok" };
+    println!(
+        "{status:>4} threaded.speedup_8v1: {speedup:.2}x on {} core(s) (floor {floor:.1}x; \
+         recorded {:.2}x on {} core(s))",
+        cores(),
+        committed
+            .get("threaded.speedup_8v1")
+            .copied()
+            .unwrap_or(f64::NAN),
+        committed.get("threaded.cores").copied().unwrap_or(f64::NAN)
+    );
+    if speedup < floor {
+        failures += 1;
+    }
+    if failures > 0 {
+        eprintln!("{failures} threaded baseline check(s) failed against {path}");
+        std::process::exit(1);
+    }
+    println!("all threaded baseline checks passed against {path}");
 }
 
 // ------------------------------------------------------------ JSON (tiny)

@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing for `ehjoin` (no external dependencies).
 
-use ehj_core::{Algorithm, SplitPolicy};
+use ehj_core::{Algorithm, Backend, SplitPolicy};
 use ehj_metrics::TraceLevel;
 
 /// Output formats for reports.
@@ -65,6 +65,10 @@ pub struct Args {
     pub format: Format,
     /// Verify the result against the reference oracle.
     pub verify: bool,
+    /// Which runtime executes the join (run only; default simulated).
+    pub backend: Backend,
+    /// Worker-pool size for the threaded backend (None = all cores).
+    pub threads: Option<usize>,
     /// How much to trace (default: summary).
     pub trace_level: TraceLevel,
     /// Stream trace events as JSONL to this path (run only).
@@ -87,6 +91,8 @@ impl Default for Args {
             seed: None,
             format: Format::default(),
             verify: false,
+            backend: Backend::Simulated,
+            threads: None,
             trace_level: TraceLevel::Summary,
             trace_out: None,
         }
@@ -116,6 +122,8 @@ OPTIONS:
   --seed <N>             RNG seed
   --format <text|csv|json>
   --verify               check the result against the reference oracle
+  --backend <sim|threaded>   simulated cost model or the real worker pool (run only)
+  --threads <N>          threaded-backend worker count (default: all cores)
   --trace-level <off|summary|detail>   structured event tracing (default summary)
   --trace-out <FILE>     write trace events as JSON lines (run only)
   --help
@@ -213,6 +221,21 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                 };
             }
             "--verify" => args.verify = true,
+            "--backend" => {
+                let v = value(&mut it, "--backend")?;
+                args.backend = match v.as_str() {
+                    "sim" | "simulated" => Backend::Simulated,
+                    "threaded" => Backend::Threaded,
+                    _ => return Err(format!("unknown backend '{v}' (sim|threaded)")),
+                };
+            }
+            "--threads" => {
+                let n: usize = parse_num(&value(&mut it, "--threads")?, "--threads")?;
+                if n == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                args.threads = Some(n);
+            }
             "--trace-level" => {
                 let v = value(&mut it, "--trace-level")?;
                 args.trace_level = TraceLevel::parse(&v)
@@ -304,6 +327,22 @@ mod tests {
         assert_eq!(p("run").expect("valid").trace_level, TraceLevel::Summary);
         assert!(p("run --trace-level verbose").is_err());
         assert!(p("run --trace-out").is_err());
+    }
+
+    #[test]
+    fn backend_and_threads_parse() {
+        let a = p("run --backend threaded --threads 8").expect("valid");
+        assert_eq!(a.backend, Backend::Threaded);
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(
+            p("run --backend sim").expect("valid").backend,
+            Backend::Simulated
+        );
+        assert_eq!(p("run").expect("valid").backend, Backend::Simulated);
+        assert_eq!(p("run").expect("valid").threads, None);
+        assert!(p("run --backend warp").is_err());
+        assert!(p("run --threads 0").is_err());
+        assert!(p("run --threads").is_err());
     }
 
     #[test]

@@ -98,6 +98,8 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Run => {
             let cfg = config_from_args(args, args.algorithm);
             let opts = RunOptions {
+                backend: args.backend,
+                threads: args.threads,
                 trace_level: args.trace_level,
                 trace_out: args.trace_out.clone().map(std::path::PathBuf::from),
                 ..RunOptions::default()
@@ -296,6 +298,13 @@ mod tests {
     fn verify_catches_nothing_on_correct_runs() {
         let a = parse("run --scale 2000 --algorithm split --verify");
         assert!(execute(&a).is_ok());
+    }
+
+    #[test]
+    fn threaded_backend_runs_from_the_cli() {
+        let a = parse("run --scale 2000 --backend threaded --threads 2 --verify");
+        let out = execute(&a).expect("threaded run");
+        assert!(out.contains("total execution time"));
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub enum Backend {
     /// 2004-cluster cost model (the figures' backend).
     #[default]
     Simulated,
-    /// Real OS threads over mpsc channels, with real temp-file spills
-    /// (wall-clock benchmarking backend).
+    /// A fixed work-stealing worker pool over bounded batch mailboxes,
+    /// with real temp-file spills (wall-clock benchmarking backend).
     Threaded,
 }
 
@@ -115,6 +115,9 @@ impl std::error::Error for JoinError {}
 pub struct RunOptions {
     /// Which runtime executes the join.
     pub backend: Backend,
+    /// Worker-pool size for the threaded backend (`None` = available
+    /// parallelism). Ignored by the simulated backend.
+    pub threads: Option<usize>,
     /// How much to trace. At [`TraceLevel::Summary`] and above, the runner
     /// always keeps a diagnostic ring and a rollup; [`TraceLevel::Off`]
     /// makes every emit a no-op.
@@ -129,6 +132,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         Self {
             backend: Backend::Simulated,
+            threads: None,
             trace_level: TraceLevel::Summary,
             trace_out: None,
             extra_sinks: Vec::new(),
@@ -140,6 +144,7 @@ impl std::fmt::Debug for RunOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunOptions")
             .field("backend", &self.backend)
+            .field("threads", &self.threads)
             .field("trace_level", &self.trace_level)
             .field("trace_out", &self.trace_out)
             .field("extra_sinks", &self.extra_sinks.len())
@@ -245,7 +250,9 @@ impl JoinRunner {
         let harness = TraceHarness::build(opts)?;
         match opts.backend {
             Backend::Simulated => Self::run_simulated(&cfg, topo, &result, &harness),
-            Backend::Threaded => Self::run_threaded(&cfg, topo, &result, &harness),
+            Backend::Threaded => {
+                Self::run_threaded(&cfg, topo, &result, &harness, opts.threads.unwrap_or(0))
+            }
         }
     }
 
@@ -329,8 +336,9 @@ impl JoinRunner {
         topo: Topology,
         result: &Arc<Mutex<Option<JoinReport>>>,
         harness: &TraceHarness,
+        threads: usize,
     ) -> Result<JoinReport, JoinError> {
-        let mut engine: ThreadedEngine<Msg> = ThreadedEngine::new();
+        let mut engine: ThreadedEngine<Msg> = ThreadedEngine::new().with_workers(threads);
         let tracer = &harness.tracer;
         let sched = engine.add_actor(Box::new(
             Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
@@ -358,6 +366,19 @@ impl JoinRunner {
         }
         let (summary, _actors) = engine.run();
         let end = summary.elapsed.as_nanos();
+        harness.tracer.emit(
+            end,
+            0,
+            Phase::Probe,
+            TraceKind::ExecutorStats {
+                workers: summary.exec.workers,
+                steals: summary.exec.steals,
+                parks: summary.exec.parks,
+                overflows: summary.exec.overflows,
+                max_depth: summary.exec.max_mailbox_depth,
+                timer_fires: summary.exec.timer_fires,
+            },
+        );
         let report = result.lock().expect("report lock").take();
         let Some(mut report) = report else {
             harness.finish(end, StopCause::Quiescent, None);

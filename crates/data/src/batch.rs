@@ -169,4 +169,53 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, a.slice(0, 2));
     }
+
+    #[test]
+    fn empty_batch_edge_cases() {
+        let e = TupleBatch::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.as_slice(), &[]);
+        assert_eq!(e.to_vec(), Vec::<Tuple>::new());
+        assert_eq!(e, TupleBatch::from(Vec::new()), "empty views compare equal");
+        assert_eq!(e.slice(0, 0).len(), 0, "zero-length slice of empty is fine");
+        assert!(e.into_iter().next().is_none());
+    }
+
+    #[test]
+    fn single_tuple_freeze_round_trips() {
+        let b = TupleBatch::from(vec![Tuple::new(7, 42)]);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert_eq!(b[0].join_attr, 42);
+        let only: Vec<TupleBatch> = b.chunks(16).collect();
+        assert_eq!(only.len(), 1, "one undersized chunk");
+        assert_eq!(only[0], b);
+        assert_eq!(b.slice(1, 0).len(), 0, "slice at the end is empty");
+    }
+
+    #[test]
+    fn shared_slice_routes_to_multiple_replicas_without_copying() {
+        // Probe fan-out: one frozen batch sliced and cloned to N replicas
+        // must stay a single allocation, and dropping all but one replica's
+        // view must keep the buffer alive.
+        let b = TupleBatch::from(tuples(8));
+        let base = b.as_ptr();
+        let replicas: Vec<TupleBatch> = (0..3).map(|_| b.slice(2, 4)).collect();
+        for r in &replicas {
+            assert_eq!(r.as_ptr(), unsafe { base.add(2) }, "views share the buffer");
+            assert_eq!(r.to_vec(), b.to_vec()[2..6]);
+        }
+        let survivor = replicas[1].clone();
+        drop(replicas);
+        drop(b);
+        assert_eq!(survivor.len(), 4);
+        assert_eq!(survivor[0].join_attr, 20, "buffer outlives the other views");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch slice out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let _ = TupleBatch::from(tuples(3)).slice(2, 2);
+    }
 }

@@ -127,6 +127,16 @@ pub fn trace_rollup_table(rollup: &crate::trace::TraceRollup) -> TextTable {
             ]);
         }
     }
+    if let Some(exec) = &rollup.executor {
+        t.row(vec![
+            "(executor) workers/steals/parks".to_owned(),
+            format!("{}/{}/{}", exec.workers, exec.steals, exec.parks),
+        ]);
+        t.row(vec![
+            "(executor) overflow/maxdepth/timers".to_owned(),
+            format!("{}/{}/{}", exec.overflows, exec.max_depth, exec.timer_fires),
+        ]);
+    }
     t.row(vec!["total".to_owned(), rollup.total.to_string()]);
     t
 }

@@ -188,6 +188,21 @@ pub enum TraceKind {
     },
     /// The phase named by the event's `phase` field completed.
     PhaseDone,
+    /// End-of-run counters from the threaded work-stealing executor.
+    ExecutorStats {
+        /// Worker threads in the pool.
+        workers: u64,
+        /// Tasks taken from another worker's run queue.
+        steals: u64,
+        /// Producer backpressure parks on full mailboxes.
+        parks: u64,
+        /// Envelopes enqueued past a mailbox bound (liveness escape).
+        overflows: u64,
+        /// Highest queue depth any mailbox reached.
+        max_depth: u64,
+        /// Timer-wheel fires (each charged like a send).
+        timer_fires: u64,
+    },
     /// The engine stopped.
     EngineStop {
         /// Why.
@@ -215,6 +230,7 @@ impl TraceKind {
             Self::ReshuffleChunk { .. } => "reshuffle_chunk",
             Self::ProbeFanout { .. } => "probe_fanout",
             Self::PhaseDone => "phase_done",
+            Self::ExecutorStats { .. } => "executor_stats",
             Self::EngineStop { .. } => "engine_stop",
         }
     }
@@ -262,6 +278,17 @@ impl TraceKind {
                 format!("probe fan-out: {tuples} tuples -> {copies} copies")
             }
             Self::PhaseDone => "phase complete".to_owned(),
+            Self::ExecutorStats {
+                workers,
+                steals,
+                parks,
+                overflows,
+                max_depth,
+                timer_fires,
+            } => format!(
+                "executor: {workers} workers, {steals} steals, {parks} parks, \
+                 {overflows} overflows, max mailbox {max_depth}, {timer_fires} timer fires"
+            ),
             Self::EngineStop { reason } => format!("engine stopped: {}", reason.name()),
         }
     }
@@ -330,6 +357,21 @@ impl TraceEvent {
             }
             TraceKind::ProbeFanout { tuples, copies } => {
                 let _ = write!(out, ",\"tuples\":{tuples},\"copies\":{copies}");
+            }
+            TraceKind::ExecutorStats {
+                workers,
+                steals,
+                parks,
+                overflows,
+                max_depth,
+                timer_fires,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"workers\":{workers},\"steals\":{steals},\"parks\":{parks},\
+                     \"overflows\":{overflows},\"max_depth\":{max_depth},\
+                     \"timer_fires\":{timer_fires}"
+                );
             }
             TraceKind::EngineStop { reason } => {
                 let _ = write!(out, ",\"reason\":\"{}\"", reason.name());
@@ -416,6 +458,14 @@ impl TraceEvent {
                 copies: num("copies")?,
             },
             "phase_done" => TraceKind::PhaseDone,
+            "executor_stats" => TraceKind::ExecutorStats {
+                workers: num("workers")?,
+                steals: num("steals")?,
+                parks: num("parks")?,
+                overflows: num("overflows")?,
+                max_depth: num("max_depth")?,
+                timer_fires: num("timer_fires")?,
+            },
             "engine_stop" => TraceKind::EngineStop {
                 reason: StopCause::parse(text("reason")?)?,
             },
@@ -680,6 +730,24 @@ impl TraceSink for JsonlSink {
 
 use std::io::Write as _;
 
+/// Executor counters captured from a [`TraceKind::ExecutorStats`] event
+/// (threaded backend only; a simulated run leaves them absent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorCounters {
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Tasks taken from another worker's run queue.
+    pub steals: u64,
+    /// Producer backpressure parks on full mailboxes.
+    pub parks: u64,
+    /// Envelopes enqueued past a mailbox bound.
+    pub overflows: u64,
+    /// Highest queue depth any mailbox reached.
+    pub max_depth: u64,
+    /// Timer-wheel fires.
+    pub timer_fires: u64,
+}
+
 /// Per-phase / per-node / per-kind event counts for one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceRollup {
@@ -691,6 +759,8 @@ pub struct TraceRollup {
     pub by_kind: BTreeMap<&'static str, u64>,
     /// Events per emitting actor.
     pub by_node: BTreeMap<u32, u64>,
+    /// Executor counters, when the run emitted them (threaded backend).
+    pub executor: Option<ExecutorCounters>,
 }
 
 impl TraceRollup {
@@ -700,6 +770,24 @@ impl TraceRollup {
         self.by_phase[ev.phase.index()] += 1;
         *self.by_kind.entry(ev.kind.name()).or_insert(0) += 1;
         *self.by_node.entry(ev.node).or_insert(0) += 1;
+        if let TraceKind::ExecutorStats {
+            workers,
+            steals,
+            parks,
+            overflows,
+            max_depth,
+            timer_fires,
+        } = ev.kind
+        {
+            self.executor = Some(ExecutorCounters {
+                workers,
+                steals,
+                parks,
+                overflows,
+                max_depth,
+                timer_fires,
+            });
+        }
     }
 
     /// Merges another rollup (e.g. across runs).
@@ -713,6 +801,9 @@ impl TraceRollup {
         }
         for (k, v) in &other.by_node {
             *self.by_node.entry(*k).or_insert(0) += v;
+        }
+        if other.executor.is_some() {
+            self.executor = other.executor;
         }
     }
 
@@ -766,6 +857,7 @@ pub const fn lane_marker(kind: &TraceKind) -> char {
         TraceKind::ReshufflePlanned { .. } | TraceKind::ReshuffleChunk { .. } => '#',
         TraceKind::ProbeFanout { .. } => 'f',
         TraceKind::PhaseDone => '|',
+        TraceKind::ExecutorStats { .. } => 'W',
         TraceKind::EngineStop { .. } => 'E',
     }
 }
@@ -807,7 +899,7 @@ pub fn render_trace_lanes(events: &[TraceEvent], width: usize) -> String {
     let _ = writeln!(
         out,
         "legend: ! overflow  R recruit/replicate  S split  F full  X exhausted  \
-         v spill  ^ fetch  # reshuffle  f fan-out  | phase-done  E stop  * mixed"
+         v spill  ^ fetch  # reshuffle  f fan-out  | phase-done  W executor  E stop  * mixed"
     );
     for ((node, phase_idx), lane) in &lanes {
         let _ = writeln!(
@@ -867,6 +959,14 @@ mod tests {
                 copies: 20,
             },
             TraceKind::PhaseDone,
+            TraceKind::ExecutorStats {
+                workers: 8,
+                steals: 120,
+                parks: 3,
+                overflows: 0,
+                max_depth: 512,
+                timer_fires: 2,
+            },
             TraceKind::EngineStop {
                 reason: StopCause::Completed,
             },
@@ -992,6 +1092,33 @@ mod tests {
         assert_eq!(a.by_node.get(&2), Some(&2));
         assert!(!a.is_empty());
         assert!(TraceRollup::default().is_empty());
+    }
+
+    #[test]
+    fn rollup_captures_executor_counters() {
+        let mut r = TraceRollup::default();
+        assert!(r.executor.is_none());
+        r.note(&TraceEvent {
+            at_nanos: 9,
+            node: 0,
+            phase: Phase::Probe,
+            kind: TraceKind::ExecutorStats {
+                workers: 4,
+                steals: 10,
+                parks: 1,
+                overflows: 0,
+                max_depth: 33,
+                timer_fires: 2,
+            },
+        });
+        let exec = r.executor.expect("captured");
+        assert_eq!(exec.workers, 4);
+        assert_eq!(exec.steals, 10);
+        assert_eq!(exec.max_depth, 33);
+        // Merging keeps the counters of whichever side has them.
+        let mut empty = TraceRollup::default();
+        empty.merge(&r);
+        assert_eq!(empty.executor, Some(exec));
     }
 
     #[test]

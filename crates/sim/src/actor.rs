@@ -74,6 +74,13 @@ pub trait Context<M: Message> {
     /// Requests engine shutdown: event processing stops once the current
     /// handler returns (simulation) or all actors observe the stop signal
     /// (threaded). Remaining queued events are discarded.
+    ///
+    /// On the threaded backend the stop signal is a sentinel placed at the
+    /// tail of every actor's mailbox: messages enqueued *before* the
+    /// sentinel (including the stopper's own sends earlier in the same
+    /// handler) are still delivered, messages enqueued *after* it are
+    /// dropped. Sends are charged to the traffic totals either way — the
+    /// drop happens at the receiver, past the wire.
     fn stop(&mut self);
 }
 

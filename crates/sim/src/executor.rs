@@ -1,0 +1,659 @@
+//! Work-stealing executor for the threaded runtime.
+//!
+//! Replaces the thread-per-actor design (hundreds of OS threads and
+//! unbounded channels at scale-1000 configurations) with a fixed pool of
+//! worker threads multiplexing every actor:
+//!
+//! * each actor owns a bounded batch [`Mailbox`] with producer-side
+//!   backpressure (see [`crate::mailbox`]);
+//! * each worker owns a run queue of ready actors. Newly-readied actors go
+//!   to the *front* of the readying worker's queue (a LIFO slot: the
+//!   freshly-sent-to actor's cache lines are hot), re-queued actors that
+//!   exhausted their message budget go to the *back* (fairness), and idle
+//!   workers steal from the back of a randomly-chosen victim's queue so a
+//!   hot join node cannot starve the rest of the cluster;
+//! * timers live in per-worker wheels (binary heaps). A worker fires its
+//!   own due timers every loop iteration and sweeps *all* wheels at steal
+//!   points, so a busy owner never delays another worker's deadline by
+//!   more than one scheduling quantum. There is no global timer thread.
+//!   Timer fires are charged [`Message::wire_bytes`] exactly like sends,
+//!   so the [`crate::threaded::ThreadedSummary`] totals really do include
+//!   them;
+//! * [`Context::send`] coalesces per destination: envelopes buffer in a
+//!   small per-destination batch and flush in one mailbox lock / one
+//!   wakeup, so batched shipping (`TupleBatch`) translates into fewer
+//!   wakeups, not just fewer allocations.
+//!
+//! Scheduling state machine: every actor is `Idle`, `Queued` (in exactly
+//! one run queue), `Running` (owned by exactly one worker) or `Dead`.
+//! Transitions into `Queued` happen through one compare-and-swap, which is
+//! what makes an actor's handler single-threaded without per-message
+//! locking. Stop semantics match the old engine: [`Context::stop`]
+//! enqueues a stop sentinel in every mailbox, messages enqueued *before*
+//! the sentinel are still delivered and everything after it is dropped.
+
+use crate::actor::{Actor, ActorId, Context, Message};
+use crate::mailbox::Mailbox;
+use crate::threaded::ThreadedSummary;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Messages drained from a mailbox per lock acquisition.
+const DEQUEUE_BATCH: usize = 64;
+
+/// Messages one actor may process before it is re-queued (fairness).
+const MSG_BUDGET: usize = 256;
+
+/// Buffered envelopes per destination before an eager flush.
+const COALESCE_FLUSH: usize = 32;
+
+/// Distinct destinations buffered per handler before a full flush.
+const COALESCE_DESTS: usize = 16;
+
+/// Upper bound on one idle park (re-checks exit conditions and timers).
+const MAX_PARK: Duration = Duration::from_millis(20);
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const DEAD: u8 = 3;
+
+/// Tuning knobs of the [`Executor`] (and the threaded engine above it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Worker threads. `0` means `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// Bounded mailbox capacity, in envelopes, per actor.
+    pub mailbox_capacity: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            mailbox_capacity: 1024,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The effective worker count (resolves `0` to the machine's
+    /// available parallelism).
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+/// What the executor observed during one run (folded into the trace
+/// rollup by the runner).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Ready actors taken from another worker's queue.
+    pub steals: u64,
+    /// Producer backpressure parks plus idle-worker parks.
+    pub parks: u64,
+    /// Envelopes enqueued past a mailbox's bound (liveness escape; zero in
+    /// a healthy run).
+    pub overflows: u64,
+    /// High-water mark of any single mailbox's depth.
+    pub max_mailbox_depth: u64,
+    /// Timer-wheel fires delivered (each charged its wire bytes).
+    pub timer_fires: u64,
+}
+
+enum Env<M> {
+    Msg { from: ActorId, msg: M },
+    Stop,
+}
+
+struct SlotBody<M: Message> {
+    actor: Box<dyn Actor<M>>,
+    started: bool,
+}
+
+struct Slot<M: Message> {
+    mailbox: Mailbox<Env<M>>,
+    state: AtomicU8,
+    body: Mutex<Option<SlotBody<M>>>,
+}
+
+struct Armed<M> {
+    deadline: Instant,
+    seq: u64,
+    target: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Armed<M> {
+    fn eq(&self, o: &Self) -> bool {
+        self.deadline == o.deadline && self.seq == o.seq
+    }
+}
+impl<M> Eq for Armed<M> {}
+impl<M> PartialOrd for Armed<M> {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<M> Ord for Armed<M> {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.deadline.cmp(&o.deadline).then(self.seq.cmp(&o.seq))
+    }
+}
+
+struct Shared<M: Message> {
+    slots: Vec<Slot<M>>,
+    queues: Vec<Mutex<VecDeque<ActorId>>>,
+    timers: Vec<Mutex<BinaryHeap<Reverse<Armed<M>>>>>,
+    idle_lock: Mutex<()>,
+    wake: Condvar,
+    idle_count: AtomicUsize,
+    stop: AtomicBool,
+    live: AtomicUsize,
+    timer_seq: AtomicU64,
+    start: Instant,
+    net_bytes: AtomicU64,
+    net_messages: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    overflows: AtomicU64,
+    timer_fires: AtomicU64,
+}
+
+impl<M: Message> Shared<M> {
+    /// Pushes `actor` into `worker`'s run queue (front when `hot`: the
+    /// LIFO slot for freshly-readied work) and wakes a parked worker if
+    /// any. The caller must own the transition into `QUEUED`.
+    fn enqueue_ready(&self, worker: usize, actor: ActorId, hot: bool) {
+        {
+            let mut q = self.queues[worker].lock().expect("run queue");
+            if hot {
+                q.push_front(actor);
+            } else {
+                q.push_back(actor);
+            }
+        }
+        if self.idle_count.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle_lock.lock().expect("idle lock");
+            self.wake.notify_one();
+        }
+    }
+
+    /// Makes `actor` runnable if it is idle.
+    fn try_schedule(&self, worker: usize, actor: ActorId) {
+        let slot = &self.slots[actor as usize];
+        if slot
+            .state
+            .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.enqueue_ready(worker, actor, true);
+        }
+    }
+
+    /// Delivers a coalesced batch to `to`'s mailbox and schedules it.
+    /// `no_wait` skips backpressure (self-sends and timer fires must not
+    /// stall the worker that would drain the very queue it waits on).
+    fn deliver(&self, worker: usize, to: ActorId, batch: &mut Vec<Env<M>>, no_wait: bool) {
+        let slot = &self.slots[to as usize];
+        if slot.state.load(Ordering::Acquire) == DEAD {
+            // Like sending on a closed channel in the old runtime: the
+            // receiver exited after a stop; dropping is correct.
+            batch.clear();
+            return;
+        }
+        let report = slot
+            .mailbox
+            .push_batch(batch, no_wait || self.stop.load(Ordering::Relaxed));
+        if report.parks > 0 {
+            self.parks.fetch_add(report.parks, Ordering::Relaxed);
+        }
+        if report.overflows > 0 {
+            self.overflows
+                .fetch_add(report.overflows, Ordering::Relaxed);
+        }
+        self.try_schedule(worker, to);
+    }
+
+    /// Charges one message's wire bytes to the run totals (identical to
+    /// the old per-send accounting, and also applied to timer fires).
+    fn charge(&self, msg: &M) {
+        self.net_bytes
+            .fetch_add(msg.wire_bytes(), Ordering::Relaxed);
+        self.net_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fires every due timer in `wheel`; returns how many fired.
+    fn fire_wheel(&self, worker: usize, wheel: usize) -> usize {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        {
+            let mut heap = self.timers[wheel].lock().expect("timer wheel");
+            while let Some(Reverse(top)) = heap.peek() {
+                if top.deadline > now {
+                    break;
+                }
+                let Reverse(armed) = heap.pop().expect("peeked");
+                due.push(armed);
+            }
+        }
+        let fired = due.len();
+        for armed in due {
+            // Timer fires are real self-sends: charge their wire bytes so
+            // `ThreadedSummary`'s "timer fires included" promise holds.
+            self.charge(&armed.msg);
+            self.timer_fires.fetch_add(1, Ordering::Relaxed);
+            let mut one = vec![Env::Msg {
+                from: armed.target,
+                msg: armed.msg,
+            }];
+            self.deliver(worker, armed.target, &mut one, true);
+        }
+        fired
+    }
+
+    /// Earliest armed deadline across every wheel.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.timers
+            .iter()
+            .filter_map(|t| {
+                t.lock()
+                    .expect("timer wheel")
+                    .peek()
+                    .map(|Reverse(a)| a.deadline)
+            })
+            .min()
+    }
+
+    fn has_queued_work(&self) -> bool {
+        self.queues
+            .iter()
+            .any(|q| !q.lock().expect("run queue").is_empty())
+    }
+}
+
+/// Runs `actors` to completion on a fixed worker pool and returns the run
+/// summary plus the actors in id order. See the module docs for the
+/// scheduling discipline. Panics in actor code propagate, like the old
+/// thread-per-actor runtime.
+pub fn run_actors<M: Message>(
+    actors: Vec<Box<dyn Actor<M>>>,
+    cfg: &ExecutorConfig,
+) -> (ThreadedSummary, Vec<Box<dyn Actor<M>>>) {
+    let n = actors.len();
+    let workers = cfg.effective_workers().max(1);
+    let start = Instant::now();
+    if n == 0 {
+        return (
+            ThreadedSummary {
+                elapsed: SimTime::ZERO,
+                net_bytes: 0,
+                net_messages: 0,
+                exec: ExecutorStats {
+                    workers: workers as u64,
+                    ..ExecutorStats::default()
+                },
+            },
+            actors,
+        );
+    }
+    let shared: Shared<M> = Shared {
+        slots: actors
+            .into_iter()
+            .map(|actor| Slot {
+                mailbox: Mailbox::new(cfg.mailbox_capacity),
+                // Seeded as QUEUED below: every actor gets one start task.
+                state: AtomicU8::new(QUEUED),
+                body: Mutex::new(Some(SlotBody {
+                    actor,
+                    started: false,
+                })),
+            })
+            .collect(),
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        timers: (0..workers)
+            .map(|_| Mutex::new(BinaryHeap::new()))
+            .collect(),
+        idle_lock: Mutex::new(()),
+        wake: Condvar::new(),
+        idle_count: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        live: AtomicUsize::new(n),
+        timer_seq: AtomicU64::new(0),
+        start,
+        net_bytes: AtomicU64::new(0),
+        net_messages: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        parks: AtomicU64::new(0),
+        overflows: AtomicU64::new(0),
+        timer_fires: AtomicU64::new(0),
+    };
+    // Seed the start tasks round-robin so `on_start` work spreads over the
+    // pool from the first instant.
+    for (i, q) in (0..n).zip((0..workers).cycle()) {
+        shared.queues[q]
+            .lock()
+            .expect("run queue")
+            .push_back(i as ActorId);
+    }
+    thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn(move || worker_loop(shared, w)))
+            .collect();
+        // Join explicitly so an actor panic surfaces as a run panic (the
+        // old runtime's `actor thread panicked`) instead of a hang.
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    });
+    let elapsed = start.elapsed();
+    let max_depth = shared
+        .slots
+        .iter()
+        .map(|s| s.mailbox.max_depth())
+        .max()
+        .unwrap_or(0);
+    let summary = ThreadedSummary {
+        elapsed: SimTime::from_nanos(elapsed.as_nanos() as u64),
+        net_bytes: shared.net_bytes.load(Ordering::Relaxed),
+        net_messages: shared.net_messages.load(Ordering::Relaxed),
+        exec: ExecutorStats {
+            workers: workers as u64,
+            steals: shared.steals.load(Ordering::Relaxed),
+            parks: shared.parks.load(Ordering::Relaxed),
+            overflows: shared.overflows.load(Ordering::Relaxed),
+            max_mailbox_depth: max_depth as u64,
+            timer_fires: shared.timer_fires.load(Ordering::Relaxed),
+        },
+    };
+    let actors = shared
+        .slots
+        .iter()
+        .map(|s| {
+            s.body
+                .lock()
+                .expect("actor slot")
+                .take()
+                .expect("actor present after run")
+                .actor
+        })
+        .collect();
+    (summary, actors)
+}
+
+fn worker_loop<M: Message>(shared: &Shared<M>, index: usize) {
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((index as u64 + 1) << 17);
+    let mut scratch: Vec<Env<M>> = Vec::with_capacity(DEQUEUE_BATCH);
+    loop {
+        if shared.live.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        // Own timers first: cheap, usually empty.
+        shared.fire_wheel(index, index);
+        if let Some(actor) = next_task(shared, index, &mut rng) {
+            run_actor(shared, index, actor, &mut scratch);
+            continue;
+        }
+        // Steal point with no stealable work: merge every timer wheel so a
+        // busy owner cannot sit on another actor's deadline.
+        let mut fired = 0;
+        for w in 0..shared.timers.len() {
+            fired += shared.fire_wheel(index, w);
+        }
+        if fired > 0 {
+            continue;
+        }
+        park(shared);
+    }
+}
+
+/// Pops ready work: own queue front first, then the back of a randomly
+/// chosen victim's queue.
+fn next_task<M: Message>(shared: &Shared<M>, index: usize, rng: &mut u64) -> Option<ActorId> {
+    if let Some(a) = shared.queues[index].lock().expect("run queue").pop_front() {
+        return Some(a);
+    }
+    let n = shared.queues.len();
+    if n <= 1 {
+        return None;
+    }
+    // Xorshift-randomized victim order (no external RNG dependency).
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let first = (*rng % n as u64) as usize;
+    for k in 0..n {
+        let victim = (first + k) % n;
+        if victim == index {
+            continue;
+        }
+        if let Some(a) = shared.queues[victim].lock().expect("run queue").pop_back() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// Parks until woken by new work, the next timer deadline, or `MAX_PARK`.
+fn park<M: Message>(shared: &Shared<M>) {
+    let wait = shared.next_deadline().map_or(MAX_PARK, |d| {
+        d.saturating_duration_since(Instant::now()).min(MAX_PARK)
+    });
+    let guard = shared.idle_lock.lock().expect("idle lock");
+    shared.idle_count.fetch_add(1, Ordering::SeqCst);
+    // Re-scan after registering as idle: an enqueue that raced with our
+    // empty scan now either sees idle_count > 0 (and will notify) or its
+    // push is visible here.
+    if shared.has_queued_work() || shared.live.load(Ordering::Acquire) == 0 {
+        shared.idle_count.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    shared.parks.fetch_add(1, Ordering::Relaxed);
+    let _ = shared
+        .wake
+        .wait_timeout(guard, wait.max(Duration::from_micros(50)))
+        .expect("idle lock");
+    shared.idle_count.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Runs one scheduled actor: `on_start` if needed, then up to
+/// [`MSG_BUDGET`] messages in dequeue batches, then flushes its coalesced
+/// sends and re-queues / idles / retires it.
+fn run_actor<M: Message>(
+    shared: &Shared<M>,
+    index: usize,
+    actor: ActorId,
+    scratch: &mut Vec<Env<M>>,
+) {
+    let slot = &shared.slots[actor as usize];
+    slot.state.store(RUNNING, Ordering::Release);
+    let mut dead = false;
+    {
+        let mut body_guard = slot.body.lock().expect("actor slot");
+        let body = body_guard.as_mut().expect("actor present");
+        let mut ctx = ExecCtx {
+            shared,
+            worker: index,
+            me: actor,
+            pending: Vec::new(),
+        };
+        if !body.started {
+            body.started = true;
+            body.actor.on_start(&mut ctx);
+        }
+        let mut processed = 0usize;
+        'budget: while processed < MSG_BUDGET {
+            scratch.clear();
+            let room = DEQUEUE_BATCH.min(MSG_BUDGET - processed);
+            if slot.mailbox.pop_batch(scratch, room) == 0 {
+                break;
+            }
+            for env in scratch.drain(..) {
+                match env {
+                    Env::Stop => {
+                        // Everything behind the sentinel is dropped, which
+                        // is exactly the old engine's recv-until-Stop.
+                        dead = true;
+                        break 'budget;
+                    }
+                    Env::Msg { from, msg } => {
+                        body.actor.on_message(&mut ctx, from, msg);
+                        processed += 1;
+                    }
+                }
+            }
+        }
+        scratch.clear();
+        ctx.flush_all();
+    }
+    if dead {
+        slot.state.store(DEAD, Ordering::Release);
+        slot.mailbox.close();
+        if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = shared.idle_lock.lock().expect("idle lock");
+            shared.wake.notify_all();
+        }
+    } else if !slot.mailbox.is_empty() {
+        // Budget exhausted with work left: back of the queue, fair.
+        slot.state.store(QUEUED, Ordering::Release);
+        shared.enqueue_ready(index, actor, false);
+    } else {
+        slot.state.store(IDLE, Ordering::Release);
+        // Close the race with a concurrent deliver that pushed between
+        // our emptiness check and the IDLE store.
+        if !slot.mailbox.is_empty() {
+            shared.try_schedule(index, actor);
+        }
+    }
+}
+
+/// The [`Context`] handed to actors running on the pool.
+struct ExecCtx<'a, M: Message> {
+    shared: &'a Shared<M>,
+    worker: usize,
+    me: ActorId,
+    /// Per-destination coalescing buffers, flushed on size or at the end
+    /// of the actor's scheduling quantum.
+    pending: Vec<(ActorId, Vec<Env<M>>)>,
+}
+
+/// Flushes one destination's coalesced buffer (leaves it empty, keeping
+/// the allocation). A self-send must never park on the sender's own full
+/// mailbox — the sender is the consumer that would drain it.
+fn flush_buffer<M: Message>(
+    shared: &Shared<M>,
+    worker: usize,
+    me: ActorId,
+    to: ActorId,
+    buf: &mut Vec<Env<M>>,
+) {
+    if !buf.is_empty() {
+        shared.deliver(worker, to, buf, to == me);
+    }
+}
+
+impl<M: Message> ExecCtx<'_, M> {
+    fn flush_all(&mut self) {
+        let (shared, worker, me) = (self.shared, self.worker, self.me);
+        for (to, buf) in &mut self.pending {
+            flush_buffer(shared, worker, me, *to, buf);
+        }
+    }
+
+    fn buffer(&mut self, to: ActorId, env: Env<M>) {
+        let i = match self.pending.iter().position(|(d, _)| *d == to) {
+            Some(i) => i,
+            None => {
+                if self.pending.len() >= COALESCE_DESTS {
+                    self.flush_all();
+                    self.pending.clear();
+                }
+                self.pending.push((to, Vec::new()));
+                self.pending.len() - 1
+            }
+        };
+        let (shared, worker, me) = (self.shared, self.worker, self.me);
+        let (dest, buf) = &mut self.pending[i];
+        buf.push(env);
+        if buf.len() >= COALESCE_FLUSH {
+            flush_buffer(shared, worker, me, *dest, buf);
+        }
+    }
+}
+
+impl<M: Message> Context<M> for ExecCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.shared.start.elapsed().as_nanos() as u64)
+    }
+
+    fn me(&self) -> ActorId {
+        self.me
+    }
+
+    fn send(&mut self, to: ActorId, msg: M) {
+        // Charge the wire bytes exactly as the simulated network does, so
+        // both backends report comparable traffic totals.
+        self.shared.charge(&msg);
+        self.buffer(to, Env::Msg { from: self.me, msg });
+    }
+
+    fn schedule(&mut self, delay: SimTime, msg: M) {
+        if delay == SimTime::ZERO {
+            // Fast path: a charged self-send, no timer round-trip.
+            self.shared.charge(&msg);
+            self.buffer(self.me, Env::Msg { from: self.me, msg });
+            return;
+        }
+        // Arm on this worker's wheel; charged when it fires.
+        let seq = self.shared.timer_seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.timers[self.worker]
+            .lock()
+            .expect("timer wheel")
+            .push(Reverse(Armed {
+                deadline: Instant::now() + Duration::from_nanos(delay.as_nanos()),
+                seq,
+                target: self.me,
+                msg,
+            }));
+    }
+
+    fn consume_cpu(&mut self, _amount: SimTime) {
+        // Real computation takes real time on this backend.
+    }
+
+    fn disk_read(&mut self, _bytes: u64) {
+        // Real I/O (if any) is performed by the storage backend itself.
+    }
+
+    fn disk_write(&mut self, _bytes: u64) {}
+
+    fn disk_append(&mut self, _bytes: u64) {}
+
+    fn stop(&mut self) {
+        // Everything this actor sent before stopping must land before the
+        // sentinels, like the old engine's channel FIFO did.
+        self.flush_all();
+        if !self.shared.stop.swap(true, Ordering::AcqRel) {
+            for id in 0..self.shared.slots.len() {
+                self.shared.slots[id].mailbox.push_control(Env::Stop);
+                self.shared.try_schedule(self.worker, id as ActorId);
+            }
+            let _g = self.shared.idle_lock.lock().expect("idle lock");
+            self.shared.wake.notify_all();
+        }
+    }
+}

@@ -9,8 +9,8 @@
 //!   calibrated cost model — per-NIC link serialization and switch latency
 //!   ([`net`]), blocking local-disk I/O ([`disk`]), and per-actor CPUs; and
 //! * a **threaded runtime** ([`threaded::ThreadedEngine`]) that runs the
-//!   same [`actor::Actor`] implementations on real OS threads over mpsc
-//!   channels.
+//!   same [`actor::Actor`] implementations on a fixed work-stealing worker
+//!   pool ([`executor`]) over bounded batch mailboxes ([`mailbox`]).
 //!
 //! Algorithms are written once against [`actor::Context`]; the figures use
 //! the simulated backend (bit-for-bit reproducible for a given seed), the
@@ -22,6 +22,8 @@
 pub mod actor;
 pub mod disk;
 pub mod engine;
+pub mod executor;
+pub mod mailbox;
 pub mod net;
 pub mod threaded;
 pub mod time;
@@ -29,6 +31,8 @@ pub mod time;
 pub use actor::{Actor, ActorId, Context, Message};
 pub use disk::{DiskConfig, DiskState};
 pub use engine::{Engine, EngineConfig, EngineError, RunSummary, StopReason};
+pub use executor::{ExecutorConfig, ExecutorStats};
+pub use mailbox::{Mailbox, PushReport};
 pub use net::{NetConfig, Network};
 pub use threaded::{ThreadedEngine, ThreadedSummary};
 pub use time::SimTime;
