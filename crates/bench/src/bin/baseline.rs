@@ -1,5 +1,6 @@
 //! Tracked benchmark baseline: writes and checks `BENCH_2.json` (simulated
-//! suite) and `BENCH_4.json` (threaded executor scaling).
+//! suite), `BENCH_4.json` (threaded executor scaling) and `BENCH_5.json`
+//! (batched probe pipeline).
 //!
 //! Jobs, selected by the command line:
 //!
@@ -21,6 +22,16 @@
 //!   the floor for *this* machine's core count (see [`speedup_floor`] —
 //!   wall-clock ratios are only gated as hard as the hardware can deliver;
 //!   a single-core host only gates that more workers are not pathological).
+//! * **probe record** (`--probe`): measure the batched filtered probe
+//!   pipeline against the scalar tuple-at-a-time probe on a duplicate-heavy
+//!   table at a low and a high match rate (best-of-N wall clock, with the
+//!   two paths' matches/compares asserted equal), plus the scale-100
+//!   simulated probe throughput of all four algorithms, and write
+//!   `BENCH_5.json` (or `--out PATH`).
+//! * **probe check** (`--probe --check PATH`): re-run the probe micro
+//!   benchmark and fail if the low-match-rate speedup drops below the
+//!   hard [`REQUIRED_PROBE_SPEEDUP`] floor or more than 20% below the
+//!   committed value.
 //!
 //! Simulated phase times, traffic and match counts are deterministic, so
 //! the smoke comparison is meaningful on any machine; the micro benchmark
@@ -34,7 +45,7 @@ use ehj_bench::harness::black_box;
 use ehj_bench::scenarios;
 use ehj_core::{Algorithm, Backend, JoinReport, JoinRunner, RunOptions};
 use ehj_data::{RelationSpec, Schema, Tuple};
-use ehj_hash::{AttrHasher, ChainedTable, JoinHashTable, PositionSpace};
+use ehj_hash::{AttrHasher, BatchProbeStats, ChainedTable, JoinHashTable, PositionSpace};
 use ehj_metrics::TraceLevel;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -59,6 +70,7 @@ fn main() {
     let mut check: Option<String> = None;
     let mut out: Option<String> = None;
     let mut threaded = false;
+    let mut probe = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,28 +83,39 @@ fn main() {
                 out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--threaded" => threaded = true,
+            "--probe" => probe = true,
             _ => {
                 usage();
             }
         }
         i += 1;
     }
+    if threaded && probe {
+        usage();
+    }
     let default_out = if threaded {
         "BENCH_4.json"
+    } else if probe {
+        "BENCH_5.json"
     } else {
         "BENCH_2.json"
     };
     let out = out.unwrap_or_else(|| default_out.to_owned());
-    match (threaded, check) {
-        (false, Some(path)) => run_check(&path),
-        (false, None) => run_record(&out),
-        (true, Some(path)) => run_threaded_check(&path),
-        (true, None) => run_threaded_record(&out),
+    match (threaded, probe, check) {
+        (false, false, Some(path)) => run_check(&path),
+        (false, false, None) => run_record(&out),
+        (true, _, Some(path)) => run_threaded_check(&path),
+        (true, _, None) => run_threaded_record(&out),
+        (_, true, Some(path)) => run_probe_check(&path),
+        (_, true, None) => run_probe_record(&out),
     }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: baseline [--threaded] [--out PATH] | baseline [--threaded] --check PATH");
+    eprintln!(
+        "usage: baseline [--threaded | --probe] [--out PATH] | \
+         baseline [--threaded | --probe] --check PATH"
+    );
     std::process::exit(2);
 }
 
@@ -511,6 +534,261 @@ fn run_threaded_check(path: &str) {
         std::process::exit(1);
     }
     println!("all threaded baseline checks passed against {path}");
+}
+
+// --------------------------------------------- probe pipeline (BENCH_5)
+
+/// Positions (== distinct build attributes) of the probe micro benchmark.
+const PROBE_POSITIONS: u32 = 1 << 16;
+/// Copies of each build attribute: the chain length at every position.
+const PROBE_CHAIN: u64 = 8;
+/// Probe tuples per measurement.
+const PROBE_TUPLES: u64 = 1 << 20;
+/// Tuples per `probe_batch` call (the paper's chunk size).
+const PROBE_BATCH: usize = 10_000;
+/// Required filtered-batch over scalar speedup at the low match rate (the
+/// PR's acceptance bar).
+const REQUIRED_PROBE_SPEEDUP: f64 = 1.5;
+
+/// One probe measurement: scalar vs batched wall clock on the same table
+/// and probe stream, with the accounting asserted equal.
+struct ProbeCell {
+    scalar_mtps: f64,
+    batched_mtps: f64,
+    speedup: f64,
+    matches: u64,
+    compares: u64,
+    rejection_rate: f64,
+}
+
+/// Builds the duplicate-heavy probe-bench table: every position holds one
+/// chain of [`PROBE_CHAIN`] copies of a single attribute, so a probe either
+/// walks a full chain (present attr) or — on the batched path — is rejected
+/// by the fingerprint tag (absent attr colliding into an occupied position).
+fn probe_table() -> (PositionSpace, JoinHashTable) {
+    let domain = u64::from(PROBE_POSITIONS) * 16;
+    let space = PositionSpace::new(PROBE_POSITIONS, domain, AttrHasher::Identity);
+    let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
+    let mut index = 0u64;
+    for pos in 0..u64::from(PROBE_POSITIONS) {
+        for _ in 0..PROBE_CHAIN {
+            t.insert_unchecked(Tuple::new(index, pos));
+            index += 1;
+        }
+    }
+    (space, t)
+}
+
+/// Measures scalar vs batched probe throughput over `probes`.
+fn measure_probe(table: &JoinHashTable, probes: &[Tuple]) -> ProbeCell {
+    let mut scalar_matches = 0u64;
+    let mut scalar_compares = 0u64;
+    for p in probes {
+        let r = table.probe(p.join_attr);
+        scalar_matches += r.matches;
+        scalar_compares += r.compared;
+    }
+    let mut stats = BatchProbeStats::default();
+    let mut positions = Vec::new();
+    for chunk in probes.chunks(PROBE_BATCH) {
+        stats.absorb(table.probe_batch(chunk, &mut positions));
+    }
+    assert_eq!(
+        (stats.matches, stats.compared),
+        (scalar_matches, scalar_compares),
+        "batched probe accounting must equal the scalar oracle"
+    );
+    let scalar_secs = best_of(5, || {
+        let mut matches = 0u64;
+        let mut compared = 0u64;
+        for p in probes {
+            let r = table.probe(p.join_attr);
+            matches += r.matches;
+            compared += r.compared;
+        }
+        black_box((matches, compared))
+    });
+    let batched_secs = best_of(5, || {
+        let mut stats = BatchProbeStats::default();
+        let mut positions = Vec::new();
+        for chunk in probes.chunks(PROBE_BATCH) {
+            stats.absorb(table.probe_batch(chunk, &mut positions));
+        }
+        black_box((stats.matches, stats.compared))
+    });
+    ProbeCell {
+        scalar_mtps: mtps(probes.len() as u64, scalar_secs),
+        batched_mtps: mtps(probes.len() as u64, batched_secs),
+        speedup: if batched_secs > 0.0 {
+            scalar_secs / batched_secs
+        } else {
+            f64::INFINITY
+        },
+        matches: stats.matches,
+        compares: stats.compared,
+        rejection_rate: if stats.probes > 0 {
+            stats.rejections as f64 / stats.probes as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Low match rate: absent attributes that collide into occupied positions
+/// (attr = position + one table wrap), so the scalar path walks every chain
+/// for nothing while the batched path is mostly fingerprint-rejected.
+fn probe_micro_low(space: &PositionSpace, table: &JoinHashTable) -> ProbeCell {
+    let wrap = u64::from(space.positions);
+    let probes: Vec<Tuple> = (0..PROBE_TUPLES)
+        .map(|i| Tuple::new(i, wrap + i % wrap))
+        .collect();
+    measure_probe(table, &probes)
+}
+
+/// High match rate: every probe hits a resident attribute, so both paths
+/// walk the full chain and the filter can only lose.
+fn probe_micro_high(table: &JoinHashTable) -> ProbeCell {
+    let probes: Vec<Tuple> = (0..PROBE_TUPLES)
+        .map(|i| Tuple::new(i, i % u64::from(PROBE_POSITIONS)))
+        .collect();
+    measure_probe(table, &probes)
+}
+
+fn print_probe_cell(name: &str, c: &ProbeCell) {
+    println!(
+        "probe/{name}: scalar {:.1} Mtuples/s, batched {:.1} Mtuples/s, \
+         speedup {:.2}x ({:.1}% rejected, {} matches)",
+        c.scalar_mtps,
+        c.batched_mtps,
+        c.speedup,
+        100.0 * c.rejection_rate,
+        c.matches
+    );
+}
+
+fn write_probe_cell(doc: &mut Doc, prefix: &str, c: &ProbeCell) {
+    doc.set(&format!("{prefix}.scalar_mtps"), c.scalar_mtps);
+    doc.set(&format!("{prefix}.batched_mtps"), c.batched_mtps);
+    doc.set(&format!("{prefix}.speedup"), c.speedup);
+    doc.set(&format!("{prefix}.matches"), c.matches as f64);
+    doc.set(&format!("{prefix}.compares"), c.compares as f64);
+    doc.set(&format!("{prefix}.rejection_rate"), c.rejection_rate);
+}
+
+fn run_probe_micro() -> (ProbeCell, ProbeCell) {
+    let (space, table) = probe_table();
+    let low = probe_micro_low(&space, &table);
+    print_probe_cell("low_match", &low);
+    let high = probe_micro_high(&table);
+    print_probe_cell("high_match", &high);
+    (low, high)
+}
+
+fn run_probe_record(out: &str) {
+    let (low, high) = run_probe_micro();
+    let mut doc = Doc::new();
+    doc.set("schema_version", 1.0);
+    doc.set("probe.tuples", PROBE_TUPLES as f64);
+    doc.set("probe.chain", PROBE_CHAIN as f64);
+    write_probe_cell(&mut doc, "probe.low_match", &low);
+    write_probe_cell(&mut doc, "probe.high_match", &high);
+    // End-to-end: the scale-100 probe phase of every algorithm on the
+    // (default) batched pipeline. Simulated numbers, deterministic.
+    for alg in Algorithm::ALL {
+        let started = Instant::now();
+        let report = run_alg(alg, BASELINE_SCALE);
+        let wall = started.elapsed().as_secs_f64();
+        println!(
+            "probe100/{}: probe {:.3}s sim ({:.2} Mtuples/s), {} matches ({wall:.2}s wall)",
+            alg_key(alg),
+            report.times.probe_secs,
+            mtps(report.probe_tuples, report.times.probe_secs),
+            report.matches
+        );
+        let prefix = format!("probe100.{}", alg_key(alg));
+        doc.set(&format!("{prefix}.probe_secs"), report.times.probe_secs);
+        doc.set(
+            &format!("{prefix}.probe_mtps"),
+            mtps(report.probe_tuples, report.times.probe_secs),
+        );
+        doc.set(&format!("{prefix}.matches"), report.matches as f64);
+        doc.set(&format!("{prefix}.wall_secs"), wall);
+    }
+    std::fs::write(out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+    if low.speedup < REQUIRED_PROBE_SPEEDUP {
+        eprintln!(
+            "FAIL: low-match probe speedup {:.2}x is below the required \
+             {REQUIRED_PROBE_SPEEDUP}x",
+            low.speedup
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_probe_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let committed = parse_flat_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut failures = 0u32;
+    let (low, high) = run_probe_micro();
+    // The hard acceptance bar, independent of the committed file.
+    if low.speedup < REQUIRED_PROBE_SPEEDUP {
+        eprintln!(
+            "FAIL probe.low_match.speedup: {:.2}x < required {REQUIRED_PROBE_SPEEDUP}x",
+            low.speedup
+        );
+        failures += 1;
+    }
+    // And no more than the tolerance below what was recorded.
+    if let Some(&baseline) = committed.get("probe.low_match.speedup") {
+        let floor = baseline * (1.0 - CHECK_TOLERANCE);
+        let status = if low.speedup < floor { "FAIL" } else { "ok" };
+        println!(
+            "{status:>4} probe.low_match.speedup: {:.2}x vs baseline {baseline:.2}x \
+             (floor {floor:.2}x)",
+            low.speedup
+        );
+        if low.speedup < floor {
+            failures += 1;
+        }
+    } else {
+        eprintln!("FAIL probe.low_match.speedup: missing from {path}");
+        failures += 1;
+    }
+    // Match/compare counts are data properties of the fixed workload: any
+    // drift against the committed file is an accounting bug.
+    for (key, now) in [
+        ("probe.low_match.matches", low.matches),
+        ("probe.low_match.compares", low.compares),
+        ("probe.high_match.matches", high.matches),
+        ("probe.high_match.compares", high.compares),
+    ] {
+        match committed.get(key) {
+            Some(&m) if (now as f64 - m).abs() < 0.5 => {}
+            Some(&m) => {
+                eprintln!("FAIL {key}: {now} != committed {m}");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL {key}: missing from {path}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} probe baseline check(s) failed against {path}");
+        std::process::exit(1);
+    }
+    println!("all probe baseline checks passed against {path}");
 }
 
 // ------------------------------------------------------------ JSON (tiny)

@@ -139,6 +139,11 @@ pub struct JoinConfig {
     /// Whether a node that cannot be relieved (no potential nodes left, or
     /// an unsplittable hot range) falls back to spilling out of core.
     pub allow_spill_fallback: bool,
+    /// Forces the scalar (tuple-at-a-time) probe path instead of the batched
+    /// filtered pipeline. The two paths produce byte-identical simulated
+    /// observables; the scalar path is kept as the oracle for differential
+    /// tests.
+    pub scalar_probe: bool,
     /// Simulation event budget (safety valve).
     pub max_events: u64,
     /// Optional virtual-time budget for the simulated backend; exceeding it
@@ -183,6 +188,7 @@ impl JoinConfig {
             disk: DiskConfig::ide_2004(),
             grace: GraceConfig::default(),
             allow_spill_fallback: true,
+            scalar_probe: false,
             max_events: 500_000_000,
             max_sim_time: None,
         }

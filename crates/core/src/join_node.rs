@@ -61,6 +61,13 @@ pub struct JoinNode<B: SpillBackend + Default + Send> {
     /// (the destination slots persist across messages; no per-tuple map
     /// lookups or per-call rebuilds).
     scatter: Vec<(ActorId, Vec<Tuple>)>,
+    /// Reusable position buffer for the batched probe pipeline.
+    pos_scratch: Vec<u32>,
+    /// Probe-filter effectiveness counters, emitted as one
+    /// `ProbeFilterStats` trace event with the node's final report.
+    filter_probes: u64,
+    filter_rejections: u64,
+    filter_batches: u64,
 }
 
 impl<B: SpillBackend + Default + Send> JoinNode<B> {
@@ -96,6 +103,10 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             reported: false,
             tracer: Tracer::off(),
             scatter: Vec::new(),
+            pos_scratch: Vec::new(),
+            filter_probes: 0,
+            filter_rejections: 0,
+            filter_batches: 0,
         }
     }
 
@@ -302,7 +313,10 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         let mut inserted: u64 = 0;
         let mut newly_pending: u64 = 0;
         for &t in &batch {
-            let dest = routing.build_dest(&self.space, t.join_attr);
+            // Hash once: the position addresses both the routing table and
+            // the local hash table.
+            let pos = self.space.position_of(t.join_attr);
+            let dest = routing.build_dest_pos(pos);
             if dest != self.me {
                 self.scatter_push(dest, t);
                 continue;
@@ -311,7 +325,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
                 to_spill.push(t);
                 continue;
             }
-            match self.table.insert(t) {
+            match self.table.insert_pre_hashed(t, pos) {
                 Ok(()) => inserted += 1,
                 Err(_) => {
                     if self.cfg.algorithm == Algorithm::OutOfCore {
@@ -365,11 +379,12 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         let mut still = VecDeque::new();
         let mut inserted: u64 = 0;
         for t in std::mem::take(&mut self.pending) {
-            let dest = routing.build_dest(&self.space, t.join_attr);
+            let pos = self.space.position_of(t.join_attr);
+            let dest = routing.build_dest_pos(pos);
             if dest != self.me {
                 self.scatter_push(dest, t);
             } else {
-                match self.table.insert(t) {
+                match self.table.insert_pre_hashed(t, pos) {
                     Ok(()) => inserted += 1,
                     Err(_) => still.push_back(t),
                 }
@@ -399,13 +414,25 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             self.trace_detail(ctx, Phase::Probe, TraceKind::Spill { bytes, fragments });
             return;
         }
-        let mut compared: u64 = 0;
-        let mut found: u64 = 0;
-        for t in &tuples {
-            let r = self.table.probe(t.join_attr);
-            compared += r.compared;
-            found += r.matches;
-        }
+        let (compared, found) = if self.cfg.scalar_probe {
+            // Scalar oracle: tuple-at-a-time, kept for differential tests.
+            let mut compared: u64 = 0;
+            let mut found: u64 = 0;
+            for t in &tuples {
+                let r = self.table.probe(t.join_attr);
+                compared += r.compared;
+                found += r.matches;
+            }
+            (compared, found)
+        } else {
+            let mut positions = std::mem::take(&mut self.pos_scratch);
+            let stats = self.table.probe_batch(&tuples, &mut positions);
+            self.pos_scratch = positions;
+            self.filter_probes += stats.probes;
+            self.filter_rejections += stats.rejections;
+            self.filter_batches += 1;
+            (stats.compared, stats.matches)
+        };
         self.matches += found;
         self.compares += compared;
         ctx.consume_cpu(
@@ -419,9 +446,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         // Reshuffle receivers insert without a capacity check: the greedy
         // plan equalizes loads, and the paper redistributes unconditionally.
         ctx.consume_cpu(self.cfg.costs.insert_per_tuple * tuples.len() as u64);
-        for &t in &tuples {
-            self.table.insert_unchecked(t);
-        }
+        self.table.insert_batch_unchecked(&tuples);
     }
 
     fn handle_split_request(
@@ -435,10 +460,9 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         // its subrange. Linear hashing subdivides the position space,
         // matching the routing table.
         let scanned = self.table.len();
-        let space = self.space;
         let moved = self
             .table
-            .drain_filter(|t| step.moves_to_new(space.position_of(t.join_attr) as u64));
+            .drain_positions(|pos| step.moves_to_new(pos as u64));
         ctx.consume_cpu(self.cfg.costs.route_per_tuple * scanned);
         let moved_count = moved.len() as u64;
         self.send_tuples(
@@ -592,6 +616,17 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             self.matches += result.matches;
             self.compares += result.compares;
             self.grace_result = Some(result);
+        }
+        if self.filter_probes > 0 {
+            self.trace(
+                ctx,
+                Phase::Probe,
+                TraceKind::ProbeFilterStats {
+                    probes: self.filter_probes,
+                    rejections: self.filter_rejections,
+                    batches: self.filter_batches,
+                },
+            );
         }
         let build_tuples = self.table.len() + self.spill_build_tuples;
         ctx.send(
@@ -891,6 +926,55 @@ mod tests {
         assert_eq!(node.matches, 2);
         // Probe 100 scans its 2-element chain; probe 101 hits an empty one.
         assert_eq!(node.compares, 2);
+    }
+
+    #[test]
+    fn batched_probe_agrees_with_scalar_oracle_and_counts_filter_stats() {
+        let build: Vec<Tuple> = (0..40).map(|i| Tuple::new(i, 100 + i % 5)).collect();
+        // Half the probes hit the five hot chains, half miss at other
+        // positions (filter rejections on the occupied ones).
+        let probe: Vec<Tuple> = (0..20)
+            .map(|i| Tuple::new(1000 + i, if i % 2 == 0 { 100 + i % 5 } else { 200 + i }))
+            .collect();
+        let run = |scalar: bool| {
+            let mut cfg = (*test_cfg(Algorithm::Replicated)).clone();
+            cfg.scalar_probe = scalar;
+            let cfg = Arc::new(cfg);
+            let cap = capacity_tuples(&cfg, 100);
+            let mut node = JoinNode::<MemBackend>::new(cfg, SCHED, ME, cap);
+            let mut ctx = ScriptCtx::new(ME);
+            node.on_message(
+                &mut ctx,
+                SCHED,
+                Msg::Activate {
+                    routing: two_node_routing(),
+                    version: 1,
+                },
+            );
+            node.on_message(&mut ctx, 1, build_data(build.clone()));
+            node.on_message(
+                &mut ctx,
+                1,
+                Msg::Data {
+                    phase: Phase::Probe,
+                    category: CommCategory::SourceDelivery,
+                    tuples: probe.clone().into(),
+                    tuple_bytes: 116,
+                },
+            );
+            (
+                node.matches,
+                node.compares,
+                node.filter_probes,
+                node.filter_batches,
+            )
+        };
+        let (sm, sc, sfp, sfb) = run(true);
+        let (bm, bc, bfp, bfb) = run(false);
+        assert_eq!((sm, sc), (bm, bc), "batched must match the scalar oracle");
+        assert_eq!((sfp, sfb), (0, 0), "scalar path keeps no filter stats");
+        assert_eq!(bfp, probe.len() as u64);
+        assert_eq!(bfb, 1);
     }
 
     #[test]

@@ -35,26 +35,39 @@ impl RoutingTable {
     /// The single destination for a build tuple.
     #[must_use]
     pub fn build_dest(&self, space: &PositionSpace, attr: JoinAttr) -> ActorId {
+        self.build_dest_pos(space.position_of(attr))
+    }
+
+    /// [`Self::build_dest`] for a pre-computed hash position, so callers
+    /// that also need the position (e.g. to insert into the local table)
+    /// hash each attribute exactly once.
+    #[must_use]
+    pub fn build_dest_pos(&self, pos: u32) -> ActorId {
         match self {
-            Self::Disjoint(m) => m.owner_of(space.position_of(attr)),
-            Self::Replica(m) => m.active_of(space.position_of(attr)),
+            Self::Disjoint(m) => m.owner_of(pos),
+            Self::Replica(m) => m.active_of(pos),
             // Linear hashing subdivides the position space ("disjoint
             // subranges of hash values", §4), so it addresses positions.
-            Self::Buckets(m) => m.route(space.position_of(attr) as u64),
+            Self::Buckets(m) => m.route(pos as u64),
         }
     }
 
     /// Appends the probe destinations for a tuple to `out` (cleared first).
     /// Exactly one destination except for replicated ranges.
     pub fn probe_dests(&self, space: &PositionSpace, attr: JoinAttr, out: &mut Vec<ActorId>) {
+        self.probe_dests_pos(space.position_of(attr), out);
+    }
+
+    /// [`Self::probe_dests`] for a pre-computed hash position.
+    pub fn probe_dests_pos(&self, pos: u32, out: &mut Vec<ActorId>) {
         out.clear();
         match self {
-            Self::Disjoint(m) => out.push(m.owner_of(space.position_of(attr))),
+            Self::Disjoint(m) => out.push(m.owner_of(pos)),
             Self::Replica(m) => {
-                out.extend_from_slice(m.owners_of(space.position_of(attr)));
+                out.extend_from_slice(m.owners_of(pos));
             }
             Self::Buckets(m) => {
-                out.push(m.route(space.position_of(attr) as u64));
+                out.push(m.route(pos as u64));
             }
         }
     }
@@ -144,6 +157,28 @@ mod tests {
         let mut dests = Vec::new();
         t.probe_dests(&sp, 30, &mut dests);
         assert_eq!(dests, vec![22]);
+    }
+
+    #[test]
+    fn pos_based_routing_matches_attr_based() {
+        let mut m = ReplicaMap::partitioned(100, &[10, 11]);
+        let _ = m.replicate(11, 12);
+        let tables = [
+            RoutingTable::Disjoint(RangeMap::partitioned(100, &[10, 11, 12, 13])),
+            RoutingTable::Replica(m),
+            RoutingTable::Buckets(BucketMap::new(vec![20, 21], 100)),
+        ];
+        let sp = space();
+        for t in &tables {
+            for attr in [0, 37, 50, 99] {
+                let pos = sp.position_of(attr);
+                assert_eq!(t.build_dest(&sp, attr), t.build_dest_pos(pos));
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                t.probe_dests(&sp, attr, &mut a);
+                t.probe_dests_pos(pos, &mut b);
+                assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]

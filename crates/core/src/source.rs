@@ -239,12 +239,14 @@ impl DataSource {
         let mut fanout_tuples: u64 = 0;
         let mut fanout_copies: u64 = 0;
         for t in tuples {
+            // Hash once per tuple; both routing shapes address positions.
+            let pos = self.space.position_of(t.join_attr);
             match self.phase {
                 Phase::Build => {
                     dests.clear();
-                    dests.push(routing.build_dest(&self.space, t.join_attr));
+                    dests.push(routing.build_dest_pos(pos));
                 }
-                Phase::Probe => routing.probe_dests(&self.space, t.join_attr, &mut dests),
+                Phase::Probe => routing.probe_dests_pos(pos, &mut dests),
                 Phase::Reshuffle => unreachable!(),
             }
             routed += dests.len() as u64;

@@ -28,4 +28,7 @@ pub use hasher::{AttrHasher, PositionSpace};
 pub use linear::{BucketMap, SplitStep};
 pub use partition::{greedy_equal_partition, part_loads};
 pub use range::{HashRange, RangeMap, ReplicaEntry, ReplicaMap};
-pub use table::{JoinHashTable, ProbeResult, TableFull, ENTRY_OVERHEAD_BYTES};
+pub use table::{
+    filter_fingerprint, BatchProbeStats, JoinHashTable, ProbeResult, TableFull,
+    ENTRY_OVERHEAD_BYTES,
+};

@@ -27,6 +27,20 @@
 //! pass; they are off the per-tuple hot path, exactly as the paper's
 //! reshuffles and splits are.
 //!
+//! ## Batched probe pipeline
+//!
+//! Alongside the head array the table keeps two per-position filter words:
+//! an exact chain-length count and a 16-bit bloom tag
+//! ([`filter_fingerprint`]). [`JoinHashTable::probe_batch`] hashes a whole
+//! probe batch in one pass, software-prefetches the filter words and chain
+//! heads a fixed distance ahead, and consults the tag before walking a
+//! chain: a rejection charges `compared = count[pos]`, `matches = 0` —
+//! byte-for-byte what the full walk would have produced, because
+//! Algorithm 1 always scans the entire chain and a bloom rejection proves
+//! no element can match. The filters are maintained incrementally on insert
+//! and rebuilt during the bulk-compaction paths (bloom tags cannot
+//! decrement).
+//!
 //! The reference `BTreeMap`-chained layout this replaced survives as
 //! [`crate::ChainedTable`] for differential tests and benchmarks.
 
@@ -40,6 +54,46 @@ pub const ENTRY_OVERHEAD_BYTES: u64 = 16;
 
 /// Chain terminator / empty head marker.
 const NIL: u32 = u32::MAX;
+
+/// How many probes ahead [`JoinHashTable::probe_batch`] prefetches the
+/// per-position filter words and chain heads.
+const FILTER_PREFETCH_AHEAD: usize = 16;
+
+/// How many probes ahead [`JoinHashTable::probe_batch`] prefetches the first
+/// chain slot (shorter than the filter distance: it needs the head value,
+/// which the longer-range prefetch has already pulled in by then).
+const SLOT_PREFETCH_AHEAD: usize = 4;
+
+/// Issues a best-effort cache prefetch for the line holding `p`. A no-op on
+/// architectures without a prefetch hint.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it never dereferences the pointer and is
+    // architecturally defined for any address, valid or not.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// 16-bit bloom fingerprint of a join attribute: exactly one bit set,
+/// selected by the *top* bits of a Fibonacci mix so it stays decorrelated
+/// from the position (which the identity hasher derives from the low bits).
+///
+/// Two properties matter:
+/// * **no false negatives** — every stored attribute's bit is OR-ed into its
+///   position's tag, so a probe whose bit is absent cannot match anything;
+/// * duplicates are free — re-inserting an attribute sets the same bit, so
+///   heavy-duplicate chains (the paper's skewed workloads) never saturate
+///   the tag.
+#[inline]
+#[must_use]
+pub fn filter_fingerprint(attr: JoinAttr) -> u16 {
+    let mixed = attr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    1u16 << (mixed >> 60)
+}
 
 /// Error returned when an insert would exceed the table's memory capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +125,34 @@ pub struct ProbeResult {
     pub compared: u64,
 }
 
+/// Outcome of probing a whole batch via [`JoinHashTable::probe_batch`].
+///
+/// `matches` and `compared` are byte-for-byte what summing the scalar
+/// [`JoinHashTable::probe`] over the batch would produce; `probes` and
+/// `rejections` describe how the fingerprint filter earned its keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchProbeStats {
+    /// Matching build tuples found across the batch.
+    pub matches: u64,
+    /// Chain elements charged across the batch (identical to the scalar
+    /// path: a tag rejection still charges the full chain length).
+    pub compared: u64,
+    /// Probe tuples processed (the batch length).
+    pub probes: u64,
+    /// Probes whose chain walk was skipped by a fingerprint-tag rejection.
+    pub rejections: u64,
+}
+
+impl BatchProbeStats {
+    /// Accumulates another batch's stats (per-node probe-phase totals).
+    pub fn absorb(&mut self, other: Self) {
+        self.matches += other.matches;
+        self.compared += other.compared;
+        self.probes += other.probes;
+        self.rejections += other.rejections;
+    }
+}
+
 /// One arena entry: the stored tuple, its global position (cached so bulk
 /// rebuilds never re-hash), and the intrusive chain link.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +171,14 @@ pub struct JoinHashTable {
     /// Newest slot index per global position (`NIL` = empty chain). Empty
     /// until the first insert.
     heads: Vec<u32>,
+    /// Exact chain length per position. A probe that the fingerprint tag
+    /// rejects is charged `counts[pos]` comparisons — precisely what the
+    /// full walk would have cost. Allocated with `heads`.
+    counts: Vec<u32>,
+    /// Per-position bloom tag: the OR of [`filter_fingerprint`] over every
+    /// attribute chained there. Blooms cannot forget, so bulk removals
+    /// rebuild the tags in [`Self::compact`]. Allocated with `heads`.
+    tags: Vec<u16>,
     /// The tuple arena; `slots.len()` is the live tuple count (bulk removal
     /// compacts, so there are no tombstones).
     slots: Vec<Slot>,
@@ -103,6 +193,8 @@ impl JoinHashTable {
             space,
             schema,
             heads: Vec::new(),
+            counts: Vec::new(),
+            tags: Vec::new(),
             slots: Vec::new(),
             capacity_bytes,
         }
@@ -156,12 +248,15 @@ impl JoinHashTable {
         self.space.position_of(attr)
     }
 
-    /// Allocates the head array on the first insert (idle tables stay at
-    /// zero overhead).
+    /// Allocates the head and filter arrays on the first insert (idle tables
+    /// stay at zero overhead).
     #[inline]
     fn ensure_heads(&mut self) {
         if self.heads.is_empty() {
-            self.heads.resize(self.space.positions as usize, NIL);
+            let n = self.space.positions as usize;
+            self.heads.resize(n, NIL);
+            self.counts.resize(n, 0);
+            self.tags.resize(n, 0);
         }
     }
 
@@ -169,6 +264,14 @@ impl JoinHashTable {
     #[inline]
     fn link(&mut self, t: Tuple) {
         let pos = self.space.position_of(t.join_attr);
+        self.link_at(t, pos);
+    }
+
+    /// Links `t` into the chain at `pos`, which must be
+    /// `position_of(t.join_attr)`, and maintains the per-position filters.
+    #[inline]
+    fn link_at(&mut self, t: Tuple, pos: u32) {
+        debug_assert_eq!(pos, self.space.position_of(t.join_attr));
         self.ensure_heads();
         let idx = self.slots.len() as u32;
         debug_assert!(idx != NIL, "arena index space exhausted");
@@ -179,6 +282,8 @@ impl JoinHashTable {
             tuple: t,
         });
         *head = idx;
+        self.counts[pos as usize] += 1;
+        self.tags[pos as usize] |= filter_fingerprint(t.join_attr);
     }
 
     /// Inserts a build tuple, or reports the table full. A failed insert
@@ -186,13 +291,25 @@ impl JoinHashTable {
     /// the paper's join process queues unprocessed buffers).
     #[inline]
     pub fn insert(&mut self, t: Tuple) -> Result<(), TableFull> {
+        let pos = self.space.position_of(t.join_attr);
+        self.insert_pre_hashed(t, pos)
+    }
+
+    /// [`Self::insert`] with the position already computed — the hash-once
+    /// build path: a join node hashes each tuple once and reuses the
+    /// position for routing and insertion.
+    ///
+    /// # Errors
+    /// Returns [`TableFull`] when the insert would exceed capacity.
+    #[inline]
+    pub fn insert_pre_hashed(&mut self, t: Tuple, pos: u32) -> Result<(), TableFull> {
         if self.bytes_used() + self.bytes_per_tuple() > self.capacity_bytes {
             return Err(TableFull {
                 bytes_used: self.bytes_used(),
                 capacity_bytes: self.capacity_bytes,
             });
         }
-        self.link(t);
+        self.link_at(t, pos);
         Ok(())
     }
 
@@ -202,6 +319,22 @@ impl JoinHashTable {
     #[inline]
     pub fn insert_unchecked(&mut self, t: Tuple) {
         self.link(t);
+    }
+
+    /// Bulk [`Self::insert_unchecked`]: grows the arena and the head/filter
+    /// arrays once for the whole batch. Byte accounting is derived from the
+    /// arena length, so it too updates once, implicitly. Used by reshuffle
+    /// receivers, which ingest whole extracted chunks.
+    pub fn insert_batch_unchecked(&mut self, tuples: &[Tuple]) {
+        if tuples.is_empty() {
+            return;
+        }
+        self.ensure_heads();
+        self.slots.reserve(tuples.len());
+        for &t in tuples {
+            let pos = self.space.position_of(t.join_attr);
+            self.link_at(t, pos);
+        }
     }
 
     /// Probes one attribute: scans the chain at its position, counting
@@ -222,6 +355,91 @@ impl JoinHashTable {
             cur = slot.next;
         }
         r
+    }
+
+    /// Probes a whole batch through the filtered, prefetched pipeline.
+    ///
+    /// Observable behaviour is byte-for-byte identical to running the scalar
+    /// [`Self::probe`] over the batch and summing: the scalar walk always
+    /// scans the *entire* chain at a position, so it charges `compared =`
+    /// chain length regardless of how many tuples match. A fingerprint-tag
+    /// rejection therefore charges `compared = counts[pos]`, `matches = 0` —
+    /// exactly the full walk's outcome, since a bloom tag has no false
+    /// negatives (rejection proves nothing in the chain carries the probed
+    /// attribute). Tag false positives simply fall back to the walk.
+    ///
+    /// Host-side, the pipeline computes all positions in one pass, then
+    /// walks them with the filter words and chain heads prefetched
+    /// [`FILTER_PREFETCH_AHEAD`] probes ahead and each surviving chain's
+    /// first slot prefetched [`SLOT_PREFETCH_AHEAD`] ahead, so the random
+    /// position-space accesses overlap instead of serializing on cache
+    /// misses.
+    ///
+    /// `positions` is caller-owned scratch (cleared here) so steady-state
+    /// probing allocates nothing.
+    #[must_use]
+    pub fn probe_batch(&self, tuples: &[Tuple], positions: &mut Vec<u32>) -> BatchProbeStats {
+        let mut stats = BatchProbeStats {
+            probes: tuples.len() as u64,
+            ..BatchProbeStats::default()
+        };
+        if tuples.is_empty() || self.heads.is_empty() {
+            // An unallocated table has no chains: every probe compares and
+            // matches nothing, exactly like the scalar path's heads miss.
+            return stats;
+        }
+        positions.clear();
+        positions.reserve(tuples.len());
+        for t in tuples {
+            positions.push(self.space.position_of(t.join_attr));
+        }
+        let n = tuples.len();
+        for i in 0..n {
+            if let Some(&p) = positions.get(i + FILTER_PREFETCH_AHEAD) {
+                prefetch_read(&raw const self.heads[p as usize]);
+                prefetch_read(&raw const self.counts[p as usize]);
+                prefetch_read(&raw const self.tags[p as usize]);
+            }
+            if let Some(&p) = positions.get(i + SLOT_PREFETCH_AHEAD) {
+                let head = self.heads[p as usize];
+                if head != NIL {
+                    prefetch_read(&raw const self.slots[head as usize]);
+                }
+            }
+            let pos = positions[i] as usize;
+            let count = self.counts[pos];
+            if count == 0 {
+                continue;
+            }
+            let attr = tuples[i].join_attr;
+            if self.tags[pos] & filter_fingerprint(attr) == 0 {
+                stats.compared += u64::from(count);
+                stats.rejections += 1;
+                continue;
+            }
+            let mut cur = self.heads[pos];
+            while cur != NIL {
+                let slot = &self.slots[cur as usize];
+                stats.compared += 1;
+                stats.matches += u64::from(slot.tuple.join_attr == attr);
+                cur = slot.next;
+            }
+        }
+        stats
+    }
+
+    /// Exact chain length at `pos` (0 before the first insert). Test and
+    /// diagnostic accessor for the probe filter.
+    #[must_use]
+    pub fn chain_count(&self, pos: u32) -> u32 {
+        self.counts.get(pos as usize).copied().unwrap_or(0)
+    }
+
+    /// The bloom tag at `pos` (0 before the first insert). Test and
+    /// diagnostic accessor for the probe filter.
+    #[must_use]
+    pub fn filter_tag(&self, pos: u32) -> u16 {
+        self.tags.get(pos as usize).copied().unwrap_or(0)
     }
 
     /// Probes and collects the matching build tuples (test/reference use;
@@ -260,6 +478,9 @@ impl JoinHashTable {
 
     /// Drops every slot matched by `take` out of the arena, returning the
     /// extracted tuples, then relinks the survivors' chains in one pass.
+    /// The per-position filters are rebuilt in the same pass: bloom tags
+    /// cannot forget a removed attribute, so bulk removal is the one place
+    /// they are recomputed from the surviving chains.
     fn compact(&mut self, mut take: impl FnMut(&Slot) -> bool) -> Vec<Tuple> {
         let mut out = Vec::new();
         self.slots.retain(|slot| {
@@ -274,9 +495,13 @@ impl JoinHashTable {
             return out;
         }
         self.heads.fill(NIL);
+        self.counts.fill(0);
+        self.tags.fill(0);
         for (i, slot) in self.slots.iter_mut().enumerate() {
             slot.next = self.heads[slot.pos as usize];
             self.heads[slot.pos as usize] = i as u32;
+            self.counts[slot.pos as usize] += 1;
+            self.tags[slot.pos as usize] |= filter_fingerprint(slot.tuple.join_attr);
         }
         out
     }
@@ -294,15 +519,27 @@ impl JoinHashTable {
         self.compact(|slot| pred(&slot.tuple))
     }
 
+    /// Removes and returns all tuples whose cached *position* matches
+    /// `pred`. Position-predicated drains (bucket splits subdivide the
+    /// position space) use this instead of [`Self::drain_filter`] so the
+    /// scan reuses each slot's cached position rather than re-hashing every
+    /// stored attribute.
+    pub fn drain_positions(&mut self, mut pred: impl FnMut(u32) -> bool) -> Vec<Tuple> {
+        self.compact(|slot| pred(slot.pos))
+    }
+
     /// Iterates all stored tuples in arena (insertion) order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.slots.iter().map(|slot| &slot.tuple)
     }
 
     /// Removes everything, returning the tuples (out-of-core spill support).
-    /// The head array is released too: a spilled node never inserts again.
+    /// The head and filter arrays are released too: a spilled node never
+    /// inserts again.
     pub fn drain_all(&mut self) -> Vec<Tuple> {
         self.heads = Vec::new();
+        self.counts = Vec::new();
+        self.tags = Vec::new();
         self.slots.drain(..).map(|slot| slot.tuple).collect()
     }
 }
@@ -453,6 +690,133 @@ mod tests {
         let big = PositionSpace::new(1 << 20, 1 << 20, AttrHasher::Identity);
         let t = JoinHashTable::new(big, Schema::default_paper(), u64::MAX);
         assert!(t.heads.is_empty(), "idle potential nodes stay cheap");
+        assert!(t.counts.is_empty() && t.tags.is_empty(), "filters too");
         assert_eq!(t.probe(1234).compared, 0);
+        let mut scratch = Vec::new();
+        let r = t.probe_batch(&[Tuple::new(0, 1234)], &mut scratch);
+        assert_eq!((r.matches, r.compared, r.probes), (0, 0, 1));
+    }
+
+    /// Sums the scalar oracle over a batch.
+    fn scalar_sum(t: &JoinHashTable, tuples: &[Tuple]) -> (u64, u64) {
+        tuples.iter().fold((0, 0), |(m, c), tp| {
+            let r = t.probe(tp.join_attr);
+            (m + r.matches, c + r.compared)
+        })
+    }
+
+    #[test]
+    fn probe_batch_equals_scalar_sum() {
+        let mut t = table(1000);
+        // Positions 10 and 20 carry mixed chains (true matches, position
+        // collisions at +100, and absent attrs sharing the position).
+        for attr in [10u64, 110, 10, 20, 120, 20, 20] {
+            t.insert(Tuple::new(0, attr)).unwrap();
+        }
+        let probes: Vec<Tuple> = [10u64, 20, 110, 210, 30, 10, 320]
+            .iter()
+            .map(|&a| Tuple::new(1, a))
+            .collect();
+        let (m, c) = scalar_sum(&t, &probes);
+        let mut scratch = Vec::new();
+        let batch = t.probe_batch(&probes, &mut scratch);
+        assert_eq!(batch.matches, m);
+        assert_eq!(batch.compared, c);
+        assert_eq!(batch.probes, probes.len() as u64);
+        // 210 and 320 land on occupied positions but are absent values: the
+        // tag may reject them (never a present value).
+        assert!(batch.rejections <= 2);
+    }
+
+    #[test]
+    fn tag_rejection_still_charges_the_chain_length() {
+        // One distinct attr, long chain: any absent attr whose fingerprint
+        // differs must be rejected yet charged the full chain.
+        let mut t = table(1000);
+        for _ in 0..9 {
+            t.insert(Tuple::new(0, 42)).unwrap();
+        }
+        let absent: u64 = (0..100)
+            .map(|k| 42 + 100 * k)
+            .find(|&a| filter_fingerprint(a) != filter_fingerprint(42))
+            .expect("some colliding attr has a different fingerprint");
+        let probes = [Tuple::new(1, absent)];
+        let mut scratch = Vec::new();
+        let r = t.probe_batch(&probes, &mut scratch);
+        assert_eq!(r.rejections, 1, "distinct fingerprint must reject");
+        assert_eq!(r.compared, 9, "rejection charges the whole chain");
+        assert_eq!(r.matches, 0);
+        assert_eq!(scalar_sum(&t, &probes), (0, 9));
+    }
+
+    #[test]
+    fn insert_batch_unchecked_matches_per_tuple_inserts() {
+        let tuples: Vec<Tuple> = (0..40).map(|i| Tuple::new(i, i * 7 % 300)).collect();
+        let mut batched = table(5);
+        batched.insert_batch_unchecked(&tuples);
+        let mut scalar = table(5);
+        for &t in &tuples {
+            scalar.insert_unchecked(t);
+        }
+        assert_eq!(batched.len(), scalar.len());
+        assert_eq!(batched.bytes_used(), scalar.bytes_used());
+        for a in 0..300 {
+            assert_eq!(batched.probe(a), scalar.probe(a));
+        }
+        for pos in 0..100 {
+            assert_eq!(batched.chain_count(pos), scalar.chain_count(pos));
+            assert_eq!(batched.filter_tag(pos), scalar.filter_tag(pos));
+        }
+        batched.insert_batch_unchecked(&[]);
+        assert_eq!(batched.len(), 40, "empty batch is a no-op");
+    }
+
+    #[test]
+    fn filters_rebuild_on_compaction_and_release_on_drain() {
+        let mut t = table(1000);
+        for i in 0..30u64 {
+            t.insert(Tuple::new(i, i % 7)).unwrap();
+        }
+        assert_eq!(t.chain_count(3), 4, "30 tuples over 7 positions");
+        assert_ne!(t.filter_tag(3), 0);
+        let _ = t.extract_range(0, 4);
+        for pos in 0..4 {
+            assert_eq!(t.chain_count(pos), 0, "emptied position");
+            assert_eq!(t.filter_tag(pos), 0, "tag rebuilt to empty");
+        }
+        assert_eq!(t.chain_count(5), 4, "survivors recounted");
+        assert_eq!(t.filter_tag(5), filter_fingerprint(5));
+        let _ = t.drain_all();
+        assert!(t.counts.is_empty() && t.tags.is_empty());
+    }
+
+    #[test]
+    fn drain_positions_agrees_with_drain_filter() {
+        let mk = || {
+            let mut t = table(1000);
+            for i in 0..50u64 {
+                t.insert(Tuple::new(i, i * 13 % 700)).unwrap();
+            }
+            t
+        };
+        let mut by_pos = mk();
+        let mut by_attr = mk();
+        let space = space();
+        let mut a = by_pos.drain_positions(|pos| pos >= 40);
+        let mut b = by_attr.drain_filter(|t| space.position_of(t.join_attr) >= 40);
+        a.sort_unstable_by_key(|t| (t.join_attr, t.index));
+        b.sort_unstable_by_key(|t| (t.join_attr, t.index));
+        assert_eq!(a, b);
+        assert_eq!(by_pos.len(), by_attr.len());
+    }
+
+    #[test]
+    fn fingerprint_is_one_hot() {
+        for a in 0..4096u64 {
+            assert_eq!(filter_fingerprint(a).count_ones(), 1);
+        }
+        // Distinct values spread over all 16 bits.
+        let bits: u16 = (0..4096u64).fold(0, |acc, a| acc | filter_fingerprint(a));
+        assert_eq!(bits, u16::MAX);
     }
 }

@@ -299,6 +299,133 @@ fn flat_table_equals_chained_reference() {
     }
 }
 
+/// The batched probe pipeline must be observably identical to running the
+/// scalar probe over the same tuples: same total matches, same total
+/// compares (the fingerprint filter only skips chain walks whose compare
+/// count it can charge exactly), and positions computed as the scalar path
+/// would.
+#[test]
+fn probe_batch_equals_scalar_probe_sequence() {
+    let mut g = Xoshiro256StarStar::new(0xBA7C4);
+    for case in 0..100 {
+        let positions = 16 + g.next_below(128 - 16) as u32;
+        let domain = positions as u64 * (1 + g.next_below(8));
+        let hasher = if case % 2 == 0 {
+            AttrHasher::Identity
+        } else {
+            AttrHasher::Fibonacci
+        };
+        let space = PositionSpace::new(positions, domain, hasher);
+        let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
+        // Duplicate-heavy inserts so chains form and some probes miss.
+        let build = g.next_below(300) as usize;
+        for i in 0..build {
+            t.insert(Tuple::new(i as u64, g.next_below(domain)))
+                .expect("unbounded");
+        }
+        // Occasionally exercise the bulk-compaction rebuild path first.
+        if g.next_below(4) == 0 {
+            let cut = g.next_below(positions as u64) as u32;
+            let _ = t.extract_range(0, cut);
+        }
+        let probes: Vec<Tuple> = (0..g.next_below(200))
+            .map(|i| Tuple::new(10_000 + i, g.next_below(domain)))
+            .collect();
+
+        let mut scalar_matches = 0u64;
+        let mut scalar_compared = 0u64;
+        for p in &probes {
+            let r = t.probe(p.join_attr);
+            scalar_matches += r.matches;
+            scalar_compared += r.compared;
+        }
+        let mut pos_buf = Vec::new();
+        let stats = t.probe_batch(&probes, &mut pos_buf);
+        assert_eq!(stats.matches, scalar_matches);
+        assert_eq!(stats.compared, scalar_compared);
+        assert_eq!(stats.probes, probes.len() as u64);
+        assert_eq!(pos_buf.len(), probes.len());
+        for (p, &pos) in probes.iter().zip(&pos_buf) {
+            assert_eq!(pos, space.position_of(p.join_attr));
+        }
+    }
+}
+
+/// Filter-maintenance invariants across every mutation path: the per-position
+/// chain counts always equal the histogram, every resident attribute's
+/// fingerprint is present in its position's tag (no false negatives), and
+/// emptied positions carry an empty tag.
+#[test]
+fn filters_track_histogram_across_mutations() {
+    let mut g = Xoshiro256StarStar::new(0xF117E2);
+    for _ in 0..60 {
+        let positions = 16 + g.next_below(96) as u32;
+        let domain = positions as u64 * (1 + g.next_below(6));
+        let space = PositionSpace::new(positions, domain, AttrHasher::Identity);
+        let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
+        let mut next_index = 0u64;
+        for _ in 0..20 + g.next_below(40) {
+            match g.next_below(100) {
+                0..=49 => {
+                    for _ in 0..g.next_below(30) {
+                        let _ = t.insert(Tuple::new(next_index, g.next_below(domain)));
+                        next_index += 1;
+                    }
+                }
+                50..=59 => {
+                    t.insert_unchecked(Tuple::new(next_index, g.next_below(domain)));
+                    next_index += 1;
+                }
+                60..=69 => {
+                    let batch: Vec<Tuple> = (0..g.next_below(30))
+                        .map(|_| {
+                            next_index += 1;
+                            Tuple::new(next_index, g.next_below(domain))
+                        })
+                        .collect();
+                    t.insert_batch_unchecked(&batch);
+                }
+                70..=79 => {
+                    let a = g.next_below(positions as u64) as u32;
+                    let b = a + g.next_below((positions - a) as u64 + 1) as u32;
+                    let _ = t.extract_range(a, b);
+                }
+                80..=89 => {
+                    let m = 2 + g.next_below(5);
+                    let _ = t.drain_filter(|tp| tp.join_attr % m == 0);
+                }
+                90..=94 => {
+                    let _ = t.drain_all();
+                }
+                _ => {
+                    let cut = g.next_below(positions as u64 / 2) as u32;
+                    let _ = t.drain_positions(|pos| pos < cut);
+                }
+            }
+            let hist = t.position_histogram(0, positions);
+            for pos in 0..positions {
+                assert_eq!(
+                    u64::from(t.chain_count(pos)),
+                    hist[pos as usize],
+                    "chain count must track the histogram at {pos}"
+                );
+                if t.chain_count(pos) == 0 {
+                    assert_eq!(t.filter_tag(pos), 0, "empty position keeps no tag");
+                }
+            }
+            for tp in t.iter() {
+                let pos = space.position_of(tp.join_attr);
+                let fp = ehj_hash::filter_fingerprint(tp.join_attr);
+                assert_eq!(
+                    t.filter_tag(pos) & fp,
+                    fp,
+                    "resident attr's fingerprint must be present (no false negatives)"
+                );
+            }
+        }
+    }
+}
+
 /// RangeMap::replace_range preserves the disjoint cover.
 #[test]
 fn replace_range_preserves_cover() {

@@ -20,6 +20,6 @@ pub use phases::{Phase, PhaseTimes};
 pub use report::{fmt_secs, trace_rollup_table, TextTable};
 pub use summary::ThroughputSummary;
 pub use trace::{
-    lane_marker, render_trace_lanes, ExecutorCounters, JsonlSink, RingSink, RollupSink, StopCause,
-    TraceEvent, TraceKind, TraceLevel, TraceRollup, TraceSink, Tracer,
+    lane_marker, render_trace_lanes, ExecutorCounters, JsonlSink, ProbeFilterCounters, RingSink,
+    RollupSink, StopCause, TraceEvent, TraceKind, TraceLevel, TraceRollup, TraceSink, Tracer,
 };

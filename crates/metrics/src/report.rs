@@ -127,6 +127,17 @@ pub fn trace_rollup_table(rollup: &crate::trace::TraceRollup) -> TextTable {
             ]);
         }
     }
+    if let Some(pf) = &rollup.probe_filter {
+        t.row(vec![
+            "(probe filter) probes/rejections".to_owned(),
+            format!(
+                "{}/{} ({:.1}%)",
+                pf.probes,
+                pf.rejections,
+                100.0 * pf.rejection_rate()
+            ),
+        ]);
+    }
     if let Some(exec) = &rollup.executor {
         t.row(vec![
             "(executor) workers/steals/parks".to_owned(),

@@ -188,6 +188,17 @@ pub enum TraceKind {
     },
     /// The phase named by the event's `phase` field completed.
     PhaseDone,
+    /// End-of-probe filter effectiveness counters from one join node's
+    /// batched probe pipeline (emitted with the node's final report).
+    ProbeFilterStats {
+        /// Probe tuples processed through the batched pipeline.
+        probes: u64,
+        /// Probes whose chain walk a fingerprint-tag rejection skipped.
+        rejections: u64,
+        /// Probe batches processed (probes / batches = mean prefetch batch
+        /// size).
+        batches: u64,
+    },
     /// End-of-run counters from the threaded work-stealing executor.
     ExecutorStats {
         /// Worker threads in the pool.
@@ -230,6 +241,7 @@ impl TraceKind {
             Self::ReshuffleChunk { .. } => "reshuffle_chunk",
             Self::ProbeFanout { .. } => "probe_fanout",
             Self::PhaseDone => "phase_done",
+            Self::ProbeFilterStats { .. } => "probe_filter_stats",
             Self::ExecutorStats { .. } => "executor_stats",
             Self::EngineStop { .. } => "engine_stop",
         }
@@ -278,6 +290,13 @@ impl TraceKind {
                 format!("probe fan-out: {tuples} tuples -> {copies} copies")
             }
             Self::PhaseDone => "phase complete".to_owned(),
+            Self::ProbeFilterStats {
+                probes,
+                rejections,
+                batches,
+            } => format!(
+                "probe filter: {probes} probes, {rejections} tag rejections, {batches} batches"
+            ),
             Self::ExecutorStats {
                 workers,
                 steals,
@@ -357,6 +376,16 @@ impl TraceEvent {
             }
             TraceKind::ProbeFanout { tuples, copies } => {
                 let _ = write!(out, ",\"tuples\":{tuples},\"copies\":{copies}");
+            }
+            TraceKind::ProbeFilterStats {
+                probes,
+                rejections,
+                batches,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"probes\":{probes},\"rejections\":{rejections},\"batches\":{batches}"
+                );
             }
             TraceKind::ExecutorStats {
                 workers,
@@ -458,6 +487,11 @@ impl TraceEvent {
                 copies: num("copies")?,
             },
             "phase_done" => TraceKind::PhaseDone,
+            "probe_filter_stats" => TraceKind::ProbeFilterStats {
+                probes: num("probes")?,
+                rejections: num("rejections")?,
+                batches: num("batches")?,
+            },
             "executor_stats" => TraceKind::ExecutorStats {
                 workers: num("workers")?,
                 steals: num("steals")?,
@@ -748,6 +782,32 @@ pub struct ExecutorCounters {
     pub timer_fires: u64,
 }
 
+/// Probe-filter counters aggregated from [`TraceKind::ProbeFilterStats`]
+/// events. Unlike [`ExecutorCounters`] (one emitter), every join node emits
+/// its own stats, so these *sum* across events and merges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeFilterCounters {
+    /// Probe tuples processed through the batched pipeline.
+    pub probes: u64,
+    /// Probes whose chain walk a fingerprint-tag rejection skipped.
+    pub rejections: u64,
+    /// Probe batches processed.
+    pub batches: u64,
+}
+
+impl ProbeFilterCounters {
+    /// Fraction of probes rejected by the tag, in `[0, 1]` (0 when no
+    /// probes were recorded).
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.rejections as f64 / self.probes as f64
+        }
+    }
+}
+
 /// Per-phase / per-node / per-kind event counts for one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceRollup {
@@ -761,6 +821,8 @@ pub struct TraceRollup {
     pub by_node: BTreeMap<u32, u64>,
     /// Executor counters, when the run emitted them (threaded backend).
     pub executor: Option<ExecutorCounters>,
+    /// Probe-filter counters summed over every join node's stats event.
+    pub probe_filter: Option<ProbeFilterCounters>,
 }
 
 impl TraceRollup {
@@ -788,6 +850,17 @@ impl TraceRollup {
                 timer_fires,
             });
         }
+        if let TraceKind::ProbeFilterStats {
+            probes,
+            rejections,
+            batches,
+        } = ev.kind
+        {
+            let acc = self.probe_filter.get_or_insert_default();
+            acc.probes += probes;
+            acc.rejections += rejections;
+            acc.batches += batches;
+        }
     }
 
     /// Merges another rollup (e.g. across runs).
@@ -804,6 +877,12 @@ impl TraceRollup {
         }
         if other.executor.is_some() {
             self.executor = other.executor;
+        }
+        if let Some(pf) = other.probe_filter {
+            let acc = self.probe_filter.get_or_insert_default();
+            acc.probes += pf.probes;
+            acc.rejections += pf.rejections;
+            acc.batches += pf.batches;
         }
     }
 
@@ -856,6 +935,7 @@ pub const fn lane_marker(kind: &TraceKind) -> char {
         TraceKind::SpillFetch { .. } => '^',
         TraceKind::ReshufflePlanned { .. } | TraceKind::ReshuffleChunk { .. } => '#',
         TraceKind::ProbeFanout { .. } => 'f',
+        TraceKind::ProbeFilterStats { .. } => 'p',
         TraceKind::PhaseDone => '|',
         TraceKind::ExecutorStats { .. } => 'W',
         TraceKind::EngineStop { .. } => 'E',
@@ -899,7 +979,8 @@ pub fn render_trace_lanes(events: &[TraceEvent], width: usize) -> String {
     let _ = writeln!(
         out,
         "legend: ! overflow  R recruit/replicate  S split  F full  X exhausted  \
-         v spill  ^ fetch  # reshuffle  f fan-out  | phase-done  W executor  E stop  * mixed"
+         v spill  ^ fetch  # reshuffle  f fan-out  p probe-filter  | phase-done  \
+         W executor  E stop  * mixed"
     );
     for ((node, phase_idx), lane) in &lanes {
         let _ = writeln!(
@@ -959,6 +1040,11 @@ mod tests {
                 copies: 20,
             },
             TraceKind::PhaseDone,
+            TraceKind::ProbeFilterStats {
+                probes: 100_000,
+                rejections: 93_750,
+                batches: 100,
+            },
             TraceKind::ExecutorStats {
                 workers: 8,
                 steals: 120,
@@ -1119,6 +1205,36 @@ mod tests {
         let mut empty = TraceRollup::default();
         empty.merge(&r);
         assert_eq!(empty.executor, Some(exec));
+    }
+
+    #[test]
+    fn rollup_sums_probe_filter_counters_across_nodes() {
+        // Unlike executor counters (one emitter, replace), every join node
+        // emits its own probe-filter stats: they must accumulate.
+        let mut r = TraceRollup::default();
+        assert!(r.probe_filter.is_none());
+        for node in [3u32, 4] {
+            r.note(&TraceEvent {
+                at_nanos: 9,
+                node,
+                phase: Phase::Probe,
+                kind: TraceKind::ProbeFilterStats {
+                    probes: 100,
+                    rejections: 40,
+                    batches: 2,
+                },
+            });
+        }
+        let pf = r.probe_filter.expect("captured");
+        assert_eq!((pf.probes, pf.rejections, pf.batches), (200, 80, 4));
+        assert!((pf.rejection_rate() - 0.4).abs() < 1e-12);
+        // Merging sums as well.
+        let mut other = TraceRollup::default();
+        other.merge(&r);
+        other.merge(&r);
+        let pf2 = other.probe_filter.expect("merged");
+        assert_eq!((pf2.probes, pf2.rejections, pf2.batches), (400, 160, 8));
+        assert_eq!(ProbeFilterCounters::default().rejection_rate(), 0.0);
     }
 
     #[test]

@@ -116,6 +116,16 @@ fn trace_events_round_trip_through_json_lines() {
             kind: TraceKind::ReshuffleChunk { to: 2, tuples: 512 },
         },
         TraceEvent {
+            at_nanos: 3_000_000,
+            node: 2,
+            phase: Phase::Probe,
+            kind: TraceKind::ProbeFilterStats {
+                probes: 100_000,
+                rejections: 93_750,
+                batches: 98,
+            },
+        },
+        TraceEvent {
             at_nanos: u64::MAX,
             node: u32::MAX,
             phase: Phase::Probe,
@@ -174,4 +184,34 @@ fn rollup_counts_merge_and_render() {
     let table = trace_rollup_table(&a).render();
     assert!(table.contains("node_full"));
     assert!(table.contains("total"));
+}
+
+#[test]
+fn rollup_table_shows_probe_filter_row() {
+    let ev = |node, kind| TraceEvent {
+        at_nanos: 1,
+        node,
+        phase: Phase::Probe,
+        kind,
+    };
+    let mut r = TraceRollup::default();
+    r.note(&ev(
+        0,
+        TraceKind::ProbeFilterStats {
+            probes: 80,
+            rejections: 60,
+            batches: 2,
+        },
+    ));
+    r.note(&ev(
+        1,
+        TraceKind::ProbeFilterStats {
+            probes: 20,
+            rejections: 15,
+            batches: 1,
+        },
+    ));
+    let table = trace_rollup_table(&r).render();
+    assert!(table.contains("(probe filter) probes/rejections"));
+    assert!(table.contains("100/75 (75.0%)"));
 }

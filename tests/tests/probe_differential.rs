@@ -1,0 +1,101 @@
+//! Differential equivalence of the batched probe pipeline.
+//!
+//! The batched probe (`JoinConfig::scalar_probe = false`, the default) is a
+//! host-side optimization only: fingerprint rejections charge exactly the
+//! chain length the scalar walk would have compared, so every simulated
+//! observable — matches, compares, network bytes, phase times — must be
+//! byte-for-byte identical to the scalar tuple-at-a-time oracle. These tests
+//! run every algorithm both ways and diff the reports.
+
+use ehj_core::{Algorithm, JoinConfig, JoinRunner};
+use ehj_data::Distribution;
+
+/// Small, fast base configuration (mirrors `correctness.rs`).
+fn base(alg: Algorithm) -> JoinConfig {
+    let mut cfg = JoinConfig::paper_scaled(alg, 1000);
+    let domain = 1 << 14;
+    cfg.r = cfg.r.with_domain(domain);
+    cfg.s = cfg.s.with_domain(domain);
+    cfg.positions = (domain / 4) as u32;
+    cfg
+}
+
+/// Runs `cfg` under both probe paths and asserts every simulated observable
+/// agrees exactly.
+fn assert_probe_paths_agree(cfg: &JoinConfig) {
+    let mut scalar_cfg = cfg.clone();
+    scalar_cfg.scalar_probe = true;
+    let mut batched_cfg = cfg.clone();
+    batched_cfg.scalar_probe = false;
+    let scalar = JoinRunner::run(&scalar_cfg).expect("scalar run must complete");
+    let batched = JoinRunner::run(&batched_cfg).expect("batched run must complete");
+    let label = cfg.algorithm.label();
+    assert_eq!(scalar.matches, batched.matches, "{label}: matches diverge");
+    assert_eq!(
+        scalar.compares, batched.compares,
+        "{label}: compares diverge"
+    );
+    assert_eq!(
+        scalar.net_bytes, batched.net_bytes,
+        "{label}: network traffic diverges"
+    );
+    assert_eq!(
+        scalar.disk_bytes, batched.disk_bytes,
+        "{label}: disk traffic diverges"
+    );
+    assert_eq!(
+        scalar.sim_events, batched.sim_events,
+        "{label}: event counts diverge"
+    );
+    assert_eq!(
+        scalar.times, batched.times,
+        "{label}: simulated phase times diverge"
+    );
+    assert_eq!(
+        scalar.build_tuples, batched.build_tuples,
+        "{label}: build placement diverges"
+    );
+    assert_eq!(scalar.load, batched.load, "{label}: load vectors diverge");
+}
+
+#[test]
+fn batched_probe_is_byte_identical_uniform() {
+    for alg in Algorithm::ALL {
+        assert_probe_paths_agree(&base(alg));
+    }
+}
+
+#[test]
+fn batched_probe_is_byte_identical_under_skew() {
+    for alg in Algorithm::ALL {
+        let mut cfg = base(alg);
+        cfg.r.dist = Distribution::gaussian_moderate();
+        cfg.s.dist = Distribution::gaussian_moderate();
+        assert_probe_paths_agree(&cfg);
+    }
+}
+
+#[test]
+fn batched_probe_is_byte_identical_with_spill() {
+    // Shrink memory so the EHJAs exhaust the cluster and fall back to
+    // spilling; OutOfCore spills by construction. The probe path then mixes
+    // in-memory probes with Grace appends — both must stay identical.
+    for alg in Algorithm::ALL {
+        let mut cfg = base(alg);
+        for node in &mut cfg.cluster.nodes {
+            node.hash_memory_bytes /= 8;
+        }
+        cfg.allow_spill_fallback = true;
+        assert_probe_paths_agree(&cfg);
+    }
+}
+
+#[test]
+fn batched_probe_is_byte_identical_when_table_fits() {
+    // No expansions: the pure in-memory probe path at 16 initial nodes.
+    for alg in Algorithm::ALL {
+        let mut cfg = base(alg);
+        cfg.initial_nodes = 16;
+        assert_probe_paths_agree(&cfg);
+    }
+}
