@@ -32,6 +32,14 @@
 //!   benchmark and fail if the low-match-rate speedup drops below the
 //!   hard [`REQUIRED_PROBE_SPEEDUP`] floor or more than 20% below the
 //!   committed value.
+//! * **obs record** (`--obs`): run the scale-100 scenario of all four
+//!   algorithms with the metrics registry live vs with no-op handles
+//!   (best-of-N wall clock each), assert the simulated observables are
+//!   byte-identical and the aggregate wall overhead stays under
+//!   [`OBS_MAX_OVERHEAD`], and write `BENCH_6.json` (or `--out PATH`).
+//! * **obs check** (`--obs --check PATH`): re-run the comparison, fail on
+//!   any observable drift against the committed file or an overhead above
+//!   the hard gate.
 //!
 //! Simulated phase times, traffic and match counts are deterministic, so
 //! the smoke comparison is meaningful on any machine; the micro benchmark
@@ -71,6 +79,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut threaded = false;
     let mut probe = false;
+    let mut obs = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,23 +93,32 @@ fn main() {
             }
             "--threaded" => threaded = true,
             "--probe" => probe = true,
+            "--obs" => obs = true,
             _ => {
                 usage();
             }
         }
         i += 1;
     }
-    if threaded && probe {
+    if usize::from(threaded) + usize::from(probe) + usize::from(obs) > 1 {
         usage();
     }
     let default_out = if threaded {
         "BENCH_4.json"
     } else if probe {
         "BENCH_5.json"
+    } else if obs {
+        "BENCH_6.json"
     } else {
         "BENCH_2.json"
     };
     let out = out.unwrap_or_else(|| default_out.to_owned());
+    if obs {
+        return match check {
+            Some(path) => run_obs_check(&path),
+            None => run_obs_record(&out),
+        };
+    }
     match (threaded, probe, check) {
         (false, false, Some(path)) => run_check(&path),
         (false, false, None) => run_record(&out),
@@ -113,8 +131,8 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: baseline [--threaded | --probe] [--out PATH] | \
-         baseline [--threaded | --probe] --check PATH"
+        "usage: baseline [--threaded | --probe | --obs] [--out PATH] | \
+         baseline [--threaded | --probe | --obs] --check PATH"
     );
     std::process::exit(2);
 }
@@ -789,6 +807,212 @@ fn run_probe_check(path: &str) {
         std::process::exit(1);
     }
     println!("all probe baseline checks passed against {path}");
+}
+
+// -------------------------------------------- metrics overhead (BENCH_6)
+
+/// Wall-clock repetitions per obs cell (best is kept). The on/off runs
+/// are interleaved so clock drift and frequency scaling hit both sides.
+const OBS_REPS: usize = 9;
+/// Maximum tolerated aggregate wall overhead of the live registry over
+/// no-op handles (fraction; the PR's acceptance bar).
+const OBS_MAX_OVERHEAD: f64 = 0.05;
+
+/// One algorithm measured with the registry live vs no-op.
+struct ObsCell {
+    wall_on_secs: f64,
+    wall_off_secs: f64,
+    matches: u64,
+    compares: u64,
+    net_bytes: u64,
+    /// Histograms the live run surfaced in the report.
+    instruments: usize,
+}
+
+fn run_obs_cell(alg: Algorithm) -> ObsCell {
+    let cfg = scenarios::base(alg, BASELINE_SCALE);
+    let run = |metrics: bool| -> JoinReport {
+        let opts = RunOptions {
+            trace_level: TraceLevel::Off,
+            metrics,
+            ..RunOptions::default()
+        };
+        JoinRunner::run_with(&cfg, &opts).unwrap_or_else(|e| {
+            eprintln!("obs baseline run failed for {alg:?} (metrics={metrics}): {e}");
+            std::process::exit(1);
+        })
+    };
+    // Warm-up both variants (allocator, page cache), then interleave the
+    // timed reps so slow drift cannot masquerade as registry overhead.
+    let on = run(true);
+    let off = run(false);
+    let mut wall_on_secs = f64::INFINITY;
+    let mut wall_off_secs = f64::INFINITY;
+    for _ in 0..OBS_REPS {
+        let t0 = Instant::now();
+        let _ = run(true);
+        wall_on_secs = wall_on_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let _ = run(false);
+        wall_off_secs = wall_off_secs.min(t0.elapsed().as_secs_f64());
+    }
+    // The no-op gate's core promise: instrumentation never changes what
+    // the simulation computes — not approximately, byte for byte.
+    for (name, a, b) in [
+        ("matches", on.matches, off.matches),
+        ("compares", on.compares, off.compares),
+        ("net_bytes", on.net_bytes, off.net_bytes),
+        ("sim_events", on.sim_events, off.sim_events),
+    ] {
+        if a != b {
+            eprintln!(
+                "FAIL obs.{}.{name}: metrics-on {a} != metrics-off {b}",
+                alg_key(alg)
+            );
+            std::process::exit(1);
+        }
+    }
+    if on.times.total_secs != off.times.total_secs {
+        eprintln!(
+            "FAIL obs.{}.total_secs: simulated time diverged ({} vs {})",
+            alg_key(alg),
+            on.times.total_secs,
+            off.times.total_secs
+        );
+        std::process::exit(1);
+    }
+    if on.metrics.is_empty() || !off.metrics.is_empty() {
+        eprintln!(
+            "FAIL obs.{}: live run must report metrics, no-op run must not",
+            alg_key(alg)
+        );
+        std::process::exit(1);
+    }
+    ObsCell {
+        wall_on_secs,
+        wall_off_secs,
+        matches: on.matches,
+        compares: on.compares,
+        net_bytes: on.net_bytes,
+        instruments: on.metrics.histograms.len(),
+    }
+}
+
+fn run_obs_grid() -> (Vec<(Algorithm, ObsCell)>, f64) {
+    let grid: Vec<(Algorithm, ObsCell)> = Algorithm::ALL
+        .into_iter()
+        .map(|alg| {
+            let cell = run_obs_cell(alg);
+            println!(
+                "obs/{}: on {:.4}s vs off {:.4}s wall (best of {OBS_REPS}), \
+                 {} matches, {} histograms",
+                alg_key(alg),
+                cell.wall_on_secs,
+                cell.wall_off_secs,
+                cell.matches,
+                cell.instruments
+            );
+            (alg, cell)
+        })
+        .collect();
+    let total_on: f64 = grid.iter().map(|(_, c)| c.wall_on_secs).sum();
+    let total_off: f64 = grid.iter().map(|(_, c)| c.wall_off_secs).sum();
+    let overhead = if total_off > 0.0 {
+        total_on / total_off - 1.0
+    } else {
+        0.0
+    };
+    println!(
+        "obs/total: on {total_on:.4}s vs off {total_off:.4}s, overhead {:+.2}% \
+         (gate {:.0}%)",
+        100.0 * overhead,
+        100.0 * OBS_MAX_OVERHEAD
+    );
+    (grid, overhead)
+}
+
+/// The hard gate shared by record and check: aggregate overhead only
+/// (per-algorithm walls at this scale are noise-dominated).
+fn gate_obs_overhead(overhead: f64) -> u32 {
+    if overhead > OBS_MAX_OVERHEAD {
+        eprintln!(
+            "FAIL obs.overhead: {:.2}% > allowed {:.0}%",
+            100.0 * overhead,
+            100.0 * OBS_MAX_OVERHEAD
+        );
+        1
+    } else {
+        0
+    }
+}
+
+fn run_obs_record(out: &str) {
+    let (grid, overhead) = run_obs_grid();
+    let mut doc = Doc::new();
+    doc.set("schema_version", 1.0);
+    doc.set("obs.scale", BASELINE_SCALE as f64);
+    doc.set("obs.reps", OBS_REPS as f64);
+    doc.set("obs.overhead", overhead);
+    for (alg, cell) in &grid {
+        let prefix = format!("obs.{}", alg_key(*alg));
+        doc.set(&format!("{prefix}.wall_on_secs"), cell.wall_on_secs);
+        doc.set(&format!("{prefix}.wall_off_secs"), cell.wall_off_secs);
+        doc.set(&format!("{prefix}.matches"), cell.matches as f64);
+        doc.set(&format!("{prefix}.compares"), cell.compares as f64);
+        doc.set(&format!("{prefix}.net_bytes"), cell.net_bytes as f64);
+        doc.set(&format!("{prefix}.instruments"), cell.instruments as f64);
+    }
+    std::fs::write(out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+    if gate_obs_overhead(overhead) > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_obs_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let committed = parse_flat_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let (grid, overhead) = run_obs_grid();
+    let mut failures = gate_obs_overhead(overhead);
+    // Observables are deterministic simulator outputs: they must equal
+    // the committed file exactly on any machine.
+    for (alg, cell) in &grid {
+        let prefix = format!("obs.{}", alg_key(*alg));
+        for (name, now) in [
+            ("matches", cell.matches),
+            ("compares", cell.compares),
+            ("net_bytes", cell.net_bytes),
+        ] {
+            let key = format!("{prefix}.{name}");
+            match committed.get(key.as_str()) {
+                Some(&m) if (now as f64 - m).abs() < 0.5 => {
+                    println!("  ok {key}: {now}");
+                }
+                Some(&m) => {
+                    eprintln!("FAIL {key}: {now} != committed {m}");
+                    failures += 1;
+                }
+                None => {
+                    eprintln!("FAIL {key}: missing from {path}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} obs baseline check(s) failed against {path}");
+        std::process::exit(1);
+    }
+    println!("all obs baseline checks passed against {path}");
 }
 
 // ------------------------------------------------------------ JSON (tiny)

@@ -73,6 +73,11 @@ pub struct Args {
     pub trace_level: TraceLevel,
     /// Stream trace events as JSONL to this path (run only).
     pub trace_out: Option<String>,
+    /// Export a Chrome trace-event (Perfetto) JSON timeline to this path
+    /// (run only).
+    pub perfetto_out: Option<String>,
+    /// Disable the live metrics registry (no-op instruments everywhere).
+    pub no_metrics: bool,
 }
 
 impl Default for Args {
@@ -95,6 +100,8 @@ impl Default for Args {
             threads: None,
             trace_level: TraceLevel::Summary,
             trace_out: None,
+            perfetto_out: None,
+            no_metrics: false,
         }
     }
 }
@@ -126,6 +133,8 @@ OPTIONS:
   --threads <N>          threaded-backend worker count (default: all cores)
   --trace-level <off|summary|detail>   structured event tracing (default summary)
   --trace-out <FILE>     write trace events as JSON lines (run only)
+  --perfetto-out <FILE>  write a Chrome trace-event (Perfetto) timeline (run only)
+  --no-metrics           disable the live metrics registry (no-op instruments)
   --help
 ";
 
@@ -242,6 +251,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                     .ok_or_else(|| format!("unknown trace level '{v}' (off|summary|detail)"))?;
             }
             "--trace-out" => args.trace_out = Some(value(&mut it, "--trace-out")?),
+            "--perfetto-out" => args.perfetto_out = Some(value(&mut it, "--perfetto-out")?),
+            "--no-metrics" => args.no_metrics = true,
             "--help" | "-h" => {
                 args.command = Command::Help;
                 return Ok(args);
@@ -327,6 +338,17 @@ mod tests {
         assert_eq!(p("run").expect("valid").trace_level, TraceLevel::Summary);
         assert!(p("run --trace-level verbose").is_err());
         assert!(p("run --trace-out").is_err());
+    }
+
+    #[test]
+    fn perfetto_and_metrics_flags_parse() {
+        let a = p("run --perfetto-out /tmp/t.json --no-metrics").expect("valid");
+        assert_eq!(a.perfetto_out.as_deref(), Some("/tmp/t.json"));
+        assert!(a.no_metrics);
+        let d = p("run").expect("valid");
+        assert_eq!(d.perfetto_out, None);
+        assert!(!d.no_metrics);
+        assert!(p("run --perfetto-out").is_err());
     }
 
     #[test]

@@ -17,10 +17,15 @@ pub mod output;
 
 use args::{Args, Command, Format};
 use ehj_core::{
-    expected_matches_for, Algorithm, JoinConfig, JoinError, JoinReport, JoinRunner, RunOptions,
+    expected_matches_for, Algorithm, Backend, JoinConfig, JoinError, JoinReport, JoinRunner,
+    RunOptions,
 };
 use ehj_data::Distribution;
-use ehj_metrics::TraceEvent;
+use ehj_metrics::{ClockKind, RingSink, TraceEvent, TraceLevel};
+use std::sync::Arc;
+
+/// How many trace events the Perfetto export ring retains.
+const PERFETTO_RING_EVENTS: usize = 1 << 20;
 
 /// Builds the configuration an [`Args`] describes for `algorithm`.
 #[must_use]
@@ -97,14 +102,33 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Help => Ok(args::USAGE.to_owned()),
         Command::Run => {
             let cfg = config_from_args(args, args.algorithm);
-            let opts = RunOptions {
+            let mut opts = RunOptions {
                 backend: args.backend,
                 threads: args.threads,
                 trace_level: args.trace_level,
                 trace_out: args.trace_out.clone().map(std::path::PathBuf::from),
+                metrics: !args.no_metrics,
                 ..RunOptions::default()
             };
+            let perfetto_ring = args.perfetto_out.as_ref().map(|_| {
+                // The exporter needs the events; tracing must be on.
+                if opts.trace_level == TraceLevel::Off {
+                    opts.trace_level = TraceLevel::Summary;
+                }
+                let ring = Arc::new(RingSink::new(PERFETTO_RING_EVENTS));
+                opts.extra_sinks.push(ring.clone());
+                ring
+            });
             let report = run_one_with(&cfg, args.verify, &opts).map_err(|e| e.to_string())?;
+            if let (Some(path), Some(ring)) = (&args.perfetto_out, perfetto_ring) {
+                let clock = match args.backend {
+                    Backend::Simulated => ClockKind::Virtual,
+                    Backend::Threaded => ClockKind::Wall,
+                };
+                let json = ehj_metrics::chrome_trace_json(&ring.tail(), Some(clock));
+                std::fs::write(path, json)
+                    .map_err(|e| format!("cannot write perfetto output {path}: {e}"))?;
+            }
             Ok(render(args.format, &report))
         }
         Command::Compare => {
@@ -154,16 +178,24 @@ pub fn execute(args: &Args) -> Result<String, String> {
 pub fn trace_summary(jsonl: &str) -> Result<String, String> {
     let mut events = Vec::new();
     let mut rollup = ehj_metrics::TraceRollup::default();
+    let mut clock = None;
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
+        }
+        // The runner stamps the file with one clock-declaration header.
+        if lineno == 0 && clock.is_none() {
+            if let Some(kind) = ClockKind::parse_header_line(line) {
+                clock = Some(kind);
+                continue;
+            }
         }
         let ev = TraceEvent::from_json_line(line)
             .ok_or_else(|| format!("line {}: not a trace event: {line}", lineno + 1))?;
         rollup.note(&ev);
         events.push(ev);
     }
-    let mut out = ehj_metrics::render_trace_lanes(&events, 72);
+    let mut out = ehj_metrics::render_trace_lanes_clocked(&events, 72, clock);
     if !rollup.is_empty() {
         out.push('\n');
         out.push_str(&ehj_metrics::trace_rollup_table(&rollup).render());

@@ -98,17 +98,28 @@ pub fn render_text(r: &JoinReport) -> String {
         let _ = writeln!(out);
         out.push_str(&ehj_metrics::trace_rollup_table(&r.trace).render());
     }
+    if !r.metrics.is_empty() {
+        let _ = writeln!(out);
+        out.push_str(&ehj_metrics::metrics_report_table(&r.metrics).render());
+    }
     out
 }
 
-/// Renders one report as CSV (header + one row).
+/// Renders one report as CSV: header + one row, followed (when the
+/// registry recorded anything) by a blank line and a metrics block with
+/// the percentile table.
 #[must_use]
 pub fn render_csv(r: &JoinReport) -> String {
-    format!(
+    let mut out = format!(
         "{}\n{}\n",
         REPORT_COLUMNS.join(","),
         report_row(r).join(",")
-    )
+    );
+    if !r.metrics.is_empty() {
+        out.push('\n');
+        out.push_str(&ehj_metrics::metrics_report_table(&r.metrics).to_csv());
+    }
+    out
 }
 
 fn json_escape(s: &str) -> String {
@@ -185,6 +196,45 @@ pub fn render_json(r: &JoinReport) -> String {
         .collect::<Vec<_>>()
         .join(",");
     field(&mut out, "timeline", format!("[{timeline}]"));
+    let counters = r
+        .metrics
+        .counters
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{v}", json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let gauges = r
+        .metrics
+        .gauges
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{v}", json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let histograms = r
+        .metrics
+        .histograms
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"name\":\"{}\",\"count\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                json_escape(&h.name),
+                h.count,
+                h.mean,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.max
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    field(
+        &mut out,
+        "metrics",
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":[{histograms}]}}"
+        ),
+    );
     out.push('}');
     out
 }
@@ -222,13 +272,32 @@ mod tests {
     fn csv_has_header_and_row() {
         let r = sample();
         let s = render_csv(&r);
-        let lines: Vec<&str> = s.lines().collect();
+        let blocks: Vec<&str> = s.split("\n\n").collect();
+        let lines: Vec<&str> = blocks[0].lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0].split(',').count(),
             lines[1].split(',').count(),
             "row width must match header"
         );
+        // The default run records metrics, so a percentile block follows.
+        assert_eq!(blocks.len(), 2, "expected a metrics block");
+        assert!(blocks[1].contains("p99"));
+        assert!(blocks[1].contains(ehj_metrics::registry::names::NODE_PROBE_NS));
+    }
+
+    #[test]
+    fn text_and_json_carry_metrics() {
+        let r = sample();
+        assert!(!r.metrics.is_empty(), "default run records metrics");
+        let text = render_text(&r);
+        assert!(text.contains("metrics"));
+        assert!(text.contains("p90"));
+        let json = render_json(&r);
+        assert!(json.contains("\"metrics\":{\"counters\":{"));
+        assert!(json.contains("\"histograms\":[{\"name\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
     }
 
     #[test]

@@ -23,11 +23,40 @@ use crate::msg::{Histogram, Msg, NodeReport};
 use crate::routing::RoutingTable;
 use ehj_data::{Tuple, TupleBatch};
 use ehj_hash::{HashRange, JoinHashTable, PositionSpace, SplitStep};
-use ehj_metrics::{CommCategory, CommCounters, Phase, TraceKind, Tracer};
+use ehj_metrics::registry::names;
+use ehj_metrics::{CommCategory, CommCounters, Gauge, MetricsHandle, Phase, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context};
 use ehj_storage::{GraceJoin, GraceResult, SpillBackend};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// A join node's registry instruments, minted once when the metrics
+/// handle is attached. Per-batch latency and batch-size histograms feed
+/// the report's percentile tables; the occupancy gauge (updated by delta,
+/// so shard sharing stays exact) and the chain-length histogram describe
+/// the hash-table layout. All single-branch no-ops when disabled.
+struct NodeMetrics {
+    build_ns: ehj_metrics::Histogram,
+    probe_ns: ehj_metrics::Histogram,
+    batch_tuples: ehj_metrics::Histogram,
+    chain_len: ehj_metrics::Histogram,
+    occupancy: Gauge,
+    /// Last table length folded into the gauge.
+    occupancy_seen: i64,
+}
+
+impl NodeMetrics {
+    fn new(handle: &MetricsHandle) -> Self {
+        Self {
+            build_ns: handle.histogram(names::NODE_BUILD_NS),
+            probe_ns: handle.histogram(names::NODE_PROBE_NS),
+            batch_tuples: handle.histogram(names::NODE_BATCH_TUPLES),
+            chain_len: handle.histogram(names::TABLE_CHAIN_LEN),
+            occupancy: handle.gauge(names::NODE_ARENA_TUPLES),
+            occupancy_seen: 0,
+        }
+    }
+}
 
 /// One join process. `B` selects the spill backend: in-memory under the
 /// discrete-event simulator (I/O cost charged through the engine's disk
@@ -57,6 +86,7 @@ pub struct JoinNode<B: SpillBackend + Default + Send> {
     grace_result: Option<GraceResult>,
     reported: bool,
     tracer: Tracer,
+    metrics: NodeMetrics,
     /// Reusable per-destination scatter buffers for routing whole batches
     /// (the destination slots persist across messages; no per-tuple map
     /// lookups or per-call rebuilds).
@@ -102,6 +132,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             grace_result: None,
             reported: false,
             tracer: Tracer::off(),
+            metrics: NodeMetrics::new(&MetricsHandle::disabled()),
             scatter: Vec::new(),
             pos_scratch: Vec::new(),
             filter_probes: 0,
@@ -115,6 +146,27 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
         self
+    }
+
+    /// Attaches registry instruments (per-phase latency histograms, batch
+    /// sizes, arena occupancy, chain lengths). Instrumentation never calls
+    /// `consume_cpu` or changes message flow, so simulated observables are
+    /// untouched.
+    #[must_use]
+    pub fn with_metrics(mut self, handle: &MetricsHandle) -> Self {
+        self.metrics = NodeMetrics::new(handle);
+        self
+    }
+
+    /// Folds the table-length change since the last call into the shared
+    /// occupancy gauge (delta-based: exact even when shards are shared).
+    fn update_occupancy(&mut self) {
+        let now = self.table.len() as i64;
+        let delta = now - self.metrics.occupancy_seen;
+        if delta != 0 {
+            self.metrics.occupancy.add(delta);
+            self.metrics.occupancy_seen = now;
+        }
     }
 
     /// Emits a summary-level trace event attributed to this node.
@@ -307,6 +359,8 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
     }
 
     fn handle_build(&mut self, ctx: &mut dyn Context<Msg>, batch: TupleBatch) {
+        let _timer = self.metrics.build_ns.start_timer();
+        self.metrics.batch_tuples.record(batch.len() as u64);
         let costs = self.cfg.costs;
         let routing = self.routing.take().expect("active node has routing");
         let mut to_spill: Vec<Tuple> = Vec::new();
@@ -405,6 +459,8 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
     }
 
     fn handle_probe(&mut self, ctx: &mut dyn Context<Msg>, tuples: TupleBatch) {
+        let _timer = self.metrics.probe_ns.start_timer();
+        self.metrics.batch_tuples.record(tuples.len() as u64);
         let costs = self.cfg.costs;
         if let Some(grace) = self.spill.as_mut() {
             ctx.consume_cpu(costs.route_per_tuple * tuples.len() as u64);
@@ -628,6 +684,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
                 },
             );
         }
+        self.table.observe_metrics(&self.metrics.chain_len);
         let build_tuples = self.table.len() + self.spill_build_tuples;
         ctx.send(
             self.scheduler,
@@ -709,6 +766,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             // Activation handled in on_message before dispatch.
             _ => {}
         }
+        self.update_occupancy();
     }
 }
 
@@ -791,6 +849,55 @@ mod tests {
             tuples: tuples.into(),
             tuple_bytes: 116,
         }
+    }
+
+    #[test]
+    fn metrics_instruments_observe_build_probe_and_occupancy() {
+        use ehj_metrics::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let cfg = test_cfg(Algorithm::Replicated);
+        let cap = capacity_tuples(&cfg, 100);
+        let mut node =
+            JoinNode::<MemBackend>::new(cfg, SCHED, ME, cap).with_metrics(&registry.handle_for(0));
+        let mut ctx = ScriptCtx::new(ME);
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::Activate {
+                routing: two_node_routing(),
+                version: 1,
+            },
+        );
+        node.on_message(
+            &mut ctx,
+            1,
+            build_data(vec![Tuple::new(1, 100), Tuple::new(2, 200)]),
+        );
+        node.on_message(
+            &mut ctx,
+            1,
+            Msg::Data {
+                phase: Phase::Probe,
+                category: CommCategory::SourceDelivery,
+                tuples: vec![Tuple::new(3, 100)].into(),
+                tuple_bytes: 116,
+            },
+        );
+        node.on_message(&mut ctx, SCHED, Msg::ReportRequest);
+        let snap = registry.snapshot();
+        let hist = |name: &str| snap.histograms.get(name).expect(name).clone();
+        assert_eq!(hist(names::NODE_BUILD_NS).count, 1);
+        assert_eq!(hist(names::NODE_PROBE_NS).count, 1);
+        let batches = hist(names::NODE_BATCH_TUPLES);
+        assert_eq!(batches.count, 2, "one build batch + one probe batch");
+        assert_eq!(batches.max, 2);
+        let chains = hist(names::TABLE_CHAIN_LEN);
+        assert_eq!(chains.count, 2, "two occupied buckets at report time");
+        assert_eq!(
+            snap.gauges.get(names::NODE_ARENA_TUPLES).copied(),
+            Some(2),
+            "occupancy gauge tracks resident tuples by delta"
+        );
     }
 
     #[test]

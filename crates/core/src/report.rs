@@ -1,7 +1,7 @@
 //! The result of one join run.
 
 use crate::config::Algorithm;
-use ehj_metrics::{CommCounters, LoadStats, PhaseTimes, TraceRollup};
+use ehj_metrics::{CommCounters, LoadStats, MetricsReport, PhaseTimes, TraceRollup};
 
 /// One noteworthy event during a run, stamped with simulated time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +95,9 @@ pub struct JoinReport {
     /// Per-phase / per-node / per-kind structured trace event counts
     /// (empty when tracing is off).
     pub trace: TraceRollup,
+    /// Registry snapshot: counters, gauges, and latency/size percentile
+    /// tables (empty when metrics are disabled).
+    pub metrics: MetricsReport,
 }
 
 impl JoinReport {

@@ -15,20 +15,25 @@ use crate::scheduler::Scheduler;
 use crate::source::DataSource;
 use crate::topology::Topology;
 use ehj_metrics::{
-    JsonlSink, Phase, RingSink, RollupSink, StopCause, TraceEvent, TraceKind, TraceLevel,
-    TraceSink, Tracer,
+    sample_once, ClockKind, JsonlSink, MetricsMonitor, MetricsRegistry, MetricsReport, Phase,
+    RingSink, RollupSink, StopCause, TraceEvent, TraceKind, TraceLevel, TraceSink, Tracer,
 };
 use ehj_sim::{Engine, EngineConfig, EngineError, StopReason, ThreadedEngine};
 use ehj_storage::{FileBackend, MemBackend};
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// How many trailing trace events are kept for error diagnostics.
 const ERROR_TAIL_EVENTS: usize = 64;
 
 /// How many of those the `Display` impl prints.
 const ERROR_TAIL_SHOWN: usize = 8;
+
+/// Sampling period of the threaded backend's metrics monitor.
+const MONITOR_INTERVAL: Duration = Duration::from_millis(5);
 
 /// Which runtime executes the join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -126,6 +131,11 @@ pub struct RunOptions {
     pub trace_out: Option<PathBuf>,
     /// Additional sinks (tests, embedders).
     pub extra_sinks: Vec<Arc<dyn TraceSink>>,
+    /// Whether the live metrics registry records (sharded counters,
+    /// histograms, gauges). `false` hands every layer no-op instruments —
+    /// the configuration the `baseline --obs` overhead gate compares
+    /// against. Never affects simulated observables either way.
+    pub metrics: bool,
 }
 
 impl Default for RunOptions {
@@ -136,6 +146,7 @@ impl Default for RunOptions {
             trace_level: TraceLevel::Summary,
             trace_out: None,
             extra_sinks: Vec::new(),
+            metrics: true,
         }
     }
 }
@@ -148,6 +159,7 @@ impl std::fmt::Debug for RunOptions {
             .field("trace_level", &self.trace_level)
             .field("trace_out", &self.trace_out)
             .field("extra_sinks", &self.extra_sinks.len())
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -171,7 +183,7 @@ struct TraceHarness {
 }
 
 impl TraceHarness {
-    fn build(opts: &RunOptions) -> Result<Self, JoinError> {
+    fn build(opts: &RunOptions, clock: ClockKind) -> Result<Self, JoinError> {
         if opts.trace_level == TraceLevel::Off {
             return Ok(Self {
                 tracer: Tracer::off(),
@@ -187,7 +199,13 @@ impl TraceHarness {
             let file = std::fs::File::create(path).map_err(|e| {
                 JoinError::Config(format!("cannot open trace output {}: {e}", path.display()))
             })?;
-            sinks.push(Arc::new(JsonlSink::new(Box::new(std::io::BufWriter::new(file)))) as _);
+            let mut writer = std::io::BufWriter::new(file);
+            // First line declares which clock stamped `t` in every event
+            // below (the timestamps are backend-dependent).
+            writeln!(writer, "{}", clock.header_line()).map_err(|e| {
+                JoinError::Config(format!("cannot write trace output {}: {e}", path.display()))
+            })?;
+            sinks.push(Arc::new(JsonlSink::new(Box::new(writer))) as _);
         }
         sinks.extend(opts.extra_sinks.iter().cloned());
         Ok(Self {
@@ -247,12 +265,26 @@ impl JoinRunner {
         let cfg = Arc::new(cfg.clone());
         let topo = Topology::standard(cfg.sources, cfg.cluster.len());
         let result: Arc<Mutex<Option<JoinReport>>> = Arc::new(Mutex::new(None));
-        let harness = TraceHarness::build(opts)?;
+        let clock = match opts.backend {
+            Backend::Simulated => ClockKind::Virtual,
+            Backend::Threaded => ClockKind::Wall,
+        };
+        let harness = TraceHarness::build(opts, clock)?;
+        let registry = if opts.metrics {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
         match opts.backend {
-            Backend::Simulated => Self::run_simulated(&cfg, topo, &result, &harness),
-            Backend::Threaded => {
-                Self::run_threaded(&cfg, topo, &result, &harness, opts.threads.unwrap_or(0))
-            }
+            Backend::Simulated => Self::run_simulated(&cfg, topo, &result, &harness, &registry),
+            Backend::Threaded => Self::run_threaded(
+                &cfg,
+                topo,
+                &result,
+                &harness,
+                &registry,
+                opts.threads.unwrap_or(0),
+            ),
         }
     }
 
@@ -261,6 +293,7 @@ impl JoinRunner {
         topo: Topology,
         result: &Arc<Mutex<Option<JoinReport>>>,
         harness: &TraceHarness,
+        registry: &MetricsRegistry,
     ) -> Result<JoinReport, JoinError> {
         let mut engine: Engine<Msg> = Engine::new(EngineConfig {
             net: cfg.net,
@@ -280,7 +313,7 @@ impl JoinRunner {
             ));
             debug_assert_eq!(id, topo.sources[i]);
         }
-        for node in cfg.cluster.node_ids() {
+        for (i, node) in cfg.cluster.node_ids().enumerate() {
             let capacity = cfg.cluster.spec(node).hash_memory_bytes;
             let id = engine.add_actor(Box::new(
                 JoinNode::<MemBackend>::new(
@@ -289,7 +322,8 @@ impl JoinRunner {
                     topo.node_actor(node),
                     capacity,
                 )
-                .with_tracer(tracer.clone()),
+                .with_tracer(tracer.clone())
+                .with_metrics(&registry.handle_for(i)),
             ));
             debug_assert_eq!(id, topo.node_actor(node));
         }
@@ -327,6 +361,10 @@ impl JoinRunner {
         report.sim_events = summary.events;
         report.net_bytes = summary.net_bytes;
         report.disk_bytes = summary.disk_bytes;
+        // A background monitor cannot observe virtual time; one end-of-run
+        // sample stands in for the threaded backend's periodic ones.
+        sample_once(registry, &harness.tracer, end, 0);
+        report.metrics = MetricsReport::from_snapshot(&registry.snapshot());
         harness.finish(end, StopCause::Completed, Some(&mut report));
         Ok(report)
     }
@@ -336,9 +374,12 @@ impl JoinRunner {
         topo: Topology,
         result: &Arc<Mutex<Option<JoinReport>>>,
         harness: &TraceHarness,
+        registry: &MetricsRegistry,
         threads: usize,
     ) -> Result<JoinReport, JoinError> {
-        let mut engine: ThreadedEngine<Msg> = ThreadedEngine::new().with_workers(threads);
+        let mut engine: ThreadedEngine<Msg> = ThreadedEngine::new()
+            .with_workers(threads)
+            .with_metrics(registry.clone());
         let tracer = &harness.tracer;
         let sched = engine.add_actor(Box::new(
             Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
@@ -351,7 +392,7 @@ impl JoinRunner {
             ));
             debug_assert_eq!(id, topo.sources[i]);
         }
-        for node in cfg.cluster.node_ids() {
+        for (i, node) in cfg.cluster.node_ids().enumerate() {
             let capacity = cfg.cluster.spec(node).hash_memory_bytes;
             let id = engine.add_actor(Box::new(
                 JoinNode::<FileBackend>::new(
@@ -360,11 +401,14 @@ impl JoinRunner {
                     topo.node_actor(node),
                     capacity,
                 )
-                .with_tracer(tracer.clone()),
+                .with_tracer(tracer.clone())
+                .with_metrics(&registry.handle_for(i)),
             ));
             debug_assert_eq!(id, topo.node_actor(node));
         }
+        let monitor = MetricsMonitor::start(registry.clone(), tracer.clone(), MONITOR_INTERVAL);
         let (summary, _actors) = engine.run();
+        monitor.stop();
         let end = summary.elapsed.as_nanos();
         harness.tracer.emit(
             end,
@@ -391,6 +435,7 @@ impl JoinRunner {
         // engine (every send is charged its wire bytes, like the sim net).
         report.times.total_secs = summary.elapsed.as_secs_f64();
         report.net_bytes = summary.net_bytes;
+        report.metrics = MetricsReport::from_snapshot(&registry.snapshot());
         harness.finish(end, StopCause::Completed, Some(&mut report));
         Ok(report)
     }

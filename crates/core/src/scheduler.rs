@@ -799,6 +799,7 @@ impl Scheduler {
             disk_bytes: 0,
             timeline: std::mem::take(&mut self.timeline),
             trace: ehj_metrics::TraceRollup::default(),
+            metrics: ehj_metrics::MetricsReport::default(),
         };
         *self.result.lock().expect("report lock") = Some(report);
         ctx.stop();

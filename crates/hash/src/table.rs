@@ -442,6 +442,18 @@ impl JoinHashTable {
         self.tags.get(pos as usize).copied().unwrap_or(0)
     }
 
+    /// Records this table's layout into registry instruments: one
+    /// `chain_hist` sample per occupied position (its exact chain length,
+    /// from the maintained per-position counts — no chain walk). Called at
+    /// report time, not on the insert path, so build cost is untouched.
+    pub fn observe_metrics(&self, chain_hist: &ehj_metrics::Histogram) {
+        for &count in &self.counts {
+            if count > 0 {
+                chain_hist.record(u64::from(count));
+            }
+        }
+    }
+
     /// Probes and collects the matching build tuples (test/reference use;
     /// the hot path uses [`Self::probe`]).
     #[must_use]
@@ -590,6 +602,24 @@ mod tests {
         assert_eq!(r2.compared, 3);
         let r3 = t.probe(50);
         assert_eq!(r3, ProbeResult::default());
+    }
+
+    #[test]
+    fn observe_metrics_records_exact_chain_lengths() {
+        let mut t = table(100);
+        // Position 10 gets a chain of 3 (10, 110, 10), position 50 one of 1.
+        t.insert(Tuple::new(1, 10)).unwrap();
+        t.insert(Tuple::new(2, 110)).unwrap();
+        t.insert(Tuple::new(3, 10)).unwrap();
+        t.insert(Tuple::new(4, 50)).unwrap();
+        let reg = ehj_metrics::MetricsRegistry::new();
+        let hist = reg.handle().histogram("table.chain_len");
+        t.observe_metrics(&hist);
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 2, "one sample per occupied position");
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 3);
+        assert_eq!(snap.sum, 4, "samples sum to the tuple count");
     }
 
     #[test]

@@ -152,6 +152,52 @@ pub fn trace_rollup_table(rollup: &crate::trace::TraceRollup) -> TextTable {
     t
 }
 
+/// Renders a metrics report as a percentile table: one row per histogram
+/// (count / mean / p50 / p90 / p99 / max) followed by counter and gauge
+/// rows with blank percentile cells.
+#[must_use]
+pub fn metrics_report_table(metrics: &crate::registry::MetricsReport) -> TextTable {
+    let mut t = TextTable::new(
+        "metrics",
+        &["instrument", "count", "mean", "p50", "p90", "p99", "max"],
+    );
+    let blank = String::new;
+    for h in &metrics.histograms {
+        t.row(vec![
+            h.name.clone(),
+            h.count.to_string(),
+            format!("{:.1}", h.mean),
+            h.p50.to_string(),
+            h.p90.to_string(),
+            h.p99.to_string(),
+            h.max.to_string(),
+        ]);
+    }
+    for (name, value) in &metrics.counters {
+        t.row(vec![
+            format!("(counter) {name}"),
+            value.to_string(),
+            blank(),
+            blank(),
+            blank(),
+            blank(),
+            blank(),
+        ]);
+    }
+    for (name, value) in &metrics.gauges {
+        t.row(vec![
+            format!("(gauge) {name}"),
+            value.to_string(),
+            blank(),
+            blank(),
+            blank(),
+            blank(),
+            blank(),
+        ]);
+    }
+    t
+}
+
 /// Formats seconds with figure-friendly precision.
 #[must_use]
 pub fn fmt_secs(secs: f64) -> String {

@@ -61,6 +61,62 @@ impl TraceLevel {
     }
 }
 
+/// Which clock stamped a run's trace events: virtual nanoseconds on the
+/// simulated backend, wall nanoseconds on the threaded one.
+///
+/// The JSONL writer records this in a header line (see
+/// [`ClockKind::header_line`]) so a trace file is self-describing and the
+/// timeline renderer can label its axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Simulated virtual time.
+    Virtual,
+    /// Wall-clock time of the threaded backend.
+    Wall,
+}
+
+impl ClockKind {
+    /// Stable name used in the JSONL header.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Virtual => "virtual",
+            Self::Wall => "wall",
+        }
+    }
+
+    /// Axis label for timeline rendering.
+    #[must_use]
+    pub const fn axis_label(self) -> &'static str {
+        match self {
+            Self::Virtual => "virtual time",
+            Self::Wall => "wall time",
+        }
+    }
+
+    /// The JSONL header line recording this clock, written as the first
+    /// line of a `--trace-out` file.
+    #[must_use]
+    pub fn header_line(self) -> String {
+        format!("{{\"clock\":\"{}\"}}", self.name())
+    }
+
+    /// Parses a JSONL header line (`{"clock":"virtual"}`). Returns `None`
+    /// when the line is not a clock header.
+    #[must_use]
+    pub fn parse_header_line(line: &str) -> Option<Self> {
+        let fields = parse_flat_json(line)?;
+        if fields.len() != 1 {
+            return None;
+        }
+        match fields.get("clock")? {
+            JsonVal::Str(s) if s == "virtual" => Some(Self::Virtual),
+            JsonVal::Str(s) if s == "wall" => Some(Self::Wall),
+            _ => None,
+        }
+    }
+}
+
 /// Why the engine stopped, as recorded on the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopCause {
@@ -214,6 +270,18 @@ pub enum TraceKind {
         /// Timer-wheel fires (each charged like a send).
         timer_fires: u64,
     },
+    /// A periodic snapshot of live registry gauges (sampling monitor on
+    /// the threaded backend; one end-of-run sample on the simulated one).
+    MetricsSample {
+        /// Sample sequence number within the run.
+        seq: u64,
+        /// Tuples resident in build arenas across all nodes.
+        occupancy: u64,
+        /// Mailbox depth high-water mark so far.
+        depth_hwm: u64,
+        /// Cumulative nanoseconds workers spent inside actor handlers.
+        busy_ns: u64,
+    },
     /// The engine stopped.
     EngineStop {
         /// Why.
@@ -243,6 +311,7 @@ impl TraceKind {
             Self::PhaseDone => "phase_done",
             Self::ProbeFilterStats { .. } => "probe_filter_stats",
             Self::ExecutorStats { .. } => "executor_stats",
+            Self::MetricsSample { .. } => "metrics_sample",
             Self::EngineStop { .. } => "engine_stop",
         }
     }
@@ -308,6 +377,15 @@ impl TraceKind {
                 "executor: {workers} workers, {steals} steals, {parks} parks, \
                  {overflows} overflows, max mailbox {max_depth}, {timer_fires} timer fires"
             ),
+            Self::MetricsSample {
+                seq,
+                occupancy,
+                depth_hwm,
+                busy_ns,
+            } => format!(
+                "metrics sample {seq}: {occupancy} arena tuples, mailbox hwm {depth_hwm}, \
+                 busy {busy_ns}ns"
+            ),
             Self::EngineStop { reason } => format!("engine stopped: {}", reason.name()),
         }
     }
@@ -316,7 +394,10 @@ impl TraceKind {
 /// One structured trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Nanoseconds since the run started (virtual or wall clock).
+    /// Nanoseconds since the run started. Which clock produced them —
+    /// virtual (simulated backend) or wall (threaded backend) — is
+    /// recorded per file in the JSONL header ([`ClockKind`]), not per
+    /// event.
     pub at_nanos: u64,
     /// Actor id of the emitter (0 = scheduler, then sources, then nodes).
     pub node: u32,
@@ -400,6 +481,18 @@ impl TraceEvent {
                     ",\"workers\":{workers},\"steals\":{steals},\"parks\":{parks},\
                      \"overflows\":{overflows},\"max_depth\":{max_depth},\
                      \"timer_fires\":{timer_fires}"
+                );
+            }
+            TraceKind::MetricsSample {
+                seq,
+                occupancy,
+                depth_hwm,
+                busy_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"seq\":{seq},\"occupancy\":{occupancy},\"depth_hwm\":{depth_hwm},\
+                     \"busy_ns\":{busy_ns}"
                 );
             }
             TraceKind::EngineStop { reason } => {
@@ -499,6 +592,12 @@ impl TraceEvent {
                 overflows: num("overflows")?,
                 max_depth: num("max_depth")?,
                 timer_fires: num("timer_fires")?,
+            },
+            "metrics_sample" => TraceKind::MetricsSample {
+                seq: num("seq")?,
+                occupancy: num("occupancy")?,
+                depth_hwm: num("depth_hwm")?,
+                busy_ns: num("busy_ns")?,
             },
             "engine_stop" => TraceKind::EngineStop {
                 reason: StopCause::parse(text("reason")?)?,
@@ -938,15 +1037,29 @@ pub const fn lane_marker(kind: &TraceKind) -> char {
         TraceKind::ProbeFilterStats { .. } => 'p',
         TraceKind::PhaseDone => '|',
         TraceKind::ExecutorStats { .. } => 'W',
+        TraceKind::MetricsSample { .. } => 'm',
         TraceKind::EngineStop { .. } => 'E',
     }
 }
 
 /// Renders per-node, per-phase timeline lanes: one `width`-column lane per
 /// (actor, phase) that saw events, with kind markers placed by timestamp
-/// (`*` marks a cell where different kinds collide).
+/// (`*` marks a cell where different kinds collide). The axis is labelled
+/// with nanoseconds of an unspecified clock; use
+/// [`render_trace_lanes_clocked`] when the clock is known.
 #[must_use]
 pub fn render_trace_lanes(events: &[TraceEvent], width: usize) -> String {
+    render_trace_lanes_clocked(events, width, None)
+}
+
+/// [`render_trace_lanes`] with the axis labelled by the clock that stamped
+/// the events (from the JSONL header or the backend that ran).
+#[must_use]
+pub fn render_trace_lanes_clocked(
+    events: &[TraceEvent],
+    width: usize,
+    clock: Option<ClockKind>,
+) -> String {
     let width = width.max(10);
     if events.is_empty() {
         return "no trace events\n".to_owned();
@@ -970,9 +1083,10 @@ pub fn render_trace_lanes(events: &[TraceEvent], width: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} trace events over {:.4}s ({} lanes; column = {:.4}s)",
+        "{} trace events over {:.4}s of {} ({} lanes; column = {:.4}s)",
         events.len(),
         span as f64 / 1e9,
+        clock.map_or("unlabelled time", ClockKind::axis_label),
         lanes.len(),
         span as f64 / 1e9 / width as f64
     );
@@ -980,7 +1094,7 @@ pub fn render_trace_lanes(events: &[TraceEvent], width: usize) -> String {
         out,
         "legend: ! overflow  R recruit/replicate  S split  F full  X exhausted  \
          v spill  ^ fetch  # reshuffle  f fan-out  p probe-filter  | phase-done  \
-         W executor  E stop  * mixed"
+         W executor  m metrics  E stop  * mixed"
     );
     for ((node, phase_idx), lane) in &lanes {
         let _ = writeln!(
@@ -1052,6 +1166,12 @@ mod tests {
                 overflows: 0,
                 max_depth: 512,
                 timer_fires: 2,
+            },
+            TraceKind::MetricsSample {
+                seq: 4,
+                occupancy: 123_456,
+                depth_hwm: 77,
+                busy_ns: 9_876_543,
             },
             TraceKind::EngineStop {
                 reason: StopCause::Completed,
@@ -1299,6 +1419,42 @@ mod tests {
         assert!(s.contains('!'));
         assert!(s.contains('S'));
         assert!(s.contains("legend"));
+        assert!(s.contains("unlabelled time"));
         assert_eq!(render_trace_lanes(&[], 40), "no trace events\n");
+    }
+
+    #[test]
+    fn clocked_lanes_label_the_axis() {
+        let events = vec![TraceEvent {
+            at_nanos: 10,
+            node: 0,
+            phase: Phase::Build,
+            kind: TraceKind::PhaseDone,
+        }];
+        let virt = render_trace_lanes_clocked(&events, 40, Some(ClockKind::Virtual));
+        assert!(virt.contains("virtual time"), "{virt}");
+        let wall = render_trace_lanes_clocked(&events, 40, Some(ClockKind::Wall));
+        assert!(wall.contains("wall time"), "{wall}");
+    }
+
+    #[test]
+    fn clock_header_round_trips() {
+        for clock in [ClockKind::Virtual, ClockKind::Wall] {
+            let line = clock.header_line();
+            assert_eq!(ClockKind::parse_header_line(&line), Some(clock), "{line}");
+            // A header line must not parse as a trace event.
+            assert!(TraceEvent::from_json_line(&line).is_none());
+        }
+        for bad in [
+            "",
+            "{\"clock\":\"sundial\"}",
+            "{\"clock\":\"wall\",\"extra\":1}",
+            "{\"t_ns\":1,\"node\":0,\"phase\":\"build\",\"kind\":\"phase_done\"}",
+        ] {
+            assert!(
+                ClockKind::parse_header_line(bad).is_none(),
+                "accepted: {bad}"
+            );
+        }
     }
 }

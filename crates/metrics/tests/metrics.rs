@@ -215,3 +215,160 @@ fn rollup_table_shows_probe_filter_row() {
     assert!(table.contains("(probe filter) probes/rejections"));
     assert!(table.contains("100/75 (75.0%)"));
 }
+
+// ---------------------------------------------------------------------------
+// Registry property tests: histogram merge/percentile laws, counter
+// linearizability under concurrent shard writers, empty-distribution edges.
+// ---------------------------------------------------------------------------
+
+/// Deterministic 64-bit LCG (no external crates): good enough to spray
+/// samples across many orders of magnitude.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    /// A sample spanning ~`2^(next % 40)` magnitudes (histograms see
+    /// nanoseconds next to batch sizes; exercise the whole bucket range).
+    fn sample(&mut self) -> u64 {
+        let magnitude = self.next() % 40;
+        self.next() & ((1 << magnitude) - 1).max(1)
+    }
+}
+
+/// True quantile at the same rank `HistogramSnapshot::percentile` reads.
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+#[test]
+fn merged_percentiles_equal_whole_stream_within_bucket_error() {
+    use ehj_metrics::MetricsRegistry;
+    let mut rng = Lcg(0x5eed_cafe);
+    for round in 0..8 {
+        let reg = ehj_metrics::MetricsRegistry::new();
+        let whole_reg = MetricsRegistry::new();
+        let a = reg.handle_for(0).histogram("a");
+        let b = reg.handle_for(1).histogram("b");
+        let whole = whole_reg.handle_for(round).histogram("whole");
+        let mut all: Vec<u64> = Vec::new();
+        for i in 0..(500 + round * 137) {
+            let v = rng.sample();
+            if i % 3 == 0 { &a } else { &b }.record(v);
+            whole.record(v);
+            all.push(v);
+        }
+        all.sort_unstable();
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let reference = whole.snapshot();
+        // Law 1: bucket-wise merge of disjoint streams IS the whole-stream
+        // snapshot (exactly — not just approximately).
+        assert_eq!(merged, reference, "round {round}: merge must be exact");
+        // Law 2: every percentile is within one sub-bucket (1/32 relative)
+        // of the true quantile, and never below it.
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let est = merged.percentile(p);
+            let truth = exact_quantile(&all, p);
+            assert!(
+                est >= truth,
+                "round {round} p{p}: estimate {est} below true {truth}"
+            );
+            assert!(
+                est <= truth + truth / 32 + 1,
+                "round {round} p{p}: estimate {est} beyond bucket error of {truth}"
+            );
+        }
+        assert_eq!(merged.percentile(100.0), *all.last().expect("non-empty"));
+        assert_eq!(merged.min, all[0]);
+    }
+}
+
+#[test]
+fn histogram_merge_is_commutative() {
+    let reg = ehj_metrics::MetricsRegistry::new();
+    let a = reg.handle_for(3).histogram("a");
+    let b = reg.handle_for(7).histogram("b");
+    let mut rng = Lcg(42);
+    for _ in 0..300 {
+        a.record(rng.sample());
+        b.record(rng.sample() % 97);
+    }
+    let mut ab = a.snapshot();
+    ab.merge(&b.snapshot());
+    let mut ba = b.snapshot();
+    ba.merge(&a.snapshot());
+    assert_eq!(ab, ba);
+}
+
+#[test]
+fn counters_sum_exactly_under_concurrent_increments() {
+    use std::sync::Arc;
+    const THREADS: usize = 8;
+    const OPS: u64 = 20_000;
+    let reg = Arc::new(ehj_metrics::MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let h = reg.handle_for(t);
+                let counter = h.counter("ops");
+                let gauge = h.gauge("level");
+                for i in 0..OPS {
+                    counter.add(1 + (i % 3));
+                    gauge.add(if i % 2 == 0 { 5 } else { -3 });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let per_thread: u64 = (0..OPS).map(|i| 1 + (i % 3)).sum();
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counters.get("ops").copied(),
+        Some(per_thread * THREADS as u64),
+        "no increment may be lost or double-counted"
+    );
+    assert_eq!(
+        snap.gauges.get("level").copied(),
+        Some(THREADS as i64 * (OPS as i64 / 2) * (5 - 3)),
+    );
+}
+
+#[test]
+fn empty_histogram_edge_cases() {
+    let reg = ehj_metrics::MetricsRegistry::new();
+    let h = reg.handle().histogram("never_recorded");
+    let empty = h.snapshot();
+    assert!(empty.is_empty());
+    assert_eq!(empty.mean(), 0.0);
+    assert_eq!(empty.min, 0);
+    assert_eq!(empty.max, 0);
+    for p in [0.0, 50.0, 100.0] {
+        assert_eq!(empty.percentile(p), 0, "empty percentile is 0");
+    }
+    // merge(empty, empty) stays empty; merge with data in either order
+    // equals the data alone.
+    let mut e2 = empty.clone();
+    e2.merge(&empty);
+    assert!(e2.is_empty());
+    let full = reg.handle().histogram("full");
+    full.record(7);
+    full.record(900);
+    let mut left = empty.clone();
+    left.merge(&full.snapshot());
+    assert_eq!(left, full.snapshot(), "empty is a left identity");
+    let mut right = full.snapshot();
+    right.merge(&empty);
+    assert_eq!(right, full.snapshot(), "empty is a right identity");
+    assert_eq!(left.min, 7, "min must come from the non-empty side");
+}

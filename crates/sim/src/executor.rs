@@ -36,6 +36,8 @@ use crate::actor::{Actor, ActorId, Context, Message};
 use crate::mailbox::Mailbox;
 use crate::threaded::ThreadedSummary;
 use crate::time::SimTime;
+use ehj_metrics::registry::names;
+use ehj_metrics::{Counter, Histogram, MetricsRegistry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -118,6 +120,47 @@ enum Env<M> {
     Stop,
 }
 
+/// One worker's registry instruments, minted once at pool start from the
+/// worker's own shard (so hot-path increments never share a cache line
+/// with another worker's). All no-ops when the registry is disabled.
+struct WorkerMetrics {
+    enabled: bool,
+    busy_ns: Counter,
+    park_ns: Counter,
+    park_count: Counter,
+    steal_attempts: Counter,
+    steal_count: Counter,
+    mailbox_depth: Histogram,
+    coalesce_batch: Histogram,
+}
+
+impl WorkerMetrics {
+    fn new(metrics: &MetricsRegistry, worker: usize) -> Self {
+        let handle = metrics.handle_for(worker);
+        Self {
+            enabled: handle.is_enabled(),
+            busy_ns: handle.counter(names::EXEC_BUSY_NS),
+            park_ns: handle.counter(names::EXEC_PARK_NS),
+            park_count: handle.counter(names::EXEC_PARKS),
+            steal_attempts: handle.counter(names::EXEC_STEAL_ATTEMPTS),
+            steal_count: handle.counter(names::EXEC_STEALS),
+            mailbox_depth: handle.histogram(names::EXEC_MAILBOX_DEPTH),
+            coalesce_batch: handle.histogram(names::EXEC_COALESCE_BATCH),
+        }
+    }
+
+    /// A wall-clock read, skipped entirely in no-op mode.
+    fn clock(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    fn charge_span(&self, started: Option<Instant>, into: &Counter) {
+        if let Some(t0) = started {
+            into.add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
 struct SlotBody<M: Message> {
     actor: Box<dyn Actor<M>>,
     started: bool,
@@ -170,6 +213,7 @@ struct Shared<M: Message> {
     parks: AtomicU64,
     overflows: AtomicU64,
     timer_fires: AtomicU64,
+    worker_metrics: Vec<WorkerMetrics>,
 }
 
 impl<M: Message> Shared<M> {
@@ -224,6 +268,9 @@ impl<M: Message> Shared<M> {
             self.overflows
                 .fetch_add(report.overflows, Ordering::Relaxed);
         }
+        self.worker_metrics[worker]
+            .mailbox_depth
+            .record(report.depth as u64);
         self.try_schedule(worker, to);
     }
 
@@ -292,6 +339,18 @@ pub fn run_actors<M: Message>(
     actors: Vec<Box<dyn Actor<M>>>,
     cfg: &ExecutorConfig,
 ) -> (ThreadedSummary, Vec<Box<dyn Actor<M>>>) {
+    run_actors_with(actors, cfg, &MetricsRegistry::disabled())
+}
+
+/// [`run_actors`] with live registry instrumentation: each worker binds
+/// its instruments to its own shard of `metrics` (busy/steal/park time,
+/// mailbox depths, coalesce sizes). A disabled registry makes every
+/// instrument a single-branch no-op.
+pub fn run_actors_with<M: Message>(
+    actors: Vec<Box<dyn Actor<M>>>,
+    cfg: &ExecutorConfig,
+    metrics: &MetricsRegistry,
+) -> (ThreadedSummary, Vec<Box<dyn Actor<M>>>) {
     let n = actors.len();
     let workers = cfg.effective_workers().max(1);
     let start = Instant::now();
@@ -339,6 +398,9 @@ pub fn run_actors<M: Message>(
         parks: AtomicU64::new(0),
         overflows: AtomicU64::new(0),
         timer_fires: AtomicU64::new(0),
+        worker_metrics: (0..workers)
+            .map(|w| WorkerMetrics::new(metrics, w))
+            .collect(),
     };
     // Seed the start tasks round-robin so `on_start` work spreads over the
     // pool from the first instant.
@@ -416,7 +478,7 @@ fn worker_loop<M: Message>(shared: &Shared<M>, index: usize) {
         if fired > 0 {
             continue;
         }
-        park(shared);
+        park(shared, index);
     }
 }
 
@@ -430,6 +492,8 @@ fn next_task<M: Message>(shared: &Shared<M>, index: usize, rng: &mut u64) -> Opt
     if n <= 1 {
         return None;
     }
+    let wm = &shared.worker_metrics[index];
+    wm.steal_attempts.add(1);
     // Xorshift-randomized victim order (no external RNG dependency).
     *rng ^= *rng << 13;
     *rng ^= *rng >> 7;
@@ -442,6 +506,7 @@ fn next_task<M: Message>(shared: &Shared<M>, index: usize, rng: &mut u64) -> Opt
         }
         if let Some(a) = shared.queues[victim].lock().expect("run queue").pop_back() {
             shared.steals.fetch_add(1, Ordering::Relaxed);
+            wm.steal_count.add(1);
             return Some(a);
         }
     }
@@ -449,7 +514,7 @@ fn next_task<M: Message>(shared: &Shared<M>, index: usize, rng: &mut u64) -> Opt
 }
 
 /// Parks until woken by new work, the next timer deadline, or `MAX_PARK`.
-fn park<M: Message>(shared: &Shared<M>) {
+fn park<M: Message>(shared: &Shared<M>, index: usize) {
     let wait = shared.next_deadline().map_or(MAX_PARK, |d| {
         d.saturating_duration_since(Instant::now()).min(MAX_PARK)
     });
@@ -463,10 +528,14 @@ fn park<M: Message>(shared: &Shared<M>) {
         return;
     }
     shared.parks.fetch_add(1, Ordering::Relaxed);
+    let wm = &shared.worker_metrics[index];
+    wm.park_count.add(1);
+    let parked_at = wm.clock();
     let _ = shared
         .wake
         .wait_timeout(guard, wait.max(Duration::from_micros(50)))
         .expect("idle lock");
+    wm.charge_span(parked_at, &wm.park_ns);
     shared.idle_count.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -482,6 +551,8 @@ fn run_actor<M: Message>(
     let slot = &shared.slots[actor as usize];
     slot.state.store(RUNNING, Ordering::Release);
     let mut dead = false;
+    let wm = &shared.worker_metrics[index];
+    let busy_from = wm.clock();
     {
         let mut body_guard = slot.body.lock().expect("actor slot");
         let body = body_guard.as_mut().expect("actor present");
@@ -520,6 +591,7 @@ fn run_actor<M: Message>(
         scratch.clear();
         ctx.flush_all();
     }
+    wm.charge_span(busy_from, &wm.busy_ns);
     if dead {
         slot.state.store(DEAD, Ordering::Release);
         slot.mailbox.close();
@@ -562,6 +634,9 @@ fn flush_buffer<M: Message>(
     buf: &mut Vec<Env<M>>,
 ) {
     if !buf.is_empty() {
+        shared.worker_metrics[worker]
+            .coalesce_batch
+            .record(buf.len() as u64);
         shared.deliver(worker, to, buf, to == me);
     }
 }

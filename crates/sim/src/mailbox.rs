@@ -38,6 +38,9 @@ pub struct PushReport {
     pub parks: u64,
     /// Items enqueued past the capacity bound (liveness escape).
     pub overflows: u64,
+    /// Queue depth right after this push (feeds the depth histogram
+    /// without a second lock acquisition).
+    pub depth: usize,
 }
 
 struct Inner<T> {
@@ -114,6 +117,7 @@ impl<T> Mailbox<T> {
         }
         inner.ring.extend(batch.drain(..));
         inner.max_depth = inner.max_depth.max(inner.ring.len());
+        report.depth = inner.ring.len();
         report
     }
 
@@ -169,6 +173,7 @@ mod tests {
         let mut batch: Vec<u32> = (0..10).collect();
         let report = mb.push_batch(&mut batch, false);
         assert!(report.was_empty);
+        assert_eq!(report.depth, 10, "depth is the post-push queue length");
         assert!(batch.is_empty(), "push drains the input batch");
         let mut more: Vec<u32> = (10..14).collect();
         assert!(!mb.push_batch(&mut more, false).was_empty);

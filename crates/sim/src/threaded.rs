@@ -18,8 +18,9 @@
 //! figures use the deterministic simulated backend.
 
 use crate::actor::{Actor, ActorId, Message};
-use crate::executor::{run_actors, ExecutorConfig, ExecutorStats};
+use crate::executor::{run_actors_with, ExecutorConfig, ExecutorStats};
 use crate::time::SimTime;
+use ehj_metrics::MetricsRegistry;
 
 /// What a threaded run measured: wall-clock time plus real traffic totals
 /// (the counterpart of the simulator's `RunSummary`). Every send **and
@@ -42,6 +43,7 @@ pub struct ThreadedSummary {
 pub struct ThreadedEngine<M: Message> {
     actors: Vec<Box<dyn Actor<M>>>,
     config: ExecutorConfig,
+    metrics: MetricsRegistry,
 }
 
 impl<M: Message> Default for ThreadedEngine<M> {
@@ -58,6 +60,7 @@ impl<M: Message> ThreadedEngine<M> {
         Self {
             actors: Vec::new(),
             config: ExecutorConfig::default(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
@@ -72,6 +75,16 @@ impl<M: Message> ThreadedEngine<M> {
     #[must_use]
     pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
         self.config.mailbox_capacity = capacity.max(1);
+        self
+    }
+
+    /// Attaches a live metrics registry: workers bind busy/steal/park
+    /// counters, mailbox-depth and coalesce-size histograms to their own
+    /// shards of it. The default (disabled) registry costs one branch per
+    /// instrument touch.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -103,7 +116,7 @@ impl<M: Message> ThreadedEngine<M> {
     /// every mailbox. Messages enqueued before the sentinel are still
     /// delivered; messages enqueued after it are dropped.
     pub fn run(self) -> (ThreadedSummary, Vec<Box<dyn Actor<M>>>) {
-        run_actors(self.actors, &self.config)
+        run_actors_with(self.actors, &self.config, &self.metrics)
     }
 }
 
@@ -321,6 +334,23 @@ mod tests {
             // after the wire, exactly like the old closed-channel drop.
             assert_eq!(summary.net_messages, 2);
         }
+    }
+
+    #[test]
+    fn metrics_registry_observes_executor_work() {
+        use ehj_metrics::registry::names;
+        let registry = MetricsRegistry::new();
+        let (summary, _) = ring_engine(2).with_metrics(registry.clone()).run();
+        assert_eq!(summary.net_messages, 100, "instrumentation is inert");
+        let snap = registry.snapshot();
+        assert!(
+            snap.counters[names::EXEC_BUSY_NS] > 0,
+            "workers recorded busy time: {snap:?}"
+        );
+        let depth = &snap.histograms[names::EXEC_MAILBOX_DEPTH];
+        assert!(depth.count > 0, "deliveries recorded mailbox depth");
+        let coalesce = &snap.histograms[names::EXEC_COALESCE_BATCH];
+        assert!(coalesce.count > 0 && coalesce.max >= 1);
     }
 
     #[test]

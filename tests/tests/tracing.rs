@@ -29,8 +29,16 @@ fn run_traced(cfg: &JoinConfig, tag: &str) -> (JoinReport, Vec<TraceEvent>) {
     let report = JoinRunner::run_with(cfg, &opts).expect("traced join runs");
     let text = std::fs::read_to_string(&path).expect("trace file written");
     let _ = std::fs::remove_file(&path);
-    let events: Vec<TraceEvent> = text
-        .lines()
+    let mut lines = text.lines();
+    // The file leads with a clock declaration; the simulated backend
+    // stamps events with virtual time.
+    let header = lines.next().expect("non-empty trace file");
+    assert_eq!(
+        ehj_metrics::ClockKind::parse_header_line(header),
+        Some(ehj_metrics::ClockKind::Virtual),
+        "first line must declare the clock: {header}"
+    );
+    let events: Vec<TraceEvent> = lines
         .map(|line| {
             TraceEvent::from_json_line(line).unwrap_or_else(|| panic!("invalid trace line: {line}"))
         })
