@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing for `ehjoin` (no external dependencies).
 
-use ehj_core::{Algorithm, Backend, SplitPolicy};
+use ehj_core::{Algorithm, Backend, ProbeKernel, SplitPolicy};
 use ehj_metrics::TraceLevel;
 
 /// Output formats for reports.
@@ -78,6 +78,8 @@ pub struct Args {
     pub perfetto_out: Option<String>,
     /// Disable the live metrics registry (no-op instruments everywhere).
     pub no_metrics: bool,
+    /// Probe kernel join nodes run (None = the config default, SWAR).
+    pub probe_kernel: Option<ProbeKernel>,
 }
 
 impl Default for Args {
@@ -102,6 +104,7 @@ impl Default for Args {
             trace_out: None,
             perfetto_out: None,
             no_metrics: false,
+            probe_kernel: None,
         }
     }
 }
@@ -135,6 +138,9 @@ OPTIONS:
   --trace-out <FILE>     write trace events as JSON lines (run only)
   --perfetto-out <FILE>  write a Chrome trace-event (Perfetto) timeline (run only)
   --no-metrics           disable the live metrics registry (no-op instruments)
+  --probe-kernel <scalar|batched|swar|simd>   probe implementation (default swar;
+                         simd needs the `simd` cargo feature, else falls back to swar;
+                         all kernels produce identical simulated results)
   --help
 ";
 
@@ -253,6 +259,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             "--trace-out" => args.trace_out = Some(value(&mut it, "--trace-out")?),
             "--perfetto-out" => args.perfetto_out = Some(value(&mut it, "--perfetto-out")?),
             "--no-metrics" => args.no_metrics = true,
+            "--probe-kernel" => {
+                let v = value(&mut it, "--probe-kernel")?;
+                args.probe_kernel = Some(ProbeKernel::parse(&v)?);
+            }
             "--help" | "-h" => {
                 args.command = Command::Help;
                 return Ok(args);
@@ -365,6 +375,21 @@ mod tests {
         assert!(p("run --backend warp").is_err());
         assert!(p("run --threads 0").is_err());
         assert!(p("run --threads").is_err());
+    }
+
+    #[test]
+    fn probe_kernel_flag_parses() {
+        assert_eq!(
+            p("run --probe-kernel scalar").expect("valid").probe_kernel,
+            Some(ProbeKernel::Scalar)
+        );
+        assert_eq!(
+            p("run --probe-kernel simd").expect("valid").probe_kernel,
+            Some(ProbeKernel::Simd)
+        );
+        assert_eq!(p("run").expect("valid").probe_kernel, None);
+        assert!(p("run --probe-kernel avx512").is_err());
+        assert!(p("run --probe-kernel").is_err());
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub fn config_from_args(args: &Args, algorithm: Algorithm) -> JoinConfig {
         cfg.r.seed = seed;
         cfg.s.seed = seed ^ 0x0BAD_CAFE;
     }
+    if let Some(kernel) = args.probe_kernel {
+        cfg.probe_kernel = kernel;
+    }
     cfg
 }
 

@@ -4,6 +4,7 @@
 use ehj_cluster::{ClusterSpec, SelectionPolicy};
 use ehj_data::{RelationSpec, Schema, DEFAULT_CHUNK_TUPLES};
 use ehj_hash::AttrHasher;
+pub use ehj_hash::ProbeKernel;
 use ehj_sim::{DiskConfig, NetConfig, SimTime};
 use ehj_storage::GraceConfig;
 
@@ -139,11 +140,13 @@ pub struct JoinConfig {
     /// Whether a node that cannot be relieved (no potential nodes left, or
     /// an unsplittable hot range) falls back to spilling out of core.
     pub allow_spill_fallback: bool,
-    /// Forces the scalar (tuple-at-a-time) probe path instead of the batched
-    /// filtered pipeline. The two paths produce byte-identical simulated
-    /// observables; the scalar path is kept as the oracle for differential
-    /// tests.
-    pub scalar_probe: bool,
+    /// Which probe kernel join nodes run (DESIGN §4g). Every kernel
+    /// produces byte-identical simulated observables; they differ only in
+    /// host wall-time. The scalar tuple-at-a-time path and the one-chain
+    /// batched pipeline are kept as oracles for differential tests;
+    /// [`ProbeKernel::Simd`] needs the `simd` cargo feature and falls back
+    /// to SWAR elsewhere.
+    pub probe_kernel: ProbeKernel,
     /// Simulation event budget (safety valve).
     pub max_events: u64,
     /// Optional virtual-time budget for the simulated backend; exceeding it
@@ -188,7 +191,7 @@ impl JoinConfig {
             disk: DiskConfig::ide_2004(),
             grace: GraceConfig::default(),
             allow_spill_fallback: true,
-            scalar_probe: false,
+            probe_kernel: ProbeKernel::default(),
             max_events: 500_000_000,
             max_sim_time: None,
         }

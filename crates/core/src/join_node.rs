@@ -18,13 +18,15 @@
 //!   baseline, and the fallback of any EHJA once the cluster has no
 //!   potential nodes left.
 
-use crate::config::{Algorithm, JoinConfig};
+use crate::config::{Algorithm, JoinConfig, ProbeKernel};
 use crate::msg::{Histogram, Msg, NodeReport};
 use crate::routing::RoutingTable;
 use ehj_data::{Tuple, TupleBatch};
-use ehj_hash::{HashRange, JoinHashTable, PositionSpace, SplitStep};
+use ehj_hash::{HashRange, JoinHashTable, PositionSpace, ProbeScratch, SplitStep};
 use ehj_metrics::registry::names;
-use ehj_metrics::{CommCategory, CommCounters, Gauge, MetricsHandle, Phase, TraceKind, Tracer};
+use ehj_metrics::{
+    CommCategory, CommCounters, Counter, Gauge, MetricsHandle, Phase, TraceKind, Tracer,
+};
 use ehj_sim::{Actor, ActorId, Context};
 use ehj_storage::{GraceJoin, GraceResult, SpillBackend};
 use std::collections::VecDeque;
@@ -43,6 +45,13 @@ struct NodeMetrics {
     occupancy: Gauge,
     /// Last table length folded into the gauge.
     occupancy_seen: i64,
+    /// Probe tuples through the filtered batch kernels (tag-rejection rate
+    /// numerator/denominator, sampled into Perfetto counter tracks).
+    filter_probes: Counter,
+    filter_rejections: Counter,
+    /// Mean chains concurrently in flight per interleaved-walk round, one
+    /// sample per probed batch (wide kernels only).
+    interleave_depth: ehj_metrics::Histogram,
 }
 
 impl NodeMetrics {
@@ -54,6 +63,9 @@ impl NodeMetrics {
             chain_len: handle.histogram(names::TABLE_CHAIN_LEN),
             occupancy: handle.gauge(names::NODE_ARENA_TUPLES),
             occupancy_seen: 0,
+            filter_probes: handle.counter(names::NODE_FILTER_PROBES),
+            filter_rejections: handle.counter(names::NODE_FILTER_REJECTIONS),
+            interleave_depth: handle.histogram(names::NODE_INTERLEAVE_DEPTH),
         }
     }
 }
@@ -91,8 +103,10 @@ pub struct JoinNode<B: SpillBackend + Default + Send> {
     /// (the destination slots persist across messages; no per-tuple map
     /// lookups or per-call rebuilds).
     scatter: Vec<(ActorId, Vec<Tuple>)>,
-    /// Reusable position buffer for the batched probe pipeline.
+    /// Reusable position buffer for the hash-once build path.
     pos_scratch: Vec<u32>,
+    /// Reusable scratch (positions + survivor queue) for the probe kernels.
+    probe_scratch: ProbeScratch,
     /// Probe-filter effectiveness counters, emitted as one
     /// `ProbeFilterStats` trace event with the node's final report.
     filter_probes: u64,
@@ -135,6 +149,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             metrics: NodeMetrics::new(&MetricsHandle::disabled()),
             scatter: Vec::new(),
             pos_scratch: Vec::new(),
+            probe_scratch: ProbeScratch::new(),
             filter_probes: 0,
             filter_rejections: 0,
             filter_batches: 0,
@@ -366,10 +381,11 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         let mut to_spill: Vec<Tuple> = Vec::new();
         let mut inserted: u64 = 0;
         let mut newly_pending: u64 = 0;
-        for &t in &batch {
-            // Hash once: the position addresses both the routing table and
-            // the local hash table.
-            let pos = self.space.position_of(t.join_attr);
+        // Hash once, in bulk: each position addresses both the routing
+        // table and the local hash table.
+        let mut positions = std::mem::take(&mut self.pos_scratch);
+        self.space.bulk_positions(&batch, &mut positions);
+        for (&t, &pos) in batch.iter().zip(&positions) {
             let dest = routing.build_dest_pos(pos);
             if dest != self.me {
                 self.scatter_push(dest, t);
@@ -394,6 +410,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             }
         }
         self.routing = Some(routing);
+        self.pos_scratch = positions;
         ctx.consume_cpu(costs.insert_per_tuple * inserted);
         let kept_local = inserted + to_spill.len() as u64 + newly_pending;
         self.spill_append_build(ctx, &to_spill);
@@ -470,8 +487,10 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             self.trace_detail(ctx, Phase::Probe, TraceKind::Spill { bytes, fragments });
             return;
         }
-        let (compared, found) = if self.cfg.scalar_probe {
+        let (compared, found) = if self.cfg.probe_kernel == ProbeKernel::Scalar {
             // Scalar oracle: tuple-at-a-time, kept for differential tests.
+            // Deliberately outside the kernel dispatch so it records no
+            // filter stats (the oracle has no filter).
             let mut compared: u64 = 0;
             let mut found: u64 = 0;
             for t in &tuples {
@@ -481,12 +500,21 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             }
             (compared, found)
         } else {
-            let mut positions = std::mem::take(&mut self.pos_scratch);
-            let stats = self.table.probe_batch(&tuples, &mut positions);
-            self.pos_scratch = positions;
+            let mut scratch = std::mem::take(&mut self.probe_scratch);
+            let stats = self
+                .table
+                .probe_batch_with(&tuples, &mut scratch, self.cfg.probe_kernel);
+            self.probe_scratch = scratch;
             self.filter_probes += stats.probes;
             self.filter_rejections += stats.rejections;
             self.filter_batches += 1;
+            self.metrics.filter_probes.add(stats.probes);
+            self.metrics.filter_rejections.add(stats.rejections);
+            // Mean interleave depth; `None` (no walker rounds, i.e. the
+            // batched kernel or an all-rejected batch) records nothing.
+            if let Some(depth) = stats.walk_active.checked_div(stats.walk_rounds) {
+                self.metrics.interleave_depth.record(depth);
+            }
             (stats.compared, stats.matches)
         };
         self.matches += found;
@@ -1043,9 +1071,9 @@ mod tests {
         let probe: Vec<Tuple> = (0..20)
             .map(|i| Tuple::new(1000 + i, if i % 2 == 0 { 100 + i % 5 } else { 200 + i }))
             .collect();
-        let run = |scalar: bool| {
+        let run = |kernel: ProbeKernel| {
             let mut cfg = (*test_cfg(Algorithm::Replicated)).clone();
-            cfg.scalar_probe = scalar;
+            cfg.probe_kernel = kernel;
             let cfg = Arc::new(cfg);
             let cap = capacity_tuples(&cfg, 100);
             let mut node = JoinNode::<MemBackend>::new(cfg, SCHED, ME, cap);
@@ -1076,12 +1104,14 @@ mod tests {
                 node.filter_batches,
             )
         };
-        let (sm, sc, sfp, sfb) = run(true);
-        let (bm, bc, bfp, bfb) = run(false);
-        assert_eq!((sm, sc), (bm, bc), "batched must match the scalar oracle");
+        let (sm, sc, sfp, sfb) = run(ProbeKernel::Scalar);
         assert_eq!((sfp, sfb), (0, 0), "scalar path keeps no filter stats");
-        assert_eq!(bfp, probe.len() as u64);
-        assert_eq!(bfb, 1);
+        for kernel in [ProbeKernel::Batched, ProbeKernel::Swar, ProbeKernel::Simd] {
+            let (bm, bc, bfp, bfb) = run(kernel);
+            assert_eq!((sm, sc), (bm, bc), "{kernel} must match the scalar oracle");
+            assert_eq!(bfp, probe.len() as u64, "{kernel} filter probes");
+            assert_eq!(bfb, 1, "{kernel} filter batches");
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub(crate) mod testutil;
 pub mod topology;
 
 pub use analysis::OverheadModel;
-pub use config::{Algorithm, BuildSide, CostModel, JoinConfig, SplitPolicy};
+pub use config::{Algorithm, BuildSide, CostModel, JoinConfig, ProbeKernel, SplitPolicy};
 pub use msg::{Msg, NodeReport};
 pub use multiway::{MultiwayPlan, MultiwayReport};
 pub use reference::{expected_matches, expected_matches_for};

@@ -71,6 +71,9 @@ pub struct DataSource {
     sent_tuples: u64,
     comm: CommCounters,
     dest_scratch: Vec<ActorId>,
+    /// Bulk-hash output buffer: one routed position per generated tuple,
+    /// reused across generation batches.
+    pos_scratch: Vec<u32>,
     tracer: Tracer,
 }
 
@@ -99,6 +102,7 @@ impl DataSource {
             sent_tuples: 0,
             comm: CommCounters::new(chunk),
             dest_scratch: Vec::new(),
+            pos_scratch: Vec::new(),
             tracer: Tracer::off(),
         }
     }
@@ -235,12 +239,14 @@ impl DataSource {
         let routing = self.routing.take().expect("routing set with phase");
         let tb = self.tuple_bytes();
         let mut dests = std::mem::take(&mut self.dest_scratch);
+        let mut positions = std::mem::take(&mut self.pos_scratch);
         let mut routed: u64 = 0;
         let mut fanout_tuples: u64 = 0;
         let mut fanout_copies: u64 = 0;
-        for t in tuples {
-            // Hash once per tuple; both routing shapes address positions.
-            let pos = self.space.position_of(t.join_attr);
+        // Hash the whole batch once up front (unrolled bulk kernel); both
+        // routing shapes below address the precomputed positions.
+        self.space.bulk_positions(&tuples, &mut positions);
+        for (&t, &pos) in tuples.iter().zip(&positions) {
             match self.phase {
                 Phase::Build => {
                     dests.clear();
@@ -269,6 +275,7 @@ impl DataSource {
             dests = dest_list;
         }
         self.dest_scratch = dests;
+        self.pos_scratch = positions;
         if self.routing.is_none() {
             self.routing = Some(routing);
         }

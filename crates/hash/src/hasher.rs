@@ -14,7 +14,7 @@
 //! value locality. [`AttrHasher::Fibonacci`] is provided as an ablation that
 //! scatters values uniformly.
 
-use ehj_data::JoinAttr;
+use ehj_data::{JoinAttr, Tuple};
 
 /// Maps a join-attribute value to a hash value within the same domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +43,56 @@ impl AttrHasher {
             Self::Identity => attr % domain,
             Self::Fibonacci => attr.wrapping_mul(Self::PHI64) % domain,
         }
+    }
+
+    /// Bulk [`Self::hash_value`]: hashes a whole attribute slice into `out`
+    /// (cleared first) in one pass with the hasher dispatch hoisted out of
+    /// the loop and the body unrolled four wide, so the multiply/modulo
+    /// chains of independent attributes pipeline instead of serializing.
+    /// `out[i] == self.hash_value(attrs[i], domain)` for every `i`.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0`.
+    pub fn bulk_hash(&self, attrs: &[JoinAttr], domain: u64, out: &mut Vec<u64>) {
+        assert!(domain > 0, "attribute domain must be non-empty");
+        out.clear();
+        out.reserve(attrs.len());
+        // x % 2^k == x & (2^k - 1) for unsigned x: power-of-two domains
+        // (the common configuration) strength-reduce the modulo to a mask,
+        // which also lets the unrolled loop vectorize.
+        if domain.is_power_of_two() {
+            let dm = domain - 1;
+            match self {
+                Self::Identity => fill_unrolled(attrs, out, |a| a & dm),
+                Self::Fibonacci => {
+                    fill_unrolled(attrs, out, |a| a.wrapping_mul(Self::PHI64) & dm);
+                }
+            }
+        } else {
+            match self {
+                Self::Identity => fill_unrolled(attrs, out, |a| a % domain),
+                Self::Fibonacci => {
+                    fill_unrolled(attrs, out, |a| a.wrapping_mul(Self::PHI64) % domain);
+                }
+            }
+        }
+    }
+}
+
+/// Four-wide unrolled map from attribute values to `f` (the shared body of
+/// the bulk-hash kernels: `chunks_exact` lets the compiler keep four
+/// independent computations in flight per iteration).
+#[inline]
+fn fill_unrolled<T>(attrs: &[JoinAttr], out: &mut Vec<T>, f: impl Fn(JoinAttr) -> T) {
+    let mut chunks = attrs.chunks_exact(4);
+    for c in chunks.by_ref() {
+        out.push(f(c[0]));
+        out.push(f(c[1]));
+        out.push(f(c[2]));
+        out.push(f(c[3]));
+    }
+    for &a in chunks.remainder() {
+        out.push(f(a));
     }
 }
 
@@ -92,6 +142,56 @@ impl PositionSpace {
     pub fn position_of(&self, attr: JoinAttr) -> u32 {
         let hv = self.hasher.hash_value(attr, self.domain);
         (hv % self.positions as u64) as u32
+    }
+
+    /// Bulk [`Self::position_of`] over a tuple batch: fills `out` (cleared
+    /// first) with one position per tuple, in batch order. This is the
+    /// pass-1 kernel of the batched probe pipeline and the hash-once source
+    /// routing path: the hasher dispatch is hoisted out of the loop and the
+    /// body runs four independent hash chains per iteration.
+    pub fn bulk_positions(&self, tuples: &[Tuple], out: &mut Vec<u32>) {
+        const PHI: u64 = AttrHasher::PHI64;
+        let domain = self.domain;
+        let positions = u64::from(self.positions);
+        out.clear();
+        out.reserve(tuples.len());
+        // x % 2^k == x & (2^k - 1) for unsigned x: when both spaces are
+        // powers of two (the common configuration) the two modulos
+        // strength-reduce to masks — and since positions <= domain, the
+        // Identity pair folds into a single AND the compiler vectorizes.
+        if domain.is_power_of_two() && positions.is_power_of_two() {
+            let dm = domain - 1;
+            let pm = positions - 1;
+            match self.hasher {
+                AttrHasher::Identity => fill_positions(tuples, out, |a| (a & dm) & pm),
+                AttrHasher::Fibonacci => {
+                    fill_positions(tuples, out, |a| (a.wrapping_mul(PHI) & dm) & pm);
+                }
+            }
+        } else {
+            match self.hasher {
+                AttrHasher::Identity => fill_positions(tuples, out, |a| (a % domain) % positions),
+                AttrHasher::Fibonacci => {
+                    fill_positions(tuples, out, |a| (a.wrapping_mul(PHI) % domain) % positions);
+                }
+            }
+        }
+    }
+}
+
+/// Four-wide unrolled position fill (the shared body of
+/// [`PositionSpace::bulk_positions`]'s specialized loops).
+#[inline]
+fn fill_positions(tuples: &[Tuple], out: &mut Vec<u32>, f: impl Fn(JoinAttr) -> u64) {
+    let mut chunks = tuples.chunks_exact(4);
+    for c in chunks.by_ref() {
+        out.push(f(c[0].join_attr) as u32);
+        out.push(f(c[1].join_attr) as u32);
+        out.push(f(c[2].join_attr) as u32);
+        out.push(f(c[3].join_attr) as u32);
+    }
+    for t in chunks.remainder() {
+        out.push(f(t.join_attr) as u32);
     }
 }
 
@@ -170,6 +270,63 @@ mod tests {
             counts[ps.position_of(attr) as usize] += 1;
         }
         assert!(counts.iter().all(|&c| c == (1 << 12)));
+    }
+
+    #[test]
+    fn bulk_hash_matches_per_attr_hash_value() {
+        // Deterministic pseudo-random attrs; lengths straddle the 4-wide
+        // unroll boundary (0..=9 covers empty, remainder-only and mixed).
+        let mut state = 0x1D_5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 3
+        };
+        for hasher in [AttrHasher::Identity, AttrHasher::Fibonacci] {
+            for len in 0..=9usize {
+                let domain = 1 + next() % (1 << 30);
+                let attrs: Vec<u64> = (0..len).map(|_| next()).collect();
+                let mut out = vec![0xDEAD; 3]; // must be cleared
+                hasher.bulk_hash(&attrs, domain, &mut out);
+                assert_eq!(out.len(), len);
+                for (a, &hv) in attrs.iter().zip(&out) {
+                    assert_eq!(hv, hasher.hash_value(*a, domain));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_positions_matches_per_tuple_position_of() {
+        let mut state = 0xB17_C0DEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 3
+        };
+        for hasher in [AttrHasher::Identity, AttrHasher::Fibonacci] {
+            for len in [0usize, 1, 3, 4, 5, 127, 1000] {
+                let positions = 1 + (next() % 100_000) as u32;
+                let domain = 1 + next() % (1 << 40);
+                let ps = PositionSpace::new(positions, domain, hasher);
+                let tuples: Vec<Tuple> = (0..len as u64).map(|i| Tuple::new(i, next())).collect();
+                let mut out = vec![7; 2]; // must be cleared
+                ps.bulk_positions(&tuples, &mut out);
+                assert_eq!(out.len(), len);
+                for (t, &pos) in tuples.iter().zip(&out) {
+                    assert_eq!(pos, ps.position_of(t.join_attr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn bulk_hash_zero_domain_panics() {
+        let mut out = Vec::new();
+        AttrHasher::Identity.bulk_hash(&[1, 2], 0, &mut out);
     }
 
     #[test]

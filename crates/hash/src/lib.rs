@@ -10,6 +10,8 @@
 //!   the replication-based and hybrid algorithms;
 //! * [`partition`] — the hybrid reshuffle's greedy equal-load heuristic;
 //! * [`table`] — the per-node, memory-accounted flat-arena hash table;
+//! * [`kernels`] — data-parallel probe kernels (SWAR/SIMD tag scans, the
+//!   interleaved chain walker's lane count) and the runtime selector;
 //! * [`chained`] — the original `BTreeMap`-chained table, kept as a
 //!   reference for differential tests and benchmark baselines.
 
@@ -18,6 +20,7 @@
 
 pub mod chained;
 pub mod hasher;
+pub mod kernels;
 pub mod linear;
 pub mod partition;
 pub mod range;
@@ -25,6 +28,7 @@ pub mod table;
 
 pub use chained::ChainedTable;
 pub use hasher::{AttrHasher, PositionSpace};
+pub use kernels::{ProbeKernel, ProbeScratch};
 pub use linear::{BucketMap, SplitStep};
 pub use partition::{greedy_equal_partition, part_loads};
 pub use range::{HashRange, RangeMap, ReplicaEntry, ReplicaMap};

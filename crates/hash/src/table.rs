@@ -45,6 +45,9 @@
 //! [`crate::ChainedTable`] for differential tests and benchmarks.
 
 use crate::hasher::PositionSpace;
+use crate::kernels::{
+    prefetch_read, swar_survivor_mask, ProbeKernel, ProbeScratch, Survivor, WALK_LANES,
+};
 use ehj_data::{JoinAttr, Schema, Tuple};
 
 /// Bookkeeping bytes charged per stored tuple on top of the schema's raw
@@ -63,20 +66,6 @@ const FILTER_PREFETCH_AHEAD: usize = 16;
 /// chain slot (shorter than the filter distance: it needs the head value,
 /// which the longer-range prefetch has already pulled in by then).
 const SLOT_PREFETCH_AHEAD: usize = 4;
-
-/// Issues a best-effort cache prefetch for the line holding `p`. A no-op on
-/// architectures without a prefetch hint.
-#[inline(always)]
-fn prefetch_read<T>(p: *const T) {
-    #[cfg(target_arch = "x86_64")]
-    // SAFETY: prefetch is a hint; it never dereferences the pointer and is
-    // architecturally defined for any address, valid or not.
-    unsafe {
-        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = p;
-}
 
 /// 16-bit bloom fingerprint of a join attribute: exactly one bit set,
 /// selected by the *top* bits of a Fibonacci mix so it stays decorrelated
@@ -141,6 +130,14 @@ pub struct BatchProbeStats {
     pub probes: u64,
     /// Probes whose chain walk was skipped by a fingerprint-tag rejection.
     pub rejections: u64,
+    /// Round-robin sweeps of the interleaved chain walker (wide kernels
+    /// only; zero under the scalar/batched paths). Host-side diagnostic —
+    /// never a simulated observable.
+    pub walk_rounds: u64,
+    /// Sum over walker sweeps of the chains concurrently in flight, so
+    /// `walk_active / walk_rounds` is the mean interleave depth. Host-side
+    /// diagnostic — never a simulated observable.
+    pub walk_active: u64,
 }
 
 impl BatchProbeStats {
@@ -150,6 +147,8 @@ impl BatchProbeStats {
         self.compared += other.compared;
         self.probes += other.probes;
         self.rejections += other.rejections;
+        self.walk_rounds += other.walk_rounds;
+        self.walk_active += other.walk_active;
     }
 }
 
@@ -426,6 +425,207 @@ impl JoinHashTable {
             }
         }
         stats
+    }
+
+    /// Probes a whole batch through the selected kernel (DESIGN §4g).
+    ///
+    /// Every kernel returns `matches`/`compared` byte-for-byte equal to
+    /// summing the scalar [`Self::probe`] over the batch — the kernels are
+    /// host-side optimizations only. [`ProbeKernel::Scalar`] runs the
+    /// tuple-at-a-time oracle, [`ProbeKernel::Batched`] the one-chain-at-a-
+    /// time pipeline of [`Self::probe_batch`], and the wide kernels combine
+    /// a SWAR or `core::arch` tag scan with the interleaved chain walker.
+    /// `scratch` is caller-owned so steady-state probing allocates nothing.
+    #[must_use]
+    pub fn probe_batch_with(
+        &self,
+        tuples: &[Tuple],
+        scratch: &mut ProbeScratch,
+        kernel: ProbeKernel,
+    ) -> BatchProbeStats {
+        match kernel.resolve() {
+            ProbeKernel::Scalar => {
+                let mut stats = BatchProbeStats {
+                    probes: tuples.len() as u64,
+                    ..BatchProbeStats::default()
+                };
+                for t in tuples {
+                    let r = self.probe(t.join_attr);
+                    stats.matches += r.matches;
+                    stats.compared += r.compared;
+                }
+                stats
+            }
+            ProbeKernel::Batched => self.probe_batch(tuples, &mut scratch.positions),
+            ProbeKernel::Swar => self.probe_batch_grouped::<4>(tuples, scratch, swar_survivor_mask),
+            ProbeKernel::Simd => {
+                #[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
+                {
+                    self.probe_batch_grouped::<8>(
+                        tuples,
+                        scratch,
+                        crate::kernels::simd_survivor_mask,
+                    )
+                }
+                #[cfg(not(all(
+                    feature = "simd",
+                    any(target_arch = "x86_64", target_arch = "aarch64")
+                )))]
+                {
+                    unreachable!("ProbeKernel::resolve degrades Simd without a vector path")
+                }
+            }
+        }
+    }
+
+    /// Shared driver of the wide probe kernels. Pass 1 bulk-hashes the
+    /// batch ([`PositionSpace::bulk_positions`]); pass 2 scans fingerprint
+    /// tags `G` lanes at a time through `survivor_mask` (SWAR: 4 per `u64`
+    /// word, SIMD: 8 per vector), charging rejected lanes their exact chain
+    /// length and queueing survivors; pass 3 walks the surviving chains
+    /// interleaved ([`Self::walk_survivors`]). Rejected lanes never touch
+    /// the head array or the slot arena — under low match rates that is
+    /// most of the batch, and most of the one-at-a-time pipeline's memory
+    /// traffic.
+    fn probe_batch_grouped<const G: usize>(
+        &self,
+        tuples: &[Tuple],
+        scratch: &mut ProbeScratch,
+        survivor_mask: impl Fn([u16; G], [u16; G]) -> u32,
+    ) -> BatchProbeStats {
+        let mut stats = BatchProbeStats {
+            probes: tuples.len() as u64,
+            ..BatchProbeStats::default()
+        };
+        if tuples.is_empty() || self.heads.is_empty() {
+            return stats;
+        }
+        self.space.bulk_positions(tuples, &mut scratch.positions);
+        scratch.survivors.clear();
+        let positions = scratch.positions.as_slice();
+        let n = tuples.len();
+        let whole = n - n % G;
+        let mut tags_g = [0u16; G];
+        let mut fps_g = [0u16; G];
+        let mut i = 0;
+        while i < whole {
+            // Pull the filter words for the group FILTER_PREFETCH_AHEAD
+            // probes ahead (one group's worth per group processed keeps the
+            // prefetch rate at one pair per probe).
+            if i + FILTER_PREFETCH_AHEAD + G <= n {
+                for k in 0..G {
+                    // SAFETY: `bulk_positions` yields values in
+                    // `[0, space.positions)`, and the filter arrays span the
+                    // whole position space once `heads` is allocated.
+                    unsafe {
+                        let p = *positions.get_unchecked(i + FILTER_PREFETCH_AHEAD + k) as usize;
+                        prefetch_read(self.tags.get_unchecked(p));
+                        prefetch_read(self.counts.get_unchecked(p));
+                    }
+                }
+            }
+            for k in 0..G {
+                // SAFETY: `i + k < whole <= n == positions.len()` and
+                // positions index the full-length filter arrays (above).
+                unsafe {
+                    let p = *positions.get_unchecked(i + k) as usize;
+                    tags_g[k] = *self.tags.get_unchecked(p);
+                    fps_g[k] = filter_fingerprint(tuples.get_unchecked(i + k).join_attr);
+                }
+            }
+            let survivors = survivor_mask(tags_g, fps_g);
+            for k in 0..G {
+                // SAFETY: same bounds as the gather loop above.
+                let (pos, count) = unsafe {
+                    let p = *positions.get_unchecked(i + k);
+                    (p, *self.counts.get_unchecked(p as usize))
+                };
+                if survivors & (1 << k) != 0 {
+                    scratch.survivors.push(Survivor {
+                        pos,
+                        attr: tuples[i + k].join_attr,
+                    });
+                } else {
+                    // An empty chain has an empty tag, so it lands here too:
+                    // charging `count = 0` keeps it a non-rejection no-op.
+                    stats.compared += u64::from(count);
+                    stats.rejections += u64::from(count != 0);
+                }
+            }
+            i += G;
+        }
+        // Scalar tail for the last `n % G` probes, same filter semantics.
+        for i in whole..n {
+            let pos = positions[i];
+            let attr = tuples[i].join_attr;
+            if self.tags[pos as usize] & filter_fingerprint(attr) != 0 {
+                scratch.survivors.push(Survivor { pos, attr });
+            } else {
+                let count = self.counts[pos as usize];
+                stats.compared += u64::from(count);
+                stats.rejections += u64::from(count != 0);
+            }
+        }
+        self.walk_survivors(&scratch.survivors, &mut stats);
+        stats
+    }
+
+    /// Interleaved chain-walk state machine: keeps up to [`WALK_LANES`]
+    /// survivor chains in flight, advancing each one slot per round-robin
+    /// sweep and prefetching its next slot, so independent chains' cache
+    /// misses overlap instead of serializing. Exhausted lanes refill from
+    /// the survivor queue (head arrays prefetched a lane-count ahead).
+    /// `matches`/`compared` are order-independent sums, so the result is
+    /// byte-identical to walking each chain to completion in turn.
+    fn walk_survivors(&self, survivors: &[Survivor], stats: &mut BatchProbeStats) {
+        // (next slot to visit, probed attribute) per lane; NIL = idle.
+        let mut lanes = [(NIL, 0u64); WALK_LANES];
+        let mut next = 0usize;
+        let mut active = 0usize;
+        let refill = |lane: &mut (u32, u64), next: &mut usize| {
+            while *next < survivors.len() {
+                let s = survivors[*next];
+                if let Some(ahead) = survivors.get(*next + WALK_LANES) {
+                    prefetch_read(&raw const self.heads[ahead.pos as usize]);
+                }
+                *next += 1;
+                let head = self.heads[s.pos as usize];
+                // Survivors always have occupied chains (a nonzero tag
+                // implies at least one insert), but stay defensive.
+                if head != NIL {
+                    prefetch_read(&raw const self.slots[head as usize]);
+                    *lane = (head, s.attr);
+                    return true;
+                }
+            }
+            false
+        };
+        for lane in &mut lanes {
+            if !refill(lane, &mut next) {
+                break;
+            }
+            active += 1;
+        }
+        while active > 0 {
+            stats.walk_rounds += 1;
+            stats.walk_active += active as u64;
+            for lane in &mut lanes {
+                let (cur, attr) = *lane;
+                if cur == NIL {
+                    continue;
+                }
+                let slot = &self.slots[cur as usize];
+                stats.compared += 1;
+                stats.matches += u64::from(slot.tuple.join_attr == attr);
+                if slot.next != NIL {
+                    prefetch_read(&raw const self.slots[slot.next as usize]);
+                    lane.0 = slot.next;
+                } else if !refill(lane, &mut next) {
+                    lane.0 = NIL;
+                    active -= 1;
+                }
+            }
+        }
     }
 
     /// Exact chain length at `pos` (0 before the first insert). Test and
@@ -777,6 +977,84 @@ mod tests {
         assert_eq!(r.compared, 9, "rejection charges the whole chain");
         assert_eq!(r.matches, 0);
         assert_eq!(scalar_sum(&t, &probes), (0, 9));
+    }
+
+    #[test]
+    fn every_kernel_equals_the_scalar_sum() {
+        // Duplicate-heavy chains plus absent attrs sharing positions, over a
+        // batch longer than any lane group, so the SWAR/SIMD group loops,
+        // their scalar tails and the interleaved walker all run.
+        let mut t = table(1000);
+        for i in 0..200u64 {
+            t.insert(Tuple::new(i, (i * 37) % 150)).unwrap();
+        }
+        let probes: Vec<Tuple> = (0..97u64).map(|i| Tuple::new(i, (i * 13) % 260)).collect();
+        let (m, c) = scalar_sum(&t, &probes);
+        for kernel in ProbeKernel::ALL {
+            let mut scratch = ProbeScratch::new();
+            let stats = t.probe_batch_with(&probes, &mut scratch, kernel);
+            assert_eq!(stats.matches, m, "{kernel}: matches");
+            assert_eq!(stats.compared, c, "{kernel}: compares");
+            assert_eq!(stats.probes, probes.len() as u64, "{kernel}: probes");
+        }
+    }
+
+    #[test]
+    fn wide_kernels_fill_positions_and_count_rejections_like_batched() {
+        let mut t = table(1000);
+        for _ in 0..9 {
+            t.insert(Tuple::new(0, 42)).unwrap();
+        }
+        let probes: Vec<Tuple> = (0..40u64).map(|i| Tuple::new(i, 42 + 100 * i)).collect();
+        let mut batched = Vec::new();
+        let expect = t.probe_batch(&probes, &mut batched);
+        for kernel in [ProbeKernel::Swar, ProbeKernel::Simd] {
+            let mut scratch = ProbeScratch::new();
+            let stats = t.probe_batch_with(&probes, &mut scratch, kernel);
+            assert_eq!(stats.rejections, expect.rejections, "{kernel}: rejections");
+            assert_eq!(stats.compared, expect.compared, "{kernel}: compares");
+            assert_eq!(stats.matches, expect.matches, "{kernel}: matches");
+            assert_eq!(
+                scratch.positions(),
+                batched.as_slice(),
+                "{kernel}: positions"
+            );
+        }
+    }
+
+    #[test]
+    fn interleave_diagnostics_track_the_walker() {
+        // 20 survivors (all true matches) over WALK_LANES lanes: depth must
+        // average within (0, WALK_LANES] and every walked chain shows up.
+        let mut t = table(1000);
+        for i in 0..20u64 {
+            t.insert(Tuple::new(i, i)).unwrap();
+        }
+        let probes: Vec<Tuple> = (0..20u64).map(|i| Tuple::new(i, i)).collect();
+        let mut scratch = ProbeScratch::new();
+        let stats = t.probe_batch_with(&probes, &mut scratch, ProbeKernel::Swar);
+        assert_eq!(stats.matches, 20);
+        assert!(stats.walk_rounds > 0, "walker must have run");
+        assert!(stats.walk_active >= stats.walk_rounds);
+        assert!(stats.walk_active <= stats.walk_rounds * crate::kernels::WALK_LANES as u64);
+        // The scalar and batched kernels keep the diagnostics at zero.
+        for kernel in [ProbeKernel::Scalar, ProbeKernel::Batched] {
+            let s = t.probe_batch_with(&probes, &mut scratch, kernel);
+            assert_eq!((s.walk_rounds, s.walk_active), (0, 0), "{kernel}");
+        }
+    }
+
+    #[test]
+    fn kernels_handle_empty_batches_and_empty_tables() {
+        let t = table(10);
+        let probes = [Tuple::new(0, 5)];
+        for kernel in ProbeKernel::ALL {
+            let mut scratch = ProbeScratch::new();
+            let none = t.probe_batch_with(&[], &mut scratch, kernel);
+            assert_eq!((none.probes, none.compared, none.matches), (0, 0, 0));
+            let miss = t.probe_batch_with(&probes, &mut scratch, kernel);
+            assert_eq!((miss.probes, miss.compared, miss.matches), (1, 0, 0));
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use ehj_data::{Schema, Tuple, Xoshiro256StarStar};
 use ehj_hash::{
     greedy_equal_partition, part_loads, AttrHasher, BucketMap, ChainedTable, HashRange,
-    JoinHashTable, PositionSpace, RangeMap, ReplicaMap,
+    JoinHashTable, PositionSpace, ProbeKernel, ProbeScratch, RangeMap, ReplicaMap,
 };
 
 #[test]
@@ -347,6 +347,83 @@ fn probe_batch_equals_scalar_probe_sequence() {
         assert_eq!(pos_buf.len(), probes.len());
         for (p, &pos) in probes.iter().zip(&pos_buf) {
             assert_eq!(pos, space.position_of(p.join_attr));
+        }
+    }
+}
+
+/// Every probe kernel — scalar, one-chain batched, SWAR and (when compiled)
+/// SIMD — must agree byte-for-byte on `matches` and `compared` with the
+/// scalar probe sequence, across random tables, both hashers, compactions
+/// and batch lengths straddling every lane-group boundary.
+#[test]
+fn probe_kernels_agree_with_scalar_probe_sequence() {
+    let mut g = Xoshiro256StarStar::new(0x5E1EC7);
+    for case in 0..100 {
+        let positions = 16 + g.next_below(128 - 16) as u32;
+        let domain = positions as u64 * (1 + g.next_below(8));
+        let hasher = if case % 2 == 0 {
+            AttrHasher::Identity
+        } else {
+            AttrHasher::Fibonacci
+        };
+        let space = PositionSpace::new(positions, domain, hasher);
+        let mut t = JoinHashTable::new(space, Schema::default_paper(), u64::MAX);
+        for i in 0..g.next_below(300) {
+            t.insert(Tuple::new(i, g.next_below(domain)))
+                .expect("unbounded");
+        }
+        if g.next_below(4) == 0 {
+            let cut = g.next_below(positions as u64) as u32;
+            let _ = t.extract_range(0, cut);
+        }
+        let probes: Vec<Tuple> = (0..g.next_below(200))
+            .map(|i| Tuple::new(10_000 + i, g.next_below(domain)))
+            .collect();
+
+        let mut scalar_matches = 0u64;
+        let mut scalar_compared = 0u64;
+        for p in &probes {
+            let r = t.probe(p.join_attr);
+            scalar_matches += r.matches;
+            scalar_compared += r.compared;
+        }
+        let mut scratch = ProbeScratch::new();
+        for kernel in ProbeKernel::ALL {
+            let stats = t.probe_batch_with(&probes, &mut scratch, kernel);
+            assert_eq!(stats.matches, scalar_matches, "case {case}, {kernel}");
+            assert_eq!(stats.compared, scalar_compared, "case {case}, {kernel}");
+            assert_eq!(stats.probes, probes.len() as u64, "case {case}, {kernel}");
+        }
+    }
+}
+
+/// `bulk_hash` and `bulk_positions` must agree with their per-value scalar
+/// counterparts over random domains, both hashers and awkward lengths.
+#[test]
+fn bulk_hash_agrees_with_hash_value() {
+    let mut g = Xoshiro256StarStar::new(0xB01_CA5E);
+    let mut hashes = Vec::new();
+    let mut positions_out = Vec::new();
+    for _ in 0..200 {
+        let domain = 1 + g.next_below(u64::MAX / 2);
+        let positions = 1 + g.next_below(1 << 20) as u32;
+        let len = g.next_below(70) as usize;
+        let tuples: Vec<Tuple> = (0..len as u64)
+            .map(|i| Tuple::new(i, g.next_u64()))
+            .collect();
+        let attrs: Vec<u64> = tuples.iter().map(|t| t.join_attr).collect();
+        for hasher in [AttrHasher::Identity, AttrHasher::Fibonacci] {
+            hasher.bulk_hash(&attrs, domain, &mut hashes);
+            assert_eq!(hashes.len(), len);
+            for (&a, &hv) in attrs.iter().zip(&hashes) {
+                assert_eq!(hv, hasher.hash_value(a, domain), "{hasher:?}");
+            }
+            let ps = PositionSpace::new(positions, domain, hasher);
+            ps.bulk_positions(&tuples, &mut positions_out);
+            assert_eq!(positions_out.len(), len);
+            for (t, &pos) in tuples.iter().zip(&positions_out) {
+                assert_eq!(pos, ps.position_of(t.join_attr), "{hasher:?}");
+            }
         }
     }
 }

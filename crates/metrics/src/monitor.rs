@@ -38,11 +38,28 @@ pub fn sample_kind(snapshot: &MetricsSnapshot, seq: u64) -> TraceKind {
         .get(names::EXEC_BUSY_NS)
         .copied()
         .unwrap_or(0);
+    let filter_probes = snapshot
+        .counters
+        .get(names::NODE_FILTER_PROBES)
+        .copied()
+        .unwrap_or(0);
+    let filter_rejections = snapshot
+        .counters
+        .get(names::NODE_FILTER_REJECTIONS)
+        .copied()
+        .unwrap_or(0);
+    let interleave_depth = snapshot
+        .histograms
+        .get(names::NODE_INTERLEAVE_DEPTH)
+        .map_or(0, |h| h.percentile(50.0));
     TraceKind::MetricsSample {
         seq,
         occupancy,
         depth_hwm,
         busy_ns,
+        filter_probes,
+        filter_rejections,
+        interleave_depth,
     }
 }
 
@@ -123,6 +140,9 @@ mod tests {
         h.gauge(names::NODE_ARENA_TUPLES).add(42);
         h.counter(names::EXEC_BUSY_NS).add(1000);
         h.histogram(names::EXEC_MAILBOX_DEPTH).record(7);
+        h.counter(names::NODE_FILTER_PROBES).add(500);
+        h.counter(names::NODE_FILTER_REJECTIONS).add(450);
+        h.histogram(names::NODE_INTERLEAVE_DEPTH).record(6);
         let kind = sample_kind(&reg.snapshot(), 3);
         assert_eq!(
             kind,
@@ -131,6 +151,9 @@ mod tests {
                 occupancy: 42,
                 depth_hwm: 7,
                 busy_ns: 1000,
+                filter_probes: 500,
+                filter_rejections: 450,
+                interleave_depth: 6,
             }
         );
     }

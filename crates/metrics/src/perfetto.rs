@@ -102,6 +102,9 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Option<ClockKind>) -> Str
             occupancy,
             depth_hwm,
             busy_ns,
+            filter_probes,
+            filter_rejections,
+            interleave_depth,
             ..
         } = ev.kind
         {
@@ -109,6 +112,9 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Option<ClockKind>) -> Str
                 ("arena occupancy (tuples)", occupancy),
                 ("mailbox depth hwm", depth_hwm),
                 ("worker busy (ns)", busy_ns),
+                ("probe filter probes", filter_probes),
+                ("probe tag rejections", filter_rejections),
+                ("interleave depth (p50)", interleave_depth),
             ] {
                 lines.push((
                     ts,
@@ -194,6 +200,9 @@ mod tests {
                     occupancy: 10,
                     depth_hwm: 2,
                     busy_ns: 999,
+                    filter_probes: 100,
+                    filter_rejections: 90,
+                    interleave_depth: 5,
                 },
             ),
         ];

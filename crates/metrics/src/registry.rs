@@ -642,6 +642,15 @@ pub mod names {
     pub const NODE_ARENA_TUPLES: &str = "node.arena_tuples";
     /// Histogram: hash-chain length per occupied table position.
     pub const TABLE_CHAIN_LEN: &str = "table.chain_len";
+    /// Counter: probe tuples through the filtered batch kernels (the
+    /// tag-rejection-rate denominator).
+    pub const NODE_FILTER_PROBES: &str = "node.probe_filter_probes";
+    /// Counter: probes whose chain walk a fingerprint-tag rejection skipped
+    /// (the tag-rejection-rate numerator).
+    pub const NODE_FILTER_REJECTIONS: &str = "node.probe_filter_rejections";
+    /// Histogram: mean chains concurrently in flight per interleaved-walk
+    /// round, one sample per probed batch (wide kernels only).
+    pub const NODE_INTERLEAVE_DEPTH: &str = "node.probe_interleave_depth";
 }
 
 #[cfg(test)]

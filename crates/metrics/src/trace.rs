@@ -281,6 +281,13 @@ pub enum TraceKind {
         depth_hwm: u64,
         /// Cumulative nanoseconds workers spent inside actor handlers.
         busy_ns: u64,
+        /// Cumulative probe tuples through the filtered batch kernels.
+        filter_probes: u64,
+        /// Cumulative fingerprint-tag rejections (with `filter_probes`,
+        /// the kernel-effectiveness rate per join node).
+        filter_rejections: u64,
+        /// Median chains concurrently in flight in the interleaved walker.
+        interleave_depth: u64,
     },
     /// The engine stopped.
     EngineStop {
@@ -382,9 +389,13 @@ impl TraceKind {
                 occupancy,
                 depth_hwm,
                 busy_ns,
+                filter_probes,
+                filter_rejections,
+                interleave_depth,
             } => format!(
                 "metrics sample {seq}: {occupancy} arena tuples, mailbox hwm {depth_hwm}, \
-                 busy {busy_ns}ns"
+                 busy {busy_ns}ns, filter {filter_rejections}/{filter_probes} rejected, \
+                 interleave depth {interleave_depth}"
             ),
             Self::EngineStop { reason } => format!("engine stopped: {}", reason.name()),
         }
@@ -488,11 +499,16 @@ impl TraceEvent {
                 occupancy,
                 depth_hwm,
                 busy_ns,
+                filter_probes,
+                filter_rejections,
+                interleave_depth,
             } => {
                 let _ = write!(
                     out,
                     ",\"seq\":{seq},\"occupancy\":{occupancy},\"depth_hwm\":{depth_hwm},\
-                     \"busy_ns\":{busy_ns}"
+                     \"busy_ns\":{busy_ns},\"filter_probes\":{filter_probes},\
+                     \"filter_rejections\":{filter_rejections},\
+                     \"interleave_depth\":{interleave_depth}"
                 );
             }
             TraceKind::EngineStop { reason } => {
@@ -598,6 +614,11 @@ impl TraceEvent {
                 occupancy: num("occupancy")?,
                 depth_hwm: num("depth_hwm")?,
                 busy_ns: num("busy_ns")?,
+                // Absent in pre-kernel traces: default to zero so old JSONL
+                // files keep parsing.
+                filter_probes: num("filter_probes").unwrap_or(0),
+                filter_rejections: num("filter_rejections").unwrap_or(0),
+                interleave_depth: num("interleave_depth").unwrap_or(0),
             },
             "engine_stop" => TraceKind::EngineStop {
                 reason: StopCause::parse(text("reason")?)?,
@@ -1172,6 +1193,9 @@ mod tests {
                 occupancy: 123_456,
                 depth_hwm: 77,
                 busy_ns: 9_876_543,
+                filter_probes: 10_000,
+                filter_rejections: 9_000,
+                interleave_depth: 7,
             },
             TraceKind::EngineStop {
                 reason: StopCause::Completed,

@@ -1,13 +1,15 @@
-//! Differential equivalence of the batched probe pipeline.
+//! Differential equivalence of the probe kernels.
 //!
-//! The batched probe (`JoinConfig::scalar_probe = false`, the default) is a
-//! host-side optimization only: fingerprint rejections charge exactly the
-//! chain length the scalar walk would have compared, so every simulated
+//! Every probe kernel (`JoinConfig::probe_kernel`: the one-chain batched
+//! pipeline, the SWAR tag scan and, when compiled, the `core::arch` SIMD
+//! scan — both with the interleaved chain walker) is a host-side
+//! optimization only: fingerprint rejections charge exactly the chain
+//! length the scalar walk would have compared, so every simulated
 //! observable — matches, compares, network bytes, phase times — must be
-//! byte-for-byte identical to the scalar tuple-at-a-time oracle. These tests
-//! run every algorithm both ways and diff the reports.
+//! byte-for-byte identical to the scalar tuple-at-a-time oracle. These
+//! tests run every algorithm under every kernel and diff the reports.
 
-use ehj_core::{Algorithm, JoinConfig, JoinRunner};
+use ehj_core::{Algorithm, JoinConfig, JoinRunner, ProbeKernel};
 use ehj_data::Distribution;
 
 /// Small, fast base configuration (mirrors `correctness.rs`).
@@ -20,63 +22,71 @@ fn base(alg: Algorithm) -> JoinConfig {
     cfg
 }
 
-/// Runs `cfg` under both probe paths and asserts every simulated observable
-/// agrees exactly.
-fn assert_probe_paths_agree(cfg: &JoinConfig) {
+/// Runs `cfg` under every probe kernel and asserts every simulated
+/// observable agrees exactly with the scalar oracle.
+fn assert_probe_kernels_agree(cfg: &JoinConfig) {
     let mut scalar_cfg = cfg.clone();
-    scalar_cfg.scalar_probe = true;
-    let mut batched_cfg = cfg.clone();
-    batched_cfg.scalar_probe = false;
+    scalar_cfg.probe_kernel = ProbeKernel::Scalar;
     let scalar = JoinRunner::run(&scalar_cfg).expect("scalar run must complete");
-    let batched = JoinRunner::run(&batched_cfg).expect("batched run must complete");
     let label = cfg.algorithm.label();
-    assert_eq!(scalar.matches, batched.matches, "{label}: matches diverge");
-    assert_eq!(
-        scalar.compares, batched.compares,
-        "{label}: compares diverge"
-    );
-    assert_eq!(
-        scalar.net_bytes, batched.net_bytes,
-        "{label}: network traffic diverges"
-    );
-    assert_eq!(
-        scalar.disk_bytes, batched.disk_bytes,
-        "{label}: disk traffic diverges"
-    );
-    assert_eq!(
-        scalar.sim_events, batched.sim_events,
-        "{label}: event counts diverge"
-    );
-    assert_eq!(
-        scalar.times, batched.times,
-        "{label}: simulated phase times diverge"
-    );
-    assert_eq!(
-        scalar.build_tuples, batched.build_tuples,
-        "{label}: build placement diverges"
-    );
-    assert_eq!(scalar.load, batched.load, "{label}: load vectors diverge");
-}
-
-#[test]
-fn batched_probe_is_byte_identical_uniform() {
-    for alg in Algorithm::ALL {
-        assert_probe_paths_agree(&base(alg));
+    for kernel in [ProbeKernel::Batched, ProbeKernel::Swar, ProbeKernel::Simd] {
+        let mut kernel_cfg = cfg.clone();
+        kernel_cfg.probe_kernel = kernel;
+        let run = JoinRunner::run(&kernel_cfg).expect("kernel run must complete");
+        assert_eq!(
+            scalar.matches, run.matches,
+            "{label}/{kernel}: matches diverge"
+        );
+        assert_eq!(
+            scalar.compares, run.compares,
+            "{label}/{kernel}: compares diverge"
+        );
+        assert_eq!(
+            scalar.net_bytes, run.net_bytes,
+            "{label}/{kernel}: network traffic diverges"
+        );
+        assert_eq!(
+            scalar.disk_bytes, run.disk_bytes,
+            "{label}/{kernel}: disk traffic diverges"
+        );
+        assert_eq!(
+            scalar.sim_events, run.sim_events,
+            "{label}/{kernel}: event counts diverge"
+        );
+        assert_eq!(
+            scalar.times, run.times,
+            "{label}/{kernel}: simulated phase times diverge"
+        );
+        assert_eq!(
+            scalar.build_tuples, run.build_tuples,
+            "{label}/{kernel}: build placement diverges"
+        );
+        assert_eq!(
+            scalar.load, run.load,
+            "{label}/{kernel}: load vectors diverge"
+        );
     }
 }
 
 #[test]
-fn batched_probe_is_byte_identical_under_skew() {
+fn probe_kernels_are_byte_identical_uniform() {
+    for alg in Algorithm::ALL {
+        assert_probe_kernels_agree(&base(alg));
+    }
+}
+
+#[test]
+fn probe_kernels_are_byte_identical_under_skew() {
     for alg in Algorithm::ALL {
         let mut cfg = base(alg);
         cfg.r.dist = Distribution::gaussian_moderate();
         cfg.s.dist = Distribution::gaussian_moderate();
-        assert_probe_paths_agree(&cfg);
+        assert_probe_kernels_agree(&cfg);
     }
 }
 
 #[test]
-fn batched_probe_is_byte_identical_with_spill() {
+fn probe_kernels_are_byte_identical_with_spill() {
     // Shrink memory so the EHJAs exhaust the cluster and fall back to
     // spilling; OutOfCore spills by construction. The probe path then mixes
     // in-memory probes with Grace appends — both must stay identical.
@@ -86,16 +96,26 @@ fn batched_probe_is_byte_identical_with_spill() {
             node.hash_memory_bytes /= 8;
         }
         cfg.allow_spill_fallback = true;
-        assert_probe_paths_agree(&cfg);
+        assert_probe_kernels_agree(&cfg);
     }
 }
 
 #[test]
-fn batched_probe_is_byte_identical_when_table_fits() {
+fn probe_kernels_are_byte_identical_when_table_fits() {
     // No expansions: the pure in-memory probe path at 16 initial nodes.
     for alg in Algorithm::ALL {
         let mut cfg = base(alg);
         cfg.initial_nodes = 16;
-        assert_probe_paths_agree(&cfg);
+        assert_probe_kernels_agree(&cfg);
+    }
+}
+
+#[test]
+fn probe_kernels_are_byte_identical_with_fibonacci_hashing() {
+    // The bulk-hash kernel's multiplicative path feeds routing and probing.
+    for alg in [Algorithm::Split, Algorithm::Hybrid] {
+        let mut cfg = base(alg);
+        cfg.hasher = ehj_hash::AttrHasher::Fibonacci;
+        assert_probe_kernels_agree(&cfg);
     }
 }
