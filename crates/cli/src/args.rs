@@ -32,6 +32,8 @@ pub enum Command {
         /// Path to a `--trace-out` JSONL file.
         path: String,
     },
+    /// Run a batch of concurrent mixed-algorithm queries as one service.
+    Service,
     /// Print usage.
     Help,
 }
@@ -80,6 +82,10 @@ pub struct Args {
     pub no_metrics: bool,
     /// Probe kernel join nodes run (None = the config default, SWAR).
     pub probe_kernel: Option<ProbeKernel>,
+    /// Concurrent queries the `service` command admits.
+    pub queries: usize,
+    /// Service-wide hash-memory quota in bytes (None = unlimited).
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for Args {
@@ -105,6 +111,8 @@ impl Default for Args {
             perfetto_out: None,
             no_metrics: false,
             probe_kernel: None,
+            queries: 8,
+            memory_budget: None,
         }
     }
 }
@@ -118,6 +126,9 @@ USAGE:
   ehjoin compare [options]        run all four algorithms, compare
   ehjoin sweep <axis> [options]   sweep initial-nodes | skew | size
   ehjoin trace-summary <file>     render a --trace-out JSONL file as timelines
+  ehjoin service [options]        run concurrent mixed-algorithm joins as one service
+                                  (--backend sim interleaves them deterministically in
+                                  one engine; --backend threaded shares one worker pool)
 
 OPTIONS:
   --algorithm <replicated|split|hybrid|ooc>   (run only; default hybrid)
@@ -141,6 +152,10 @@ OPTIONS:
   --probe-kernel <scalar|batched|swar|simd>   probe implementation (default swar;
                          simd needs the `simd` cargo feature, else falls back to swar;
                          all kernels produce identical simulated results)
+  --queries <N>          service: concurrent queries to admit (default 8; algorithms
+                         round-robin across replicated/split/hybrid/ooc)
+  --memory-budget <BYTES>  service: hash-memory quota shared by all queries; admissions
+                         beyond the budget block until earlier queries release
   --help
 ";
 
@@ -167,6 +182,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             let path = it.next().ok_or("trace-summary needs a JSONL file path")?;
             args.command = Command::TraceSummary { path };
         }
+        Some("service") => args.command = Command::Service,
         Some("help" | "--help" | "-h") | None => {
             args.command = Command::Help;
             return Ok(args);
@@ -262,6 +278,19 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             "--probe-kernel" => {
                 let v = value(&mut it, "--probe-kernel")?;
                 args.probe_kernel = Some(ProbeKernel::parse(&v)?);
+            }
+            "--queries" => {
+                let n: usize = parse_num(&value(&mut it, "--queries")?, "--queries")?;
+                if n == 0 {
+                    return Err("--queries must be positive".into());
+                }
+                args.queries = n;
+            }
+            "--memory-budget" => {
+                args.memory_budget = Some(parse_num(
+                    &value(&mut it, "--memory-budget")?,
+                    "--memory-budget",
+                )?);
             }
             "--help" | "-h" => {
                 args.command = Command::Help;
@@ -390,6 +419,20 @@ mod tests {
         assert_eq!(p("run").expect("valid").probe_kernel, None);
         assert!(p("run --probe-kernel avx512").is_err());
         assert!(p("run --probe-kernel").is_err());
+    }
+
+    #[test]
+    fn service_command_parses() {
+        let a =
+            p("service --queries 16 --memory-budget 1048576 --backend threaded").expect("valid");
+        assert_eq!(a.command, Command::Service);
+        assert_eq!(a.queries, 16);
+        assert_eq!(a.memory_budget, Some(1_048_576));
+        let d = p("service").expect("valid");
+        assert_eq!(d.queries, 8);
+        assert_eq!(d.memory_budget, None);
+        assert!(p("service --queries 0").is_err());
+        assert!(p("service --memory-budget lots").is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod output;
 use args::{Args, Command, Format};
 use ehj_core::{
     expected_matches_for, Algorithm, Backend, JoinConfig, JoinError, JoinReport, JoinRunner,
-    RunOptions,
+    JoinService, RunOptions, ServiceConfig,
 };
 use ehj_data::Distribution;
 use ehj_metrics::{ClockKind, RingSink, TraceEvent, TraceLevel};
@@ -165,6 +165,7 @@ pub fn execute(args: &Args) -> Result<String, String> {
             }
         }
         Command::Sweep { axis } => sweep(args, axis),
+        Command::Service => service(args),
         Command::TraceSummary { path } => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read trace file {path}: {e}"))?;
@@ -280,6 +281,120 @@ fn sweep(args: &Args, axis: &str) -> Result<String, String> {
     }
 }
 
+/// Runs the `service` command: a batch of concurrent mixed-algorithm
+/// queries on one [`JoinService`]. The simulated backend interleaves all
+/// queries deterministically in one engine; the threaded backend admits
+/// them onto one shared worker pool and reports wall-clock throughput.
+fn service(args: &Args) -> Result<String, String> {
+    let cfgs: Vec<JoinConfig> = (0..args.queries)
+        .map(|i| config_from_args(args, Algorithm::ALL[i % Algorithm::ALL.len()]))
+        .collect();
+    let (reports, summary) = match args.backend {
+        Backend::Simulated => {
+            let results = JoinService::run_interleaved(&cfgs).map_err(|e| e.to_string())?;
+            let mut reports = Vec::with_capacity(results.len());
+            for (i, (cfg, result)) in cfgs.iter().zip(results).enumerate() {
+                let report =
+                    result.map_err(|e| format!("query {i} ({}): {e}", cfg.algorithm.label()))?;
+                check_matches(args, i, cfg, &report)?;
+                reports.push(report);
+            }
+            let title = format!(
+                "service: {} interleaved queries (simulated, scale 1/{})",
+                reports.len(),
+                args.scale
+            );
+            (reports, title)
+        }
+        Backend::Threaded => {
+            let service = JoinService::start(ServiceConfig {
+                workers: args.threads.unwrap_or(0),
+                memory_budget_bytes: args.memory_budget,
+                trace_level: args.trace_level,
+                metrics: !args.no_metrics,
+                ..ServiceConfig::default()
+            });
+            let started = std::time::Instant::now();
+            let mut handles = Vec::with_capacity(cfgs.len());
+            for (i, cfg) in cfgs.iter().enumerate() {
+                let handle = service
+                    .submit(cfg)
+                    .map_err(|e| format!("query {i} ({}): {e}", cfg.algorithm.label()))?;
+                handles.push(handle);
+            }
+            let mut reports = Vec::with_capacity(handles.len());
+            for (i, (cfg, handle)) in cfgs.iter().zip(handles).enumerate() {
+                let report = service
+                    .wait(handle)
+                    .map_err(|e| format!("query {i} ({}): {e}", cfg.algorithm.label()))?;
+                check_matches(args, i, cfg, &report)?;
+                reports.push(report);
+            }
+            let wall = started.elapsed().as_secs_f64().max(f64::EPSILON);
+            service.shutdown();
+            let mut latencies: Vec<f64> = reports.iter().map(|r| r.times.total_secs).collect();
+            latencies.sort_by(f64::total_cmp);
+            let title = format!(
+                "service: {} concurrent queries (threaded, {:.1} q/s, p50 {:.1} ms, p99 {:.1} ms)",
+                reports.len(),
+                reports.len() as f64 / wall,
+                nearest_rank(&latencies, 50.0) * 1e3,
+                nearest_rank(&latencies, 99.0) * 1e3,
+            );
+            (reports, title)
+        }
+    };
+    match args.format {
+        Format::Json => Ok(format!(
+            "[{}]",
+            reports
+                .iter()
+                .map(output::render_json)
+                .collect::<Vec<_>>()
+                .join(",")
+        )),
+        Format::Csv => {
+            let mut out = output::REPORT_COLUMNS.join(",");
+            out.push('\n');
+            for r in &reports {
+                out.push_str(&output::report_row(r).join(","));
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        Format::Text => Ok(output::render_comparison(&summary, &reports)),
+    }
+}
+
+/// Enforces `--verify` for one service query.
+fn check_matches(
+    args: &Args,
+    index: usize,
+    cfg: &JoinConfig,
+    report: &JoinReport,
+) -> Result<(), String> {
+    if args.verify {
+        let expect = expected_matches_for(cfg);
+        if report.matches != expect {
+            return Err(format!(
+                "query {index} ({}) verification FAILED: {} matches, reference says {expect}",
+                cfg.algorithm.label(),
+                report.matches
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn nearest_rank(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn render(format: Format, report: &JoinReport) -> String {
     match format {
         Format::Text => output::render_text(report),
@@ -340,6 +455,24 @@ mod tests {
         let a = parse("run --scale 2000 --backend threaded --threads 2 --verify");
         let out = execute(&a).expect("threaded run");
         assert!(out.contains("total execution time"));
+    }
+
+    #[test]
+    fn service_command_interleaves_simulated_queries() {
+        let a = parse("service --queries 4 --scale 2000 --verify");
+        let out = execute(&a).expect("service batch");
+        assert!(out.contains("interleaved queries"));
+        for label in ["Replicated", "Split", "Hybrid", "Out of Core"] {
+            assert!(out.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn service_command_runs_threaded_pool() {
+        let a = parse("service --queries 4 --scale 2000 --backend threaded --threads 2 --verify");
+        let out = execute(&a).expect("service batch");
+        assert!(out.contains("concurrent queries"));
+        assert!(out.contains("q/s"));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 
 pub mod book;
 pub mod node;
+pub mod quota;
 
 pub use book::{SchedulerBook, SelectionPolicy};
 pub use node::{ClusterSpec, NodeId, NodeSpec};
+pub use quota::{QuotaError, QuotaGrant, QuotaLedger};

@@ -71,6 +71,16 @@ impl ClusterSpec {
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.nodes.len() as u32).map(NodeId)
     }
+
+    /// Aggregate hash-table memory across every node — what one query
+    /// demands from the service's [`crate::QuotaLedger`].
+    #[must_use]
+    pub fn total_hash_memory_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.hash_memory_bytes)
+            .fold(0u64, u64::saturating_add)
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ pub mod report;
 pub mod routing;
 pub mod runner;
 pub mod scheduler;
+pub mod service;
 pub mod source;
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -64,4 +65,5 @@ pub use reference::{expected_matches, expected_matches_for};
 pub use report::JoinReport;
 pub use routing::RoutingTable;
 pub use runner::{Backend, JoinError, JoinRunner, RunOptions};
+pub use service::{JoinService, QueryHandle, QueryId, ServiceConfig};
 pub use topology::Topology;

@@ -18,8 +18,8 @@ use ehj_metrics::{
     sample_once, ClockKind, JsonlSink, MetricsMonitor, MetricsRegistry, MetricsReport, Phase,
     RingSink, RollupSink, StopCause, TraceEvent, TraceKind, TraceLevel, TraceSink, Tracer,
 };
-use ehj_sim::{Engine, EngineConfig, EngineError, StopReason, ThreadedEngine};
-use ehj_storage::{FileBackend, MemBackend};
+use ehj_sim::{Actor, Engine, EngineConfig, EngineError, StopReason, ThreadedEngine};
+use ehj_storage::{FileBackend, MemBackend, SpillBackend};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -66,6 +66,25 @@ pub enum JoinError {
         /// Last trace events before the stall (empty when tracing is off).
         trace: Vec<TraceEvent>,
     },
+    /// A malformed or stale control message was rejected (see
+    /// [`TraceKind::ProtocolFault`]); the query quiesced instead of
+    /// letting the value corrupt — or panic — the scheduler.
+    ///
+    /// [`TraceKind::ProtocolFault`]: ehj_metrics::TraceKind::ProtocolFault
+    Protocol {
+        /// Human-readable description of the offending message.
+        detail: String,
+        /// Last trace events before the fault (includes the fault itself).
+        trace: Vec<TraceEvent>,
+    },
+    /// The service refused to admit the query (memory quota could not be
+    /// reserved within the admission patience, or could never be).
+    Admission(String),
+    /// The query was cancelled before it produced a report.
+    Cancelled {
+        /// Last trace events before the cancel (empty when tracing is off).
+        trace: Vec<TraceEvent>,
+    },
 }
 
 impl JoinError {
@@ -73,8 +92,26 @@ impl JoinError {
     #[must_use]
     pub fn trace_tail(&self) -> &[TraceEvent] {
         match self {
-            Self::Config(_) => &[],
-            Self::Engine { trace, .. } | Self::Stalled { trace } => trace,
+            Self::Config(_) | Self::Admission(_) => &[],
+            Self::Engine { trace, .. }
+            | Self::Stalled { trace }
+            | Self::Protocol { trace, .. }
+            | Self::Cancelled { trace } => trace,
+        }
+    }
+
+    /// Builds the no-report error: a [`JoinError::Protocol`] when the tail
+    /// records a rejected control message, a [`JoinError::Stalled`]
+    /// otherwise.
+    pub(crate) fn from_silent_end(trace: Vec<TraceEvent>) -> Self {
+        let detail = trace
+            .iter()
+            .rev()
+            .find(|ev| matches!(ev.kind, ehj_metrics::TraceKind::ProtocolFault { .. }))
+            .map(|ev| ev.kind.describe());
+        match detail {
+            Some(detail) => Self::Protocol { detail, trace },
+            None => Self::Stalled { trace },
         }
     }
 
@@ -108,6 +145,15 @@ impl std::fmt::Display for JoinError {
             }
             Self::Stalled { trace } => {
                 write!(f, "join protocol stalled without a report")?;
+                Self::fmt_tail(trace, f)
+            }
+            Self::Protocol { detail, trace } => {
+                write!(f, "malformed control message rejected: {detail}")?;
+                Self::fmt_tail(trace, f)
+            }
+            Self::Admission(e) => write!(f, "query not admitted: {e}"),
+            Self::Cancelled { trace } => {
+                write!(f, "query cancelled before completion")?;
                 Self::fmt_tail(trace, f)
             }
         }
@@ -175,15 +221,16 @@ impl RunOptions {
     }
 }
 
-/// Everything the runner wires into a run's tracer.
-struct TraceHarness {
-    tracer: Tracer,
+/// Everything the runner wires into a run's tracer. Also used by the
+/// multi-tenant service, which builds one harness per admitted query.
+pub(crate) struct TraceHarness {
+    pub(crate) tracer: Tracer,
     ring: Option<Arc<RingSink>>,
     rollup: Option<Arc<RollupSink>>,
 }
 
 impl TraceHarness {
-    fn build(opts: &RunOptions, clock: ClockKind) -> Result<Self, JoinError> {
+    pub(crate) fn build(opts: &RunOptions, clock: ClockKind) -> Result<Self, JoinError> {
         if opts.trace_level == TraceLevel::Off {
             return Ok(Self {
                 tracer: Tracer::off(),
@@ -215,13 +262,13 @@ impl TraceHarness {
         })
     }
 
-    fn tail(&self) -> Vec<TraceEvent> {
+    pub(crate) fn tail(&self) -> Vec<TraceEvent> {
         self.ring.as_ref().map(|r| r.tail()).unwrap_or_default()
     }
 
     /// Records the stop reason, folds the rollup into the report, and
     /// flushes every sink.
-    fn finish(&self, at_nanos: u64, cause: StopCause, report: Option<&mut JoinReport>) {
+    pub(crate) fn finish(&self, at_nanos: u64, cause: StopCause, report: Option<&mut JoinReport>) {
         self.tracer.emit(
             at_nanos,
             0,
@@ -301,31 +348,9 @@ impl JoinRunner {
             max_events: cfg.max_events,
             max_time: cfg.max_sim_time,
         });
-        let tracer = &harness.tracer;
-        let sched = engine.add_actor(Box::new(
-            Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
-                .with_tracer(tracer.clone()),
-        ));
-        debug_assert_eq!(sched, topo.scheduler);
-        for i in 0..cfg.sources {
-            let id = engine.add_actor(Box::new(
-                DataSource::new(Arc::clone(cfg), i, topo.scheduler).with_tracer(tracer.clone()),
-            ));
-            debug_assert_eq!(id, topo.sources[i]);
-        }
-        for (i, node) in cfg.cluster.node_ids().enumerate() {
-            let capacity = cfg.cluster.spec(node).hash_memory_bytes;
-            let id = engine.add_actor(Box::new(
-                JoinNode::<MemBackend>::new(
-                    Arc::clone(cfg),
-                    topo.scheduler,
-                    topo.node_actor(node),
-                    capacity,
-                )
-                .with_tracer(tracer.clone())
-                .with_metrics(&registry.handle_for(i)),
-            ));
-            debug_assert_eq!(id, topo.node_actor(node));
+        for actor in build_query_actors::<MemBackend>(cfg, &topo, result, &harness.tracer, registry)
+        {
+            engine.add_actor(actor);
         }
         let summary = match engine.run() {
             Ok(s) => s,
@@ -346,17 +371,13 @@ impl JoinRunner {
                     _ => StopCause::Quiescent,
                 };
                 harness.finish(end, cause, None);
-                return Err(JoinError::Stalled {
-                    trace: harness.tail(),
-                });
+                return Err(JoinError::from_silent_end(harness.tail()));
             }
         }
         let report = result.lock().expect("report lock").take();
         let Some(mut report) = report else {
             harness.finish(end, StopCause::Quiescent, None);
-            return Err(JoinError::Stalled {
-                trace: harness.tail(),
-            });
+            return Err(JoinError::from_silent_end(harness.tail()));
         };
         report.sim_events = summary.events;
         report.net_bytes = summary.net_bytes;
@@ -381,30 +402,8 @@ impl JoinRunner {
             .with_workers(threads)
             .with_metrics(registry.clone());
         let tracer = &harness.tracer;
-        let sched = engine.add_actor(Box::new(
-            Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
-                .with_tracer(tracer.clone()),
-        ));
-        debug_assert_eq!(sched, topo.scheduler);
-        for i in 0..cfg.sources {
-            let id = engine.add_actor(Box::new(
-                DataSource::new(Arc::clone(cfg), i, topo.scheduler).with_tracer(tracer.clone()),
-            ));
-            debug_assert_eq!(id, topo.sources[i]);
-        }
-        for (i, node) in cfg.cluster.node_ids().enumerate() {
-            let capacity = cfg.cluster.spec(node).hash_memory_bytes;
-            let id = engine.add_actor(Box::new(
-                JoinNode::<FileBackend>::new(
-                    Arc::clone(cfg),
-                    topo.scheduler,
-                    topo.node_actor(node),
-                    capacity,
-                )
-                .with_tracer(tracer.clone())
-                .with_metrics(&registry.handle_for(i)),
-            ));
-            debug_assert_eq!(id, topo.node_actor(node));
+        for actor in build_query_actors::<FileBackend>(cfg, &topo, result, tracer, registry) {
+            engine.add_actor(actor);
         }
         let monitor = MetricsMonitor::start(registry.clone(), tracer.clone(), MONITOR_INTERVAL);
         let (summary, _actors) = engine.run();
@@ -426,9 +425,7 @@ impl JoinRunner {
         let report = result.lock().expect("report lock").take();
         let Some(mut report) = report else {
             harness.finish(end, StopCause::Quiescent, None);
-            return Err(JoinError::Stalled {
-                trace: harness.tail(),
-            });
+            return Err(JoinError::from_silent_end(harness.tail()));
         };
         // Under the threaded backend the phase timings accumulated from
         // wall-clock `now()`; total and traffic are authoritative from the
@@ -439,4 +436,43 @@ impl JoinRunner {
         harness.finish(end, StopCause::Completed, Some(&mut report));
         Ok(report)
     }
+}
+
+/// Builds one query's actor set — scheduler, then sources, then join
+/// nodes — in the dense id order `topo` describes. `topo` may be based at
+/// any actor id block ([`Topology::with_base`]), which is how the
+/// multi-tenant service namespaces concurrent queries on one executor.
+/// Shared by the single-query runner (base 0) and the service.
+pub(crate) fn build_query_actors<B: SpillBackend + Default + Send + 'static>(
+    cfg: &Arc<JoinConfig>,
+    topo: &Topology,
+    result: &Arc<Mutex<Option<JoinReport>>>,
+    tracer: &Tracer,
+    registry: &MetricsRegistry,
+) -> Vec<Box<dyn Actor<Msg>>> {
+    let mut actors: Vec<Box<dyn Actor<Msg>>> = Vec::with_capacity(topo.actor_count());
+    actors.push(Box::new(
+        Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
+            .with_tracer(tracer.clone()),
+    ));
+    for i in 0..cfg.sources {
+        actors.push(Box::new(
+            DataSource::new(Arc::clone(cfg), i, topo.scheduler).with_tracer(tracer.clone()),
+        ));
+    }
+    for (i, node) in cfg.cluster.node_ids().enumerate() {
+        let capacity = cfg.cluster.spec(node).hash_memory_bytes;
+        actors.push(Box::new(
+            JoinNode::<B>::new(
+                Arc::clone(cfg),
+                topo.scheduler,
+                topo.node_actor(node),
+                capacity,
+            )
+            .with_tracer(tracer.clone())
+            .with_metrics(&registry.handle_for(i)),
+        ));
+    }
+    debug_assert_eq!(actors.len(), topo.actor_count());
+    actors
 }

@@ -21,7 +21,7 @@ use crate::routing::RoutingTable;
 use crate::topology::Topology;
 use ehj_cluster::SchedulerBook;
 use ehj_hash::{greedy_equal_partition, BucketMap, HashRange, RangeMap, ReplicaMap};
-use ehj_metrics::{CommCounters, Phase, PhaseTimes, TraceKind, Tracer};
+use ehj_metrics::{CommCounters, FaultField, Phase, PhaseTimes, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -650,9 +650,46 @@ impl Scheduler {
         true
     }
 
+    /// Rejects a malformed or stale control message: the fault is traced
+    /// (so it lands in the diagnostic tail of the resulting [`JoinError`])
+    /// and this query quiesces with no report, which the runner surfaces
+    /// as a protocol error. Indexing scheduler state with an unvalidated
+    /// wire value would panic instead — and under the multi-tenant service
+    /// a panic takes down every other query sharing the executor.
+    ///
+    /// [`JoinError`]: crate::runner::JoinError
+    fn protocol_fault(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        field: FaultField,
+        value: u64,
+        bound: u64,
+    ) {
+        self.trace(
+            ctx,
+            TraceKind::ProtocolFault {
+                field,
+                value,
+                bound,
+            },
+        );
+        ctx.stop();
+    }
+
     fn handle_reshuffle_counts(&mut self, ctx: &mut dyn Context<Msg>, gid: u32, counts: Vec<u64>) {
+        // Both the group id and the count vector arrive off the wire:
+        // validate them against our own group table before indexing.
+        let Some(hist_len) = self.groups.get(gid as usize).map(|g| g.hist.len()) else {
+            let bound = self.groups.len() as u64;
+            self.protocol_fault(ctx, FaultField::ReshuffleGroup, gid.into(), bound);
+            return;
+        };
+        if counts.len() != hist_len {
+            let bound = hist_len as u64;
+            self.protocol_fault(ctx, FaultField::ReshuffleCounts, counts.len() as u64, bound);
+            return;
+        }
         let g = &mut self.groups[gid as usize];
-        debug_assert_eq!(counts.len(), g.hist.len());
         for (acc, c) in g.hist.iter_mut().zip(counts) {
             *acc += c;
         }
@@ -693,7 +730,12 @@ impl Scheduler {
     }
 
     fn handle_reshuffle_done(&mut self, ctx: &mut dyn Context<Msg>, gid: u32) {
-        self.groups[gid as usize].done += 1;
+        let bound = self.groups.len() as u64;
+        let Some(g) = self.groups.get_mut(gid as usize) else {
+            self.protocol_fault(ctx, FaultField::ReshuffleGroup, gid.into(), bound);
+            return;
+        };
+        g.done += 1;
         self.maybe_start_flush(ctx);
     }
 
@@ -1469,5 +1511,103 @@ mod robustness_tests {
         let (mut sched, mut ctx) = setup(Algorithm::Split);
         sched.on_message(&mut ctx, 99, Msg::Relieved);
         assert!(sched.overflow_queue.is_empty());
+    }
+
+    fn stub_group(range_len: u32) -> Group {
+        Group {
+            members: vec![2, 3],
+            spilled_members: Vec::new(),
+            range: HashRange::new(0, range_len),
+            hist: vec![0; range_len as usize],
+            replies: 0,
+            assignments: Vec::new(),
+            done: 0,
+        }
+    }
+
+    #[test]
+    fn out_of_range_reshuffle_group_id_is_rejected_not_a_panic() {
+        // Pre-validation this indexed `self.groups[gid]` straight off the
+        // wire and panicked — which under the multi-tenant service would
+        // take down every other query on the executor.
+        let (mut sched, mut ctx) = setup(Algorithm::Hybrid);
+        assert!(sched.groups.is_empty(), "no reshuffle started");
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::ReshuffleCounts {
+                group: 7,
+                histogram: crate::msg::Histogram { counts: vec![1; 4] },
+            },
+        );
+        assert!(ctx.stopped, "the query quiesces through the error path");
+    }
+
+    #[test]
+    fn out_of_range_reshuffle_done_is_rejected_not_a_panic() {
+        let (mut sched, mut ctx) = setup(Algorithm::Hybrid);
+        sched.groups.push(stub_group(4));
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::ReshuffleDone {
+                group: 1, // one past the last valid gid
+                sent_tuples: 5,
+            },
+        );
+        assert!(ctx.stopped);
+        assert_eq!(sched.groups[0].done, 0, "no group was touched");
+    }
+
+    #[test]
+    fn reshuffle_counts_length_mismatch_is_rejected_not_asserted() {
+        let (mut sched, mut ctx) = setup(Algorithm::Hybrid);
+        sched.groups.push(stub_group(4));
+        // A well-formed reply accumulates.
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::ReshuffleCounts {
+                group: 0,
+                histogram: crate::msg::Histogram { counts: vec![1; 4] },
+            },
+        );
+        assert_eq!(sched.groups[0].replies, 1);
+        assert!(!ctx.stopped);
+        // A histogram of the wrong width must not zip-truncate into the
+        // accumulator (silent corruption in release builds pre-fix).
+        sched.on_message(
+            &mut ctx,
+            3,
+            Msg::ReshuffleCounts {
+                group: 0,
+                histogram: crate::msg::Histogram { counts: vec![1; 3] },
+            },
+        );
+        assert!(ctx.stopped);
+        assert_eq!(sched.groups[0].replies, 1, "malformed reply not counted");
+    }
+
+    #[test]
+    fn split_done_for_unknown_bucket_is_ignored() {
+        // The `old_bucket` audit: `handle_split_done` guards through
+        // `lp_inflight`, so an unknown bucket id off the wire is dropped
+        // without touching split accounting.
+        let (mut sched, mut ctx) = setup(Algorithm::Split);
+        let before = sched.split_time;
+        sched.on_message(
+            &mut ctx,
+            2,
+            Msg::SplitDone {
+                step: ehj_hash::SplitStep {
+                    old: 9999,
+                    new: 10_000,
+                    mid: 1,
+                },
+                moved_tuples: 17,
+            },
+        );
+        assert_eq!(sched.split_time, before);
+        assert!(!ctx.stopped);
     }
 }

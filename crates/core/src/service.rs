@@ -1,0 +1,486 @@
+//! The multi-tenant join service: a stream of join queries on one shared
+//! executor.
+//!
+//! [`crate::runner::JoinRunner`] runs one join per call and tears the
+//! runtime down afterwards. A [`JoinService`] instead keeps one
+//! work-stealing executor alive and **admits** queries onto it as they
+//! arrive — mixed algorithms, scales and key distributions, concurrently:
+//!
+//! * **Namespacing** — every admitted query gets a dense, disjoint actor-id
+//!   block ([`Topology::with_base`]), so concurrent schedulers, sources and
+//!   join nodes coexist without id collisions, and a query's
+//!   [`ehj_sim::Context::stop`] quiesces only its own group.
+//! * **Admission control** — a query's demand is the aggregate hash memory
+//!   its cluster spec declares; the service's [`QuotaLedger`] blocks
+//!   submissions until running queries release enough budget, and rejects
+//!   demands no amount of waiting could satisfy.
+//! * **Per-query observability** — each query gets its own metrics
+//!   registry and trace harness, so its [`JoinReport`] carries rollups
+//!   unpolluted by its neighbours (the registries and monitors used to
+//!   assume one run per process).
+//!
+//! For the deterministic backend, [`JoinService::run_interleaved`] runs a
+//! batch of queries *interleaved in one simulation* — per-actor NIC, CPU
+//! and disk state means disjoint queries do not contend in the cost model,
+//! and per-group accounting reproduces each query's standalone report
+//! byte for byte (the service-suite test pins this).
+
+use crate::config::JoinConfig;
+use crate::report::JoinReport;
+use crate::runner::{build_query_actors, Backend, JoinError, RunOptions, TraceHarness};
+use crate::topology::Topology;
+use ehj_cluster::QuotaLedger;
+use ehj_metrics::{sample_once, ClockKind, MetricsRegistry, MetricsReport, StopCause, TraceLevel};
+use ehj_sim::{Admission, Engine, EngineConfig, Executor, ExecutorConfig, StopReason};
+use ehj_storage::{FileBackend, MemBackend};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::msg::Msg;
+
+/// Identifies one admitted query within a [`JoinService`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Tuning of a [`JoinService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the shared executor (`0` = available
+    /// parallelism).
+    pub workers: usize,
+    /// Bounded mailbox capacity per actor.
+    pub mailbox_capacity: usize,
+    /// Total hash-memory budget arbitrated across concurrent queries;
+    /// `None` admits without memory arbitration.
+    pub memory_budget_bytes: Option<u64>,
+    /// How long one submission may block waiting for quota.
+    pub admission_patience: Duration,
+    /// Per-query completion deadline in [`JoinService::wait`]; a query
+    /// that blows it is cancelled and reported as stalled.
+    pub query_deadline: Duration,
+    /// Trace level of each query's private harness.
+    pub trace_level: TraceLevel,
+    /// Whether each query gets a live metrics registry.
+    pub metrics: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            mailbox_capacity: 1024,
+            memory_budget_bytes: None,
+            admission_patience: Duration::from_secs(30),
+            query_deadline: Duration::from_secs(120),
+            trace_level: TraceLevel::Summary,
+            metrics: true,
+        }
+    }
+}
+
+/// Handle to one admitted query: pass it to [`JoinService::wait`] to
+/// collect the query's own [`JoinReport`], or to [`JoinService::cancel`]
+/// to quiesce it early.
+pub struct QueryHandle {
+    /// The query's id (dense, in admission order).
+    pub id: QueryId,
+    /// First actor id of the query's block (its scheduler).
+    pub base_actor: u32,
+    admission: Admission,
+    result: Arc<Mutex<Option<JoinReport>>>,
+    harness: TraceHarness,
+    registry: MetricsRegistry,
+    cancelled: AtomicBool,
+}
+
+/// A long-lived join service: one executor, many concurrent queries.
+pub struct JoinService {
+    executor: Executor<Msg>,
+    quota: Option<QuotaLedger>,
+    cfg: ServiceConfig,
+    next_query: AtomicU64,
+}
+
+impl JoinService {
+    /// Starts the service's executor pool. Workers park while no query is
+    /// running.
+    #[must_use]
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let exec_cfg = ExecutorConfig {
+            workers: cfg.workers,
+            mailbox_capacity: cfg.mailbox_capacity,
+        };
+        // Worker-level instruments would mix tenants; per-query registries
+        // carry the meaningful (join-side) metrics instead.
+        let executor = Executor::start(&exec_cfg, &MetricsRegistry::disabled());
+        let quota = cfg.memory_budget_bytes.map(QuotaLedger::new);
+        Self {
+            executor,
+            quota,
+            cfg,
+            next_query: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker threads in the shared pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.executor.workers()
+    }
+
+    /// Admits one query: validates its configuration, reserves its memory
+    /// quota (blocking up to the admission patience), and starts its
+    /// actors on the shared executor. Returns immediately after admission;
+    /// the query runs concurrently with every other admitted query.
+    ///
+    /// # Errors
+    /// [`JoinError::Config`] on validation failure, [`JoinError::Admission`]
+    /// when the quota cannot be reserved.
+    pub fn submit(&self, cfg: &JoinConfig) -> Result<QueryHandle, JoinError> {
+        cfg.validate().map_err(JoinError::Config)?;
+        let grant = match &self.quota {
+            Some(ledger) => Some(
+                ledger
+                    .reserve(
+                        cfg.cluster.total_hash_memory_bytes(),
+                        self.cfg.admission_patience,
+                    )
+                    .map_err(|e| JoinError::Admission(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        let cfg = Arc::new(cfg.clone());
+        let result: Arc<Mutex<Option<JoinReport>>> = Arc::new(Mutex::new(None));
+        let opts = RunOptions {
+            backend: Backend::Threaded,
+            trace_level: self.cfg.trace_level,
+            metrics: self.cfg.metrics,
+            ..RunOptions::default()
+        };
+        let harness = TraceHarness::build(&opts, ClockKind::Wall)?;
+        let registry = if self.cfg.metrics {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let count = 1 + cfg.sources + cfg.cluster.len();
+        let admission = self
+            .executor
+            .admit_with(count, self.cfg.mailbox_capacity, |base| {
+                let topo = Topology::with_base(base, cfg.sources, cfg.cluster.len());
+                // Rebase the tracer so the query's trace stays in its own
+                // 0-based actor namespace wherever its id block landed.
+                let tracer = harness.tracer.rebased(base);
+                build_query_actors::<FileBackend>(&cfg, &topo, &result, &tracer, &registry)
+            });
+        if let Some(grant) = grant {
+            // The grant frees when the query *completes*, not when the
+            // caller reaps the handle — a submitter streaming admissions
+            // must not be able to wedge the ledger with unreaped handles.
+            admission.hold_until_done(Box::new(grant));
+        }
+        Ok(QueryHandle {
+            id,
+            base_actor: admission.base,
+            admission,
+            result,
+            harness,
+            registry,
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Cancels a running query: its group quiesces with the documented
+    /// stop semantics (enqueued-before delivered, after dropped); other
+    /// queries are unaffected. Advisory — a query that completes before
+    /// the cancel lands still yields its report.
+    pub fn cancel(&self, handle: &QueryHandle) {
+        handle.cancelled.store(true, Ordering::Relaxed);
+        self.executor.cancel(&handle.admission);
+    }
+
+    /// Blocks until the query completes and returns its own report: match
+    /// counts, per-query latency, traffic, metrics rollup — all scoped to
+    /// this query alone.
+    ///
+    /// # Errors
+    /// [`JoinError::Cancelled`] for a cancelled query,
+    /// [`JoinError::Stalled`] / [`JoinError::Protocol`] when the query
+    /// quiesced without a report (the deadline cancels it first).
+    pub fn wait(&self, handle: QueryHandle) -> Result<JoinReport, JoinError> {
+        let outcome = match self
+            .executor
+            .wait_timeout(&handle.admission, self.cfg.query_deadline)
+        {
+            Some(o) => o,
+            None => {
+                // Deadline blown: force the group down, then reap it.
+                self.executor.cancel(&handle.admission);
+                match self
+                    .executor
+                    .wait_timeout(&handle.admission, self.cfg.query_deadline)
+                {
+                    Some(o) => o,
+                    None => {
+                        return Err(JoinError::Stalled {
+                            trace: handle.harness.tail(),
+                        })
+                    }
+                }
+            }
+        };
+        let end = u64::try_from(outcome.elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let report = handle.result.lock().expect("report lock").take();
+        let Some(mut report) = report else {
+            handle.harness.finish(end, StopCause::Quiescent, None);
+            return Err(if handle.cancelled.load(Ordering::Relaxed) {
+                JoinError::Cancelled {
+                    trace: handle.harness.tail(),
+                }
+            } else {
+                JoinError::from_silent_end(handle.harness.tail())
+            });
+        };
+        // Wall total and traffic come from the group's own ledger (wire
+        // bytes charged per send, timer fires included), not pool totals.
+        report.times.total_secs = outcome.elapsed.as_secs_f64();
+        report.net_bytes = outcome.net_bytes;
+        sample_once(&handle.registry, &handle.harness.tracer, end, 0);
+        report.metrics = MetricsReport::from_snapshot(&handle.registry.snapshot());
+        handle
+            .harness
+            .finish(end, StopCause::Completed, Some(&mut report));
+        Ok(report)
+    }
+
+    /// Submit-and-wait convenience for sequential callers.
+    ///
+    /// # Errors
+    /// See [`JoinService::submit`] and [`JoinService::wait`].
+    pub fn run(&self, cfg: &JoinConfig) -> Result<JoinReport, JoinError> {
+        let handle = self.submit(cfg)?;
+        self.wait(handle)
+    }
+
+    /// Stops the workers (running queries are abandoned) and returns the
+    /// pool's lifetime totals.
+    pub fn shutdown(self) -> ehj_sim::ThreadedSummary {
+        self.executor.shutdown()
+    }
+
+    /// Runs a batch of queries **interleaved in one deterministic
+    /// simulation**: every query's actors are registered up front in
+    /// disjoint id blocks (one engine group per query), the event loop
+    /// interleaves them, and per-group accounting gives each query a
+    /// report identical to what it would get running alone — per-actor
+    /// NIC/CPU/disk state means disjoint queries never contend in the
+    /// cost model, and relative event order within a query is preserved.
+    ///
+    /// All queries must share the same net/disk cost model (they model
+    /// one cluster).
+    ///
+    /// # Errors
+    /// An outer [`JoinError::Config`] for an invalid or incompatible
+    /// batch; per-query errors are returned in the corresponding slot.
+    pub fn run_interleaved(
+        cfgs: &[JoinConfig],
+    ) -> Result<Vec<Result<JoinReport, JoinError>>, JoinError> {
+        let Some(first) = cfgs.first() else {
+            return Ok(Vec::new());
+        };
+        for cfg in cfgs {
+            cfg.validate().map_err(JoinError::Config)?;
+            if cfg.net != first.net || cfg.disk != first.disk {
+                return Err(JoinError::Config(
+                    "interleaved queries must share the net/disk cost model".to_owned(),
+                ));
+            }
+        }
+        let max_time = if cfgs.iter().any(|c| c.max_sim_time.is_none()) {
+            None
+        } else {
+            cfgs.iter().filter_map(|c| c.max_sim_time).max()
+        };
+        let mut engine: Engine<Msg> = Engine::new(EngineConfig {
+            net: first.net,
+            disk: first.disk,
+            max_events: cfgs
+                .iter()
+                .map(|c| c.max_events)
+                .fold(0u64, u64::saturating_add),
+            max_time,
+        });
+        struct QueryState {
+            result: Arc<Mutex<Option<JoinReport>>>,
+            harness: TraceHarness,
+            registry: MetricsRegistry,
+        }
+        let mut queries = Vec::with_capacity(cfgs.len());
+        let mut base = 0u32;
+        for (q, cfg) in cfgs.iter().enumerate() {
+            let cfg = Arc::new(cfg.clone());
+            let topo = Topology::with_base(base, cfg.sources, cfg.cluster.len());
+            base += topo.actor_count() as u32;
+            let result: Arc<Mutex<Option<JoinReport>>> = Arc::new(Mutex::new(None));
+            let harness = TraceHarness::build(&RunOptions::default(), ClockKind::Virtual)?;
+            let registry = MetricsRegistry::new();
+            // Rebased tracer: the query's events carry query-relative actor
+            // ids, so its rollup is identical to a standalone run's.
+            let tracer = harness.tracer.rebased(topo.scheduler);
+            for actor in build_query_actors::<MemBackend>(&cfg, &topo, &result, &tracer, &registry)
+            {
+                engine.add_actor_in_group(actor, q);
+            }
+            queries.push(QueryState {
+                result,
+                harness,
+                registry,
+            });
+        }
+        let run = engine.run();
+        let reports = queries
+            .iter()
+            .enumerate()
+            .map(|(q, state)| {
+                let gsum = engine.group_summary(q);
+                let end = gsum.end_time.as_nanos();
+                if gsum.stopped {
+                    let report = state.result.lock().expect("report lock").take();
+                    let Some(mut report) = report else {
+                        state.harness.finish(end, StopCause::Quiescent, None);
+                        return Err(JoinError::from_silent_end(state.harness.tail()));
+                    };
+                    report.sim_events = gsum.events;
+                    report.net_bytes = gsum.net_bytes;
+                    report.disk_bytes = gsum.disk_bytes;
+                    sample_once(&state.registry, &state.harness.tracer, end, 0);
+                    report.metrics = MetricsReport::from_snapshot(&state.registry.snapshot());
+                    state
+                        .harness
+                        .finish(end, StopCause::Completed, Some(&mut report));
+                    Ok(report)
+                } else {
+                    // This query never quiesced: the engine either erred
+                    // or ran out of events elsewhere; surface per query.
+                    match &run {
+                        Err(source) => {
+                            state.harness.finish(end, StopCause::EventLimit, None);
+                            Err(JoinError::Engine {
+                                source: source.clone(),
+                                trace: state.harness.tail(),
+                            })
+                        }
+                        Ok(summary) => {
+                            let cause = match summary.reason {
+                                StopReason::TimeLimit => StopCause::TimeLimit,
+                                _ => StopCause::Quiescent,
+                            };
+                            state.harness.finish(end, cause, None);
+                            Err(JoinError::from_silent_end(state.harness.tail()))
+                        }
+                    }
+                }
+            })
+            .collect();
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::reference::expected_matches_for;
+    use ehj_sim::SimTime;
+
+    fn quick(algorithm: Algorithm) -> JoinConfig {
+        JoinConfig::paper_scaled(algorithm, 1000)
+    }
+
+    #[test]
+    fn empty_interleaved_batch_is_fine() {
+        let out = JoinService::run_interleaved(&[]).expect("empty batch");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interleaved_batch_must_share_the_cost_model() {
+        let a = quick(Algorithm::Split);
+        let mut b = quick(Algorithm::Replicated);
+        b.net.latency = SimTime::from_millis(42);
+        let err = JoinService::run_interleaved(&[a, b]).unwrap_err();
+        assert!(matches!(err, JoinError::Config(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn interleaved_queries_each_produce_their_own_report() {
+        let cfgs = [quick(Algorithm::Split), quick(Algorithm::Replicated)];
+        let reports = JoinService::run_interleaved(&cfgs).expect("batch runs");
+        assert_eq!(reports.len(), 2);
+        for (cfg, report) in cfgs.iter().zip(&reports) {
+            let report = report.as_ref().expect("query completed");
+            assert_eq!(report.algorithm, cfg.algorithm);
+            assert_eq!(report.matches, expected_matches_for(cfg));
+            assert!(report.sim_events > 0);
+            assert!(report.net_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn oversized_tenants_are_refused_admission() {
+        let cfg = quick(Algorithm::Hybrid);
+        let service = JoinService::start(ServiceConfig {
+            // One byte short of the query's demand: can never be granted.
+            memory_budget_bytes: Some(cfg.cluster.total_hash_memory_bytes() - 1),
+            ..ServiceConfig::default()
+        });
+        let err = service.run(&cfg).unwrap_err();
+        assert!(matches!(err, JoinError::Admission(_)), "got {err:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn service_queries_get_sequential_ids_and_correct_counts() {
+        let service = JoinService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let cfg = quick(Algorithm::Split);
+        let h1 = service.submit(&cfg).expect("admitted");
+        let h2 = service.submit(&cfg).expect("admitted");
+        assert_eq!(h1.id, QueryId(0));
+        assert_eq!(h2.id, QueryId(1));
+        assert_ne!(h1.base_actor, h2.base_actor, "disjoint id blocks");
+        let r1 = service.wait(h1).expect("q0 completes");
+        let r2 = service.wait(h2).expect("q1 completes");
+        let want = expected_matches_for(&cfg);
+        assert_eq!(r1.matches, want);
+        assert_eq!(r2.matches, want);
+        assert!(r1.times.total_secs > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancel_after_completion_is_advisory() {
+        let service = JoinService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let cfg = quick(Algorithm::Replicated);
+        let handle = service.submit(&cfg).expect("admitted");
+        // Let the query finish, then cancel: the report must survive.
+        service.executor.wait(&handle.admission);
+        service.cancel(&handle);
+        let report = service.wait(handle).expect("completed before cancel");
+        assert_eq!(report.matches, expected_matches_for(&cfg));
+        service.shutdown();
+    }
+}

@@ -21,9 +21,19 @@ impl Topology {
     /// nodes.
     #[must_use]
     pub fn standard(sources: usize, nodes: usize) -> Self {
-        let scheduler = 0;
-        let sources: Vec<ActorId> = (1..=sources as ActorId).collect();
-        let first = sources.len() as ActorId + 1;
+        Self::with_base(0, sources, nodes)
+    }
+
+    /// Builds the standard wiring shifted to start at actor id `base`:
+    /// scheduler at `base`, sources at `base+1..`, nodes after them. This
+    /// is how the multi-tenant service namespaces one query's actors — each
+    /// admitted query gets a disjoint dense id block, so concurrent
+    /// schedulers, sources and join nodes never collide.
+    #[must_use]
+    pub fn with_base(base: ActorId, sources: usize, nodes: usize) -> Self {
+        let scheduler = base;
+        let sources: Vec<ActorId> = (base + 1..=base + sources as ActorId).collect();
+        let first = base + sources.len() as ActorId + 1;
         let nodes = (first..first + nodes as ActorId).collect();
         Self {
             scheduler,
@@ -67,6 +77,19 @@ mod tests {
         assert_eq!(t.sources, vec![1, 2, 3]);
         assert_eq!(t.nodes, vec![4, 5, 6, 7, 8]);
         assert_eq!(t.actor_count(), 9);
+    }
+
+    #[test]
+    fn based_wiring_shifts_the_whole_block() {
+        let t = Topology::with_base(10, 2, 3);
+        assert_eq!(t.scheduler, 10);
+        assert_eq!(t.sources, vec![11, 12]);
+        assert_eq!(t.nodes, vec![13, 14, 15]);
+        assert_eq!(t.actor_count(), 6);
+        assert_eq!(t.node_actor(NodeId(1)), 14);
+        assert_eq!(t.node_of_actor(14), Some(NodeId(1)));
+        assert_eq!(t.node_of_actor(12), None);
+        assert_eq!(t.node_of_actor(16), None);
     }
 
     #[test]

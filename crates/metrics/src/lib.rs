@@ -33,6 +33,6 @@ pub use report::{fmt_secs, metrics_report_table, trace_rollup_table, TextTable};
 pub use summary::ThroughputSummary;
 pub use trace::{
     lane_marker, render_trace_lanes, render_trace_lanes_clocked, ClockKind, ExecutorCounters,
-    JsonlSink, ProbeFilterCounters, RingSink, RollupSink, StopCause, TraceEvent, TraceKind,
-    TraceLevel, TraceRollup, TraceSink, Tracer,
+    FaultField, JsonlSink, ProbeFilterCounters, RingSink, RollupSink, StopCause, TraceEvent,
+    TraceKind, TraceLevel, TraceRollup, TraceSink, Tracer,
 };

@@ -207,6 +207,34 @@ impl MetricsRegistry {
         }
     }
 
+    /// Clears every instrument in place: counters and gauge deltas back to
+    /// zero, histograms emptied. Instruments minted earlier stay wired to
+    /// the same cells, so a long-lived registry can be reused across
+    /// back-to-back runs without gauge deltas or histogram state leaking
+    /// into the next report.
+    pub fn reset(&self) {
+        let Some(inner) = &self.inner else { return };
+        for cells in inner.counters.lock().expect("metrics lock").values() {
+            for s in &cells.shards {
+                s.0.store(0, Ordering::Relaxed);
+            }
+        }
+        for cells in inner.gauges.lock().expect("metrics lock").values() {
+            for s in &cells.shards {
+                s.0.store(0, Ordering::Relaxed);
+            }
+        }
+        for cells in inner.histograms.lock().expect("metrics lock").values() {
+            for b in &cells.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            cells.count.store(0, Ordering::Relaxed);
+            cells.sum.store(0, Ordering::Relaxed);
+            cells.min.store(u64::MAX, Ordering::Relaxed);
+            cells.max.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of every instrument.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -495,11 +523,13 @@ impl HistogramSnapshot {
     /// The value at percentile `p` (0..=100): the upper bound of the
     /// bucket holding the rank, clamped to the exact observed extrema.
     /// Within `1/2^HIST_SUB_BITS` relative error of the true quantile.
+    /// Out-of-range `p` is clamped to `[0, 100]`; NaN reads as 0.
     #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (index, n) in self.buckets.iter().enumerate() {
@@ -720,6 +750,48 @@ mod tests {
         // Values < 32 land in exact buckets.
         assert_eq!(snap.percentile(50.0), 10);
         assert_eq!(snap.percentile(100.0), 20);
+    }
+
+    #[test]
+    fn percentile_clamps_nan_and_out_of_range_p() {
+        let reg = MetricsRegistry::new();
+        let h = reg.handle().histogram("h");
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // NaN must not silently become rank 1 of a garbage walk; it reads
+        // as p=0 (the minimum).
+        assert_eq!(snap.percentile(f64::NAN), snap.min);
+        assert_eq!(snap.percentile(-5.0), snap.percentile(0.0));
+        assert_eq!(snap.percentile(250.0), snap.max);
+        assert_eq!(snap.percentile(f64::INFINITY), snap.max);
+        assert_eq!(snap.percentile(f64::NEG_INFINITY), snap.min);
+    }
+
+    #[test]
+    fn reset_clears_gauge_deltas_and_histogram_state() {
+        // Regression: a registry reused across back-to-back runs used to
+        // carry gauge deltas and histogram extrema into the next report.
+        let reg = MetricsRegistry::new();
+        let h = reg.handle();
+        let g = h.gauge("g");
+        let c = h.counter("c");
+        let hist = h.histogram("h");
+        g.add(40);
+        c.add(7);
+        hist.record(1_000_000);
+        reg.reset();
+        assert_eq!(g.value(), 0, "gauge delta cleared");
+        assert_eq!(c.value(), 0, "counter cleared");
+        assert!(hist.snapshot().is_empty(), "histogram emptied");
+        // The same instruments stay wired after the reset.
+        g.add(2);
+        hist.record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["g"], 2);
+        let hs = &snap.histograms["h"];
+        assert_eq!((hs.count, hs.min, hs.max), (1, 5, 5));
     }
 
     #[test]

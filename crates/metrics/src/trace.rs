@@ -289,11 +289,55 @@ pub enum TraceKind {
         /// Median chains concurrently in flight in the interleaved walker.
         interleave_depth: u64,
     },
+    /// A malformed or stale control message was rejected instead of
+    /// applied: the value arrived off the wire, failed validation against
+    /// the receiver's own state, and was routed to the error path rather
+    /// than indexing into it.
+    ProtocolFault {
+        /// Which wire field failed validation.
+        field: FaultField,
+        /// The offending value.
+        value: u64,
+        /// The exclusive bound (count/length) the value violated.
+        bound: u64,
+    },
     /// The engine stopped.
     EngineStop {
         /// Why.
         reason: StopCause,
     },
+}
+
+/// Wire fields the scheduler validates before letting them index its own
+/// state (see [`TraceKind::ProtocolFault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultField {
+    /// A reshuffle group id out of range of the current group table.
+    ReshuffleGroup,
+    /// A reshuffle count vector whose length does not match the group's
+    /// histogram width.
+    ReshuffleCounts,
+}
+
+impl FaultField {
+    /// Stable snake_case name (JSONL serialization and error text).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::ReshuffleGroup => "reshuffle_group",
+            Self::ReshuffleCounts => "reshuffle_counts",
+        }
+    }
+
+    /// Inverse of [`FaultField::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reshuffle_group" => Some(Self::ReshuffleGroup),
+            "reshuffle_counts" => Some(Self::ReshuffleCounts),
+            _ => None,
+        }
+    }
 }
 
 impl TraceKind {
@@ -319,6 +363,7 @@ impl TraceKind {
             Self::ProbeFilterStats { .. } => "probe_filter_stats",
             Self::ExecutorStats { .. } => "executor_stats",
             Self::MetricsSample { .. } => "metrics_sample",
+            Self::ProtocolFault { .. } => "protocol_fault",
             Self::EngineStop { .. } => "engine_stop",
         }
     }
@@ -396,6 +441,14 @@ impl TraceKind {
                 "metrics sample {seq}: {occupancy} arena tuples, mailbox hwm {depth_hwm}, \
                  busy {busy_ns}ns, filter {filter_rejections}/{filter_probes} rejected, \
                  interleave depth {interleave_depth}"
+            ),
+            Self::ProtocolFault {
+                field,
+                value,
+                bound,
+            } => format!(
+                "protocol fault: {} = {value} rejected (bound {bound})",
+                field.name()
             ),
             Self::EngineStop { reason } => format!("engine stopped: {}", reason.name()),
         }
@@ -511,6 +564,17 @@ impl TraceEvent {
                      \"interleave_depth\":{interleave_depth}"
                 );
             }
+            TraceKind::ProtocolFault {
+                field,
+                value,
+                bound,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"field\":\"{}\",\"value\":{value},\"bound\":{bound}",
+                    field.name()
+                );
+            }
             TraceKind::EngineStop { reason } => {
                 let _ = write!(out, ",\"reason\":\"{}\"", reason.name());
             }
@@ -619,6 +683,11 @@ impl TraceEvent {
                 filter_probes: num("filter_probes").unwrap_or(0),
                 filter_rejections: num("filter_rejections").unwrap_or(0),
                 interleave_depth: num("interleave_depth").unwrap_or(0),
+            },
+            "protocol_fault" => TraceKind::ProtocolFault {
+                field: FaultField::parse(text("field")?)?,
+                value: num("value")?,
+                bound: num("bound")?,
             },
             "engine_stop" => TraceKind::EngineStop {
                 reason: StopCause::parse(text("reason")?)?,
@@ -738,6 +807,11 @@ pub trait TraceSink: Send + Sync {
 pub struct Tracer {
     level: TraceLevel,
     sinks: Vec<Arc<dyn TraceSink>>,
+    /// Subtracted from every emitted node id. A multi-tenant runtime bases
+    /// each query's actors at an arbitrary id block; rebasing the query's
+    /// tracer keeps its trace in the query's own 0-based namespace, so a
+    /// query's events read identically wherever its block landed.
+    node_base: u32,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -759,7 +833,21 @@ impl Tracer {
     /// A tracer at `level` feeding `sinks`.
     #[must_use]
     pub fn new(level: TraceLevel, sinks: Vec<Arc<dyn TraceSink>>) -> Self {
-        Self { level, sinks }
+        Self {
+            level,
+            sinks,
+            node_base: 0,
+        }
+    }
+
+    /// A clone that records node ids relative to `base` (same level and
+    /// sinks). Hand this to actors living in an id block based at `base`.
+    #[must_use]
+    pub fn rebased(&self, base: u32) -> Self {
+        Self {
+            node_base: base,
+            ..self.clone()
+        }
     }
 
     /// Whether summary-level events are recorded.
@@ -784,7 +872,7 @@ impl Tracer {
         }
         self.dispatch(&TraceEvent {
             at_nanos,
-            node,
+            node: node.saturating_sub(self.node_base),
             phase,
             kind,
         });
@@ -798,7 +886,7 @@ impl Tracer {
         }
         self.dispatch(&TraceEvent {
             at_nanos,
-            node,
+            node: node.saturating_sub(self.node_base),
             phase,
             kind,
         });
@@ -1059,6 +1147,7 @@ pub const fn lane_marker(kind: &TraceKind) -> char {
         TraceKind::PhaseDone => '|',
         TraceKind::ExecutorStats { .. } => 'W',
         TraceKind::MetricsSample { .. } => 'm',
+        TraceKind::ProtocolFault { .. } => '?',
         TraceKind::EngineStop { .. } => 'E',
     }
 }

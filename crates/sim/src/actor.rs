@@ -71,13 +71,17 @@ pub trait Context<M: Message> {
     /// common case for per-chunk spill appends).
     fn disk_append(&mut self, bytes: u64);
 
-    /// Requests engine shutdown: event processing stops once the current
-    /// handler returns (simulation) or all actors observe the stop signal
-    /// (threaded). Remaining queued events are discarded.
+    /// Requests shutdown of this actor's *group* — the set of actors it
+    /// was registered (simulation) or admitted (threaded) with; a whole
+    /// standalone run, or one query of a multi-tenant service. Event
+    /// processing for the group stops once the current handler returns
+    /// (simulation) or all its members observe the stop signal (threaded);
+    /// remaining queued events of the group are discarded. Other groups
+    /// sharing the runtime are unaffected.
     ///
     /// On the threaded backend the stop signal is a sentinel placed at the
-    /// tail of every actor's mailbox: messages enqueued *before* the
-    /// sentinel (including the stopper's own sends earlier in the same
+    /// tail of every *group member's* mailbox: messages enqueued *before*
+    /// the sentinel (including the stopper's own sends earlier in the same
     /// handler) are still delivered, messages enqueued *after* it are
     /// dropped. Sends are charged to the traffic totals either way — the
     /// drop happens at the receiver, past the wire.

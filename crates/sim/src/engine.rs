@@ -67,6 +67,25 @@ pub struct RunSummary {
     pub reason: StopReason,
 }
 
+/// Per-group accounting of one run: everything attributed to handlers of
+/// actors registered in that group (see [`Engine::add_actor_in_group`]).
+/// Because the network reserves per-actor NICs and CPUs are per-actor,
+/// disjoint groups do not interfere — a group's summary is identical to
+/// what the same actors produce running alone in their own engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupSummary {
+    /// Events dispatched to this group's actors.
+    pub events: u64,
+    /// Bytes this group's handlers pushed through the network.
+    pub net_bytes: u64,
+    /// Bytes this group's handlers moved through simulated disks.
+    pub disk_bytes: u64,
+    /// Virtual time at which the group's last handler finished.
+    pub end_time: SimTime,
+    /// Whether an actor of this group called [`Context::stop`].
+    pub stopped: bool,
+}
+
 /// Errors surfaced by [`Engine::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -127,6 +146,12 @@ pub struct Engine<M: Message> {
     disk: DiskState,
     cpu_free: Vec<SimTime>,
     cpu_busy: Vec<SimTime>,
+    /// Group of each actor (parallel to `actors`).
+    groups: Vec<usize>,
+    /// Per-group stop flags: [`Context::stop`] quiesces only the calling
+    /// actor's group; the run ends `Stopped` once every group stopped.
+    group_stopped: Vec<bool>,
+    group_stats: Vec<GroupSummary>,
     seq: u64,
     max_events: u64,
     max_time: Option<SimTime>,
@@ -143,20 +168,56 @@ impl<M: Message> Engine<M> {
             disk: DiskState::new(config.disk, 0),
             cpu_free: Vec::new(),
             cpu_busy: Vec::new(),
+            groups: Vec::new(),
+            group_stopped: Vec::new(),
+            group_stats: Vec::new(),
             seq: 0,
             max_events: config.max_events,
             max_time: config.max_time,
         }
     }
 
-    /// Registers an actor; ids are assigned densely in registration order.
+    /// Registers an actor in group 0; ids are assigned densely in
+    /// registration order.
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.add_actor_in_group(actor, 0)
+    }
+
+    /// Registers an actor in `group`. Groups partition the actor set into
+    /// independent quiesce domains: a [`Context::stop`] from a group-`g`
+    /// actor drops only group `g`'s remaining events, other groups keep
+    /// running, and the run ends [`StopReason::Stopped`] once every group
+    /// has stopped. Per-group accounting is read back with
+    /// [`Engine::group_summary`].
+    pub fn add_actor_in_group(&mut self, actor: Box<dyn Actor<M>>, group: usize) -> ActorId {
         let id = self.actors.len() as ActorId;
         self.actors.push(Some(actor));
         self.cpu_free.push(SimTime::ZERO);
         self.cpu_busy.push(SimTime::ZERO);
+        self.groups.push(group);
+        if group >= self.group_stopped.len() {
+            self.group_stopped.resize(group + 1, false);
+            self.group_stats.resize(group + 1, GroupSummary::default());
+        }
         self.net.ensure_node(id);
         id
+    }
+
+    /// Number of registered groups (1 + the highest group index used).
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.group_stats.len()
+    }
+
+    /// Per-group accounting after (or during) a run.
+    ///
+    /// # Panics
+    /// Panics if `group` was never registered.
+    #[must_use]
+    pub fn group_summary(&self, group: usize) -> GroupSummary {
+        let mut s = self.group_stats[group];
+        s.stopped = self.group_stopped[group];
+        s
     }
 
     /// Number of registered actors.
@@ -192,16 +253,26 @@ impl<M: Message> Engine<M> {
     /// Returns [`EngineError::EventLimitExceeded`] if the configured event
     /// budget runs out.
     pub fn run(&mut self) -> Result<RunSummary, EngineError> {
-        let mut stopped = false;
         let mut makespan = SimTime::ZERO;
-        // Start hooks.
+        // Start hooks. An actor stopping during start quiesces its group;
+        // later actors of an already-stopped group are not started.
         for id in 0..self.actors.len() as ActorId {
+            let group = self.groups[id as usize];
+            if self.group_stopped[group] {
+                continue;
+            }
+            let mut stopped = false;
             let mut actor = self.actors[id as usize].take().expect("actor present");
+            let (net0, disk0) = (self.net.bytes_sent(), self.disk.total_bytes());
             let local = self.dispatch_start(id, &mut actor, &mut stopped, &mut makespan);
             self.cpu_free[id as usize] = local;
             self.actors[id as usize] = Some(actor);
+            self.attribute(group, net0, disk0, local, 0);
             if stopped {
-                return Ok(self.summary(makespan, 0, StopReason::Stopped));
+                self.group_stopped[group] = true;
+                if self.all_groups_stopped() {
+                    return Ok(self.summary(makespan, 0, StopReason::Stopped));
+                }
             }
         }
 
@@ -213,15 +284,23 @@ impl<M: Message> Engine<M> {
                     return Ok(self.summary(makespan, events, StopReason::TimeLimit));
                 }
             }
+            let idx = ev.target as usize;
+            let group = self.groups[idx];
+            if self.group_stopped[group] {
+                // Everything a stopped group still had in flight is
+                // dropped, exactly like the full-queue clear at the end.
+                continue;
+            }
             events += 1;
             if events > self.max_events {
                 return Err(EngineError::EventLimitExceeded {
                     limit: self.max_events,
                 });
             }
-            let idx = ev.target as usize;
+            let mut stopped = false;
             let mut actor = self.actors[idx].take().expect("actor present");
             let start = ev.time.max(self.cpu_free[idx]);
+            let (net0, disk0) = (self.net.bytes_sent(), self.disk.total_bytes());
             let mut ctx = EngineCtx {
                 me: ev.target,
                 local: start,
@@ -239,12 +318,30 @@ impl<M: Message> Engine<M> {
             self.cpu_free[idx] = local;
             makespan = makespan.max(local);
             self.actors[idx] = Some(actor);
+            self.attribute(group, net0, disk0, local, 1);
             if stopped {
-                self.queue.clear();
-                return Ok(self.summary(makespan, events, StopReason::Stopped));
+                self.group_stopped[group] = true;
+                if self.all_groups_stopped() {
+                    self.queue.clear();
+                    return Ok(self.summary(makespan, events, StopReason::Stopped));
+                }
             }
         }
         Ok(self.summary(makespan, events, StopReason::Quiescent))
+    }
+
+    fn all_groups_stopped(&self) -> bool {
+        self.group_stopped.iter().all(|s| *s)
+    }
+
+    /// Charges one handler dispatch to its group: the net/disk deltas the
+    /// handler produced, its event, and the group makespan.
+    fn attribute(&mut self, group: usize, net0: u64, disk0: u64, local: SimTime, events: u64) {
+        let g = &mut self.group_stats[group];
+        g.events += events;
+        g.net_bytes += self.net.bytes_sent() - net0;
+        g.disk_bytes += self.disk.total_bytes() - disk0;
+        g.end_time = g.end_time.max(local);
     }
 
     fn dispatch_start(
@@ -451,6 +548,94 @@ mod tests {
             (s.end_time, s.events, s.net_bytes)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn groups_stop_independently_with_standalone_identical_accounting() {
+        // Two bouncer pairs in separate groups. Group 0 stops early; group
+        // 1 keeps bouncing and must see exactly the events, bytes and
+        // virtual makespan it produces running alone in its own engine.
+        let cpu = SimTime::from_nanos(50);
+        let standalone = |limit: u64| {
+            let mut e = bouncer_engine(limit, cpu);
+            let s = e.run().expect("runs");
+            (s.events, s.net_bytes, s.end_time)
+        };
+        let solo_a = standalone(10);
+        let solo_b = standalone(40);
+
+        let mut e = Engine::new(EngineConfig::default());
+        for (group, limit) in [(0usize, 10u64), (1, 40)] {
+            let base = (group * 2) as ActorId;
+            for offset in 0..2u32 {
+                let id = e.add_actor_in_group(
+                    Box::new(Bouncer {
+                        peer: base + (offset + 1) % 2,
+                        limit,
+                        seen: vec![],
+                        initiator: offset == 0,
+                        cpu_per_msg: cpu,
+                    }),
+                    group,
+                );
+                assert_eq!(id, base + offset);
+            }
+        }
+        let s = e.run().expect("runs");
+        assert_eq!(s.reason, StopReason::Stopped, "both groups stopped");
+        for (group, solo) in [(0usize, solo_a), (1, solo_b)] {
+            let g = e.group_summary(group);
+            assert!(g.stopped);
+            assert_eq!((g.events, g.net_bytes, g.end_time), solo, "group {group}");
+        }
+        assert_eq!(s.events, solo_a.0 + solo_b.0);
+        assert_eq!(s.net_bytes, solo_a.1 + solo_b.1);
+        assert_eq!(s.end_time, solo_a.2.max(solo_b.2));
+    }
+
+    #[test]
+    fn stopped_groups_drop_their_leftover_events_only() {
+        // Group 0's stopper leaves a message in flight when it stops; the
+        // event is dropped without being dispatched, while group 1's
+        // traffic keeps flowing afterwards.
+        struct StopAndSend {
+            peer: ActorId,
+        }
+        impl Actor<Ping> for StopAndSend {
+            fn on_start(&mut self, ctx: &mut dyn Context<Ping>) {
+                ctx.send(self.peer, Ping(0));
+                ctx.stop();
+            }
+            fn on_message(&mut self, _c: &mut dyn Context<Ping>, _f: ActorId, _m: Ping) {
+                panic!("events of a stopped group must not be dispatched");
+            }
+        }
+        let mut e = Engine::new(EngineConfig::default());
+        let _a = e.add_actor_in_group(Box::new(StopAndSend { peer: 1 }), 0);
+        let _victim = e.add_actor_in_group(Box::new(StopAndSend { peer: 0 }), 0);
+        let b0 = e.add_actor_in_group(
+            Box::new(Bouncer {
+                peer: 3,
+                limit: 5,
+                seen: vec![],
+                initiator: true,
+                cpu_per_msg: SimTime::ZERO,
+            }),
+            1,
+        );
+        let _b1 = e.add_actor_in_group(
+            Box::new(Bouncer {
+                peer: b0,
+                limit: 5,
+                seen: vec![],
+                initiator: false,
+                cpu_per_msg: SimTime::ZERO,
+            }),
+            1,
+        );
+        let s = e.run().expect("runs");
+        assert_eq!(s.reason, StopReason::Stopped);
+        assert_eq!(e.group_summary(1).events, 6, "group 1 bounced to its limit");
     }
 
     #[test]

@@ -24,13 +24,22 @@
 //!   wakeup, so batched shipping (`TupleBatch`) translates into fewer
 //!   wakeups, not just fewer allocations.
 //!
+//! The pool is **long-lived and multi-tenant**: an [`Executor`] outlives
+//! any single run and admits independent actor *groups* over its lifetime
+//! (one group per query in the join service). The slot table only grows;
+//! admissions publish a fresh snapshot and workers refresh their local
+//! snapshot lazily, so the hot path never takes the publish lock.
+//!
 //! Scheduling state machine: every actor is `Idle`, `Queued` (in exactly
 //! one run queue), `Running` (owned by exactly one worker) or `Dead`.
 //! Transitions into `Queued` happen through one compare-and-swap, which is
 //! what makes an actor's handler single-threaded without per-message
-//! locking. Stop semantics match the old engine: [`Context::stop`]
-//! enqueues a stop sentinel in every mailbox, messages enqueued *before*
-//! the sentinel are still delivered and everything after it is dropped.
+//! locking. Stop semantics are **per group**: [`Context::stop`] enqueues a
+//! stop sentinel in every mailbox of the *calling actor's group* only.
+//! Within that group, messages enqueued before the sentinel are still
+//! delivered and everything after it is dropped — and other groups'
+//! mailboxes, backpressure and deliveries are completely unaffected, so
+//! one query finishing never drops another query's in-flight batches.
 
 use crate::actor::{Actor, ActorId, Context, Message};
 use crate::mailbox::Mailbox;
@@ -41,7 +50,7 @@ use ehj_metrics::{Counter, Histogram, MetricsRegistry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -161,6 +170,46 @@ impl WorkerMetrics {
     }
 }
 
+/// Per-admission (per-query) state shared by the slots of one group: the
+/// group-scoped stop flag, the live count that signals completion, and the
+/// group's own traffic totals.
+struct GroupState {
+    /// The group's dense actor-id block.
+    members: Vec<ActorId>,
+    /// Set by the group's own [`Context::stop`] (or an external cancel):
+    /// deliveries *to this group* switch to non-blocking from then on.
+    stop: AtomicBool,
+    live: AtomicUsize,
+    net_bytes: AtomicU64,
+    net_messages: AtomicU64,
+    admitted: Instant,
+    /// `Some(elapsed)` once every member retired.
+    done: Mutex<Option<Duration>>,
+    done_cv: Condvar,
+    /// Caller resources scoped to the group's run (e.g. an admission
+    /// quota grant): dropped the moment the last member retires, so a
+    /// submitter streaming admissions is not required to reap handles
+    /// before the resources free up. Attach/take are ordered by the
+    /// `done` lock.
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl GroupState {
+    fn charge(&self, bytes: u64) {
+        self.net_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.net_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn finish(&self) {
+        let mut done = self.done.lock().expect("group done lock");
+        *done = Some(self.admitted.elapsed());
+        let payload = self.payload.lock().expect("group payload lock").take();
+        self.done_cv.notify_all();
+        drop(done);
+        drop(payload);
+    }
+}
+
 struct SlotBody<M: Message> {
     actor: Box<dyn Actor<M>>,
     started: bool,
@@ -170,6 +219,7 @@ struct Slot<M: Message> {
     mailbox: Mailbox<Env<M>>,
     state: AtomicU8,
     body: Mutex<Option<SlotBody<M>>>,
+    group: Arc<GroupState>,
 }
 
 struct Armed<M> {
@@ -196,15 +246,28 @@ impl<M> Ord for Armed<M> {
     }
 }
 
+/// The published slot table: append-only, re-published as a whole on every
+/// admission. Workers hold a local snapshot and refresh it only when they
+/// meet an actor id past its end, so steady-state slot lookups are one
+/// index into an owned `Arc`.
+type Slots<M> = Arc<Vec<Arc<Slot<M>>>>;
+
 struct Shared<M: Message> {
-    slots: Vec<Slot<M>>,
+    /// Publish point of the slot table (cold path: admissions and snapshot
+    /// refreshes only).
+    slots: Mutex<Slots<M>>,
     queues: Vec<Mutex<VecDeque<ActorId>>>,
     timers: Vec<Mutex<BinaryHeap<Reverse<Armed<M>>>>>,
     idle_lock: Mutex<()>,
     wake: Condvar,
     idle_count: AtomicUsize,
-    stop: AtomicBool,
+    /// Pool shutdown (workers exit). Distinct from any group's stop flag.
+    shutdown: AtomicBool,
+    /// Batch mode ([`run_actors`]): shut the pool down when the last live
+    /// actor retires. Service pools keep workers parked instead.
+    exit_when_idle: bool,
     live: AtomicUsize,
+    workers: usize,
     timer_seq: AtomicU64,
     start: Instant,
     net_bytes: AtomicU64,
@@ -217,6 +280,19 @@ struct Shared<M: Message> {
 }
 
 impl<M: Message> Shared<M> {
+    fn snapshot(&self) -> Slots<M> {
+        Arc::clone(&self.slots.lock().expect("slot table"))
+    }
+
+    /// Looks `id` up in `cache`, refreshing the snapshot if the id is past
+    /// its end (it was admitted after the snapshot was taken).
+    fn slot<'c>(&self, cache: &'c mut Slots<M>, id: ActorId) -> &'c Arc<Slot<M>> {
+        if id as usize >= cache.len() {
+            *cache = self.snapshot();
+        }
+        &cache[id as usize]
+    }
+
     /// Pushes `actor` into `worker`'s run queue (front when `hot`: the
     /// LIFO slot for freshly-readied work) and wakes a parked worker if
     /// any. The caller must own the transition into `QUEUED`.
@@ -236,8 +312,8 @@ impl<M: Message> Shared<M> {
     }
 
     /// Makes `actor` runnable if it is idle.
-    fn try_schedule(&self, worker: usize, actor: ActorId) {
-        let slot = &self.slots[actor as usize];
+    fn try_schedule(&self, cache: &mut Slots<M>, worker: usize, actor: ActorId) {
+        let slot = self.slot(cache, actor);
         if slot
             .state
             .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
@@ -249,9 +325,19 @@ impl<M: Message> Shared<M> {
 
     /// Delivers a coalesced batch to `to`'s mailbox and schedules it.
     /// `no_wait` skips backpressure (self-sends and timer fires must not
-    /// stall the worker that would drain the very queue it waits on).
-    fn deliver(&self, worker: usize, to: ActorId, batch: &mut Vec<Env<M>>, no_wait: bool) {
-        let slot = &self.slots[to as usize];
+    /// stall the worker that would drain the very queue it waits on). A
+    /// stop of the *destination's own group* also lifts backpressure —
+    /// that group is quiescing and its mailboxes close shortly — while
+    /// other groups keep full blocking semantics.
+    fn deliver(
+        &self,
+        cache: &mut Slots<M>,
+        worker: usize,
+        to: ActorId,
+        batch: &mut Vec<Env<M>>,
+        no_wait: bool,
+    ) {
+        let slot = Arc::clone(self.slot(cache, to));
         if slot.state.load(Ordering::Acquire) == DEAD {
             // Like sending on a closed channel in the old runtime: the
             // receiver exited after a stop; dropping is correct.
@@ -260,7 +346,7 @@ impl<M: Message> Shared<M> {
         }
         let report = slot
             .mailbox
-            .push_batch(batch, no_wait || self.stop.load(Ordering::Relaxed));
+            .push_batch(batch, no_wait || slot.group.stop.load(Ordering::Relaxed));
         if report.parks > 0 {
             self.parks.fetch_add(report.parks, Ordering::Relaxed);
         }
@@ -271,10 +357,10 @@ impl<M: Message> Shared<M> {
         self.worker_metrics[worker]
             .mailbox_depth
             .record(report.depth as u64);
-        self.try_schedule(worker, to);
+        self.try_schedule(cache, worker, to);
     }
 
-    /// Charges one message's wire bytes to the run totals (identical to
+    /// Charges one message's wire bytes to the pool totals (identical to
     /// the old per-send accounting, and also applied to timer fires).
     fn charge(&self, msg: &M) {
         self.net_bytes
@@ -283,7 +369,7 @@ impl<M: Message> Shared<M> {
     }
 
     /// Fires every due timer in `wheel`; returns how many fired.
-    fn fire_wheel(&self, worker: usize, wheel: usize) -> usize {
+    fn fire_wheel(&self, cache: &mut Slots<M>, worker: usize, wheel: usize) -> usize {
         let now = Instant::now();
         let mut due = Vec::new();
         {
@@ -301,12 +387,15 @@ impl<M: Message> Shared<M> {
             // Timer fires are real self-sends: charge their wire bytes so
             // `ThreadedSummary`'s "timer fires included" promise holds.
             self.charge(&armed.msg);
+            self.slot(cache, armed.target)
+                .group
+                .charge(armed.msg.wire_bytes());
             self.timer_fires.fetch_add(1, Ordering::Relaxed);
             let mut one = vec![Env::Msg {
                 from: armed.target,
                 msg: armed.msg,
             }];
-            self.deliver(worker, armed.target, &mut one, true);
+            self.deliver(cache, worker, armed.target, &mut one, true);
         }
         fired
     }
@@ -328,6 +417,316 @@ impl<M: Message> Shared<M> {
         self.queues
             .iter()
             .any(|q| !q.lock().expect("run queue").is_empty())
+    }
+
+    /// Flips the shutdown flag and wakes every parked worker.
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            let _g = self.idle_lock.lock().expect("idle lock");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Enqueues a stop sentinel in every mailbox of `group` and schedules
+    /// the members so the sentinels are consumed promptly. The caller must
+    /// own the `false -> true` transition of `group.stop`.
+    fn post_group_sentinels(&self, cache: &mut Slots<M>, worker: usize, group: &GroupState) {
+        for &id in &group.members {
+            self.slot(cache, id).mailbox.push_control(Env::Stop);
+            self.try_schedule(cache, worker, id);
+        }
+        let _g = self.idle_lock.lock().expect("idle lock");
+        self.wake.notify_all();
+    }
+}
+
+/// A long-lived work-stealing pool over one fixed set of worker threads.
+///
+/// Unlike [`run_actors`], which spins a pool up for one actor set and
+/// tears it down when they retire, an `Executor` admits independent actor
+/// **groups** over its lifetime — the multi-tenant join service admits one
+/// group per query. Each admission gets a dense, disjoint actor-id block;
+/// a [`Context::stop`] from inside a group (or [`Executor::cancel`])
+/// quiesces only that group.
+pub struct Executor<M: Message> {
+    shared: Arc<Shared<M>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+/// Handle to one admitted group: its actor-id block plus the private
+/// completion/cancel state. Obtained from [`Executor::admit`].
+pub struct Admission {
+    /// First actor id of the group's dense block.
+    pub base: ActorId,
+    /// Number of actors in the block.
+    pub count: usize,
+    group: Arc<GroupState>,
+}
+
+impl Admission {
+    /// Attaches a resource to the group's lifetime: it is dropped the
+    /// moment the group's last actor retires (immediately, if the group
+    /// already finished) — not when this `Admission` is reaped. Use for
+    /// RAII resources the run holds, like an admission quota grant.
+    pub fn hold_until_done(&self, payload: Box<dyn std::any::Any + Send>) {
+        let done = self.group.done.lock().expect("group done lock");
+        if done.is_none() {
+            *self.group.payload.lock().expect("group payload lock") = Some(payload);
+        }
+    }
+}
+
+/// What one admitted group measured by the time it completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupOutcome {
+    /// Wall time from admission to the last member retiring.
+    pub elapsed: Duration,
+    /// Bytes this group's actors sent (timer fires included).
+    pub net_bytes: u64,
+    /// Messages this group's actors sent (timer fires included).
+    pub net_messages: u64,
+}
+
+impl<M: Message> Executor<M> {
+    /// Starts a pool that stays alive — workers park when idle — until
+    /// [`Executor::shutdown`] (or drop).
+    #[must_use]
+    pub fn start(cfg: &ExecutorConfig, metrics: &MetricsRegistry) -> Self {
+        Self::start_inner(cfg, metrics, false)
+    }
+
+    fn start_inner(cfg: &ExecutorConfig, metrics: &MetricsRegistry, exit_when_idle: bool) -> Self {
+        let workers = cfg.effective_workers().max(1);
+        let shared = Arc::new(Shared {
+            slots: Mutex::new(Arc::new(Vec::new())),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            timers: (0..workers)
+                .map(|_| Mutex::new(BinaryHeap::new()))
+                .collect(),
+            idle_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            idle_count: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            exit_when_idle,
+            live: AtomicUsize::new(0),
+            workers,
+            timer_seq: AtomicU64::new(0),
+            start: Instant::now(),
+            net_bytes: AtomicU64::new(0),
+            net_messages: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            timer_fires: AtomicU64::new(0),
+            worker_metrics: (0..workers)
+                .map(|w| WorkerMetrics::new(metrics, w))
+                .collect(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ehj-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// The mailbox capacity every admitted actor gets (from the config the
+    /// pool was started with) is fixed; this reports the pool width.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Admits `actors` as one new group at the next free actor-id block.
+    /// The actors must address peers relative to the base id this returns —
+    /// use [`Executor::admit_with`] when they need the base to be built.
+    pub fn admit(&self, actors: Vec<Box<dyn Actor<M>>>, mailbox_capacity: usize) -> Admission {
+        self.admit_with(actors.len(), mailbox_capacity, move |_| actors)
+    }
+
+    /// Admits a group of `count` actors built by `build`, which receives
+    /// the base actor id of the new block (ids `base .. base + count`).
+    /// The admitted actors start immediately.
+    ///
+    /// # Panics
+    /// Panics if `build` returns a different number of actors.
+    pub fn admit_with<F>(&self, count: usize, mailbox_capacity: usize, build: F) -> Admission
+    where
+        F: FnOnce(ActorId) -> Vec<Box<dyn Actor<M>>>,
+    {
+        let shared = &self.shared;
+        let group;
+        let base;
+        {
+            let mut published = shared.slots.lock().expect("slot table");
+            base = published.len() as ActorId;
+            let actors = build(base);
+            assert_eq!(actors.len(), count, "admitted actor count mismatch");
+            group = Arc::new(GroupState {
+                members: (base..base + count as ActorId).collect(),
+                stop: AtomicBool::new(false),
+                live: AtomicUsize::new(count),
+                net_bytes: AtomicU64::new(0),
+                net_messages: AtomicU64::new(0),
+                admitted: Instant::now(),
+                done: Mutex::new(None),
+                done_cv: Condvar::new(),
+                payload: Mutex::new(None),
+            });
+            let mut next: Vec<Arc<Slot<M>>> = published.iter().cloned().collect();
+            next.extend(actors.into_iter().map(|actor| {
+                Arc::new(Slot {
+                    mailbox: Mailbox::new(mailbox_capacity.max(1)),
+                    // Seeded as QUEUED: every actor gets one start task.
+                    state: AtomicU8::new(QUEUED),
+                    body: Mutex::new(Some(SlotBody {
+                        actor,
+                        started: false,
+                    })),
+                    group: Arc::clone(&group),
+                })
+            }));
+            shared.live.fetch_add(count, Ordering::AcqRel);
+            *published = Arc::new(next);
+        }
+        if count == 0 {
+            group.finish();
+        } else {
+            // Seed the start tasks round-robin so `on_start` work spreads
+            // over the pool from the first instant.
+            for (id, q) in (base..base + count as ActorId).zip((0..shared.workers).cycle()) {
+                shared.queues[q].lock().expect("run queue").push_back(id);
+            }
+            let _g = shared.idle_lock.lock().expect("idle lock");
+            shared.wake.notify_all();
+        }
+        Admission { base, count, group }
+    }
+
+    /// Blocks until every actor of `admission`'s group has retired.
+    pub fn wait(&self, admission: &Admission) -> GroupOutcome {
+        let mut done = admission.group.done.lock().expect("group done lock");
+        while done.is_none() {
+            done = admission.group.done_cv.wait(done).expect("group done lock");
+        }
+        Self::outcome(admission, done.expect("checked"))
+    }
+
+    /// Like [`Executor::wait`] with a deadline; `None` on timeout.
+    pub fn wait_timeout(&self, admission: &Admission, timeout: Duration) -> Option<GroupOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut done = admission.group.done.lock().expect("group done lock");
+        while done.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _timeout) = admission
+                .group
+                .done_cv
+                .wait_timeout(done, left)
+                .expect("group done lock");
+            done = guard;
+        }
+        Some(Self::outcome(admission, done.expect("checked")))
+    }
+
+    fn outcome(admission: &Admission, elapsed: Duration) -> GroupOutcome {
+        GroupOutcome {
+            elapsed,
+            net_bytes: admission.group.net_bytes.load(Ordering::Relaxed),
+            net_messages: admission.group.net_messages.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cancels a group from outside: equivalent to one of its actors
+    /// calling [`Context::stop`] — sentinels land at the current mailbox
+    /// tails, messages already enqueued are still delivered, everything
+    /// after is dropped. Idempotent; no-op on an already-stopping group.
+    pub fn cancel(&self, admission: &Admission) {
+        if !admission.group.stop.swap(true, Ordering::AcqRel) {
+            let mut cache = self.shared.snapshot();
+            self.shared
+                .post_group_sentinels(&mut cache, 0, &admission.group);
+        }
+    }
+
+    /// Takes a completed group's actors back out of their slots (in block
+    /// order). Panics if called before the group finished or twice.
+    pub fn take_actors(&self, admission: &Admission) -> Vec<Box<dyn Actor<M>>> {
+        let slots = self.shared.snapshot();
+        admission
+            .group
+            .members
+            .iter()
+            .map(|&id| {
+                slots[id as usize]
+                    .body
+                    .lock()
+                    .expect("actor slot")
+                    .take()
+                    .expect("actor present after group completion")
+                    .actor
+            })
+            .collect()
+    }
+
+    /// Pool-wide totals and executor counters as of now.
+    #[must_use]
+    pub fn summary(&self) -> ThreadedSummary {
+        let shared = &self.shared;
+        let slots = shared.snapshot();
+        let max_depth = slots
+            .iter()
+            .map(|s| s.mailbox.max_depth())
+            .max()
+            .unwrap_or(0);
+        ThreadedSummary {
+            elapsed: SimTime::from_nanos(shared.start.elapsed().as_nanos() as u64),
+            net_bytes: shared.net_bytes.load(Ordering::Relaxed),
+            net_messages: shared.net_messages.load(Ordering::Relaxed),
+            exec: ExecutorStats {
+                workers: shared.workers as u64,
+                steals: shared.steals.load(Ordering::Relaxed),
+                parks: shared.parks.load(Ordering::Relaxed),
+                overflows: shared.overflows.load(Ordering::Relaxed),
+                max_mailbox_depth: max_depth as u64,
+                timer_fires: shared.timer_fires.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Stops the workers and waits for them to exit. Actor panics on the
+    /// pool surface here, like the old scoped join did.
+    pub fn shutdown(mut self) -> ThreadedSummary {
+        self.shared.request_shutdown();
+        for h in self.handles.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+        self.summary()
+    }
+
+    /// Joins the workers without requesting shutdown — used by the batch
+    /// entry point, whose pool shuts itself down when the last actor
+    /// retires.
+    fn join_idle(mut self) -> (ThreadedSummary, Arc<Shared<M>>) {
+        for h in self.handles.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+        (self.summary(), Arc::clone(&self.shared))
+    }
+}
+
+impl<M: Message> Drop for Executor<M> {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -351,10 +750,8 @@ pub fn run_actors_with<M: Message>(
     cfg: &ExecutorConfig,
     metrics: &MetricsRegistry,
 ) -> (ThreadedSummary, Vec<Box<dyn Actor<M>>>) {
-    let n = actors.len();
     let workers = cfg.effective_workers().max(1);
-    let start = Instant::now();
-    if n == 0 {
+    if actors.is_empty() {
         return (
             ThreadedSummary {
                 elapsed: SimTime::ZERO,
@@ -368,81 +765,14 @@ pub fn run_actors_with<M: Message>(
             actors,
         );
     }
-    let shared: Shared<M> = Shared {
-        slots: actors
-            .into_iter()
-            .map(|actor| Slot {
-                mailbox: Mailbox::new(cfg.mailbox_capacity),
-                // Seeded as QUEUED below: every actor gets one start task.
-                state: AtomicU8::new(QUEUED),
-                body: Mutex::new(Some(SlotBody {
-                    actor,
-                    started: false,
-                })),
-            })
-            .collect(),
-        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-        timers: (0..workers)
-            .map(|_| Mutex::new(BinaryHeap::new()))
-            .collect(),
-        idle_lock: Mutex::new(()),
-        wake: Condvar::new(),
-        idle_count: AtomicUsize::new(0),
-        stop: AtomicBool::new(false),
-        live: AtomicUsize::new(n),
-        timer_seq: AtomicU64::new(0),
-        start,
-        net_bytes: AtomicU64::new(0),
-        net_messages: AtomicU64::new(0),
-        steals: AtomicU64::new(0),
-        parks: AtomicU64::new(0),
-        overflows: AtomicU64::new(0),
-        timer_fires: AtomicU64::new(0),
-        worker_metrics: (0..workers)
-            .map(|w| WorkerMetrics::new(metrics, w))
-            .collect(),
-    };
-    // Seed the start tasks round-robin so `on_start` work spreads over the
-    // pool from the first instant.
-    for (i, q) in (0..n).zip((0..workers).cycle()) {
-        shared.queues[q]
-            .lock()
-            .expect("run queue")
-            .push_back(i as ActorId);
-    }
-    thread::scope(|scope| {
-        let shared = &shared;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| scope.spawn(move || worker_loop(shared, w)))
-            .collect();
-        // Join explicitly so an actor panic surfaces as a run panic (the
-        // old runtime's `actor thread panicked`) instead of a hang.
-        for h in handles {
-            h.join().expect("worker thread panicked");
-        }
-    });
-    let elapsed = start.elapsed();
-    let max_depth = shared
-        .slots
-        .iter()
-        .map(|s| s.mailbox.max_depth())
-        .max()
-        .unwrap_or(0);
-    let summary = ThreadedSummary {
-        elapsed: SimTime::from_nanos(elapsed.as_nanos() as u64),
-        net_bytes: shared.net_bytes.load(Ordering::Relaxed),
-        net_messages: shared.net_messages.load(Ordering::Relaxed),
-        exec: ExecutorStats {
-            workers: workers as u64,
-            steals: shared.steals.load(Ordering::Relaxed),
-            parks: shared.parks.load(Ordering::Relaxed),
-            overflows: shared.overflows.load(Ordering::Relaxed),
-            max_mailbox_depth: max_depth as u64,
-            timer_fires: shared.timer_fires.load(Ordering::Relaxed),
-        },
-    };
-    let actors = shared
-        .slots
+    let pool = Executor::start_inner(cfg, metrics, true);
+    let admission = pool.admit(actors, cfg.mailbox_capacity);
+    // The pool shuts itself down when the last live actor retires; join
+    // the workers and collect the actors back out of their slots.
+    let (summary, shared) = pool.join_idle();
+    let slots = shared.snapshot();
+    let _ = admission;
+    let actors = slots
         .iter()
         .map(|s| {
             s.body
@@ -459,21 +789,22 @@ pub fn run_actors_with<M: Message>(
 fn worker_loop<M: Message>(shared: &Shared<M>, index: usize) {
     let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((index as u64 + 1) << 17);
     let mut scratch: Vec<Env<M>> = Vec::with_capacity(DEQUEUE_BATCH);
+    let mut cache: Slots<M> = shared.snapshot();
     loop {
-        if shared.live.load(Ordering::Acquire) == 0 {
+        if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         // Own timers first: cheap, usually empty.
-        shared.fire_wheel(index, index);
+        shared.fire_wheel(&mut cache, index, index);
         if let Some(actor) = next_task(shared, index, &mut rng) {
-            run_actor(shared, index, actor, &mut scratch);
+            run_actor(shared, &mut cache, index, actor, &mut scratch);
             continue;
         }
         // Steal point with no stealable work: merge every timer wheel so a
         // busy owner cannot sit on another actor's deadline.
         let mut fired = 0;
         for w in 0..shared.timers.len() {
-            fired += shared.fire_wheel(index, w);
+            fired += shared.fire_wheel(&mut cache, index, w);
         }
         if fired > 0 {
             continue;
@@ -523,7 +854,7 @@ fn park<M: Message>(shared: &Shared<M>, index: usize) {
     // Re-scan after registering as idle: an enqueue that raced with our
     // empty scan now either sees idle_count > 0 (and will notify) or its
     // push is visible here.
-    if shared.has_queued_work() || shared.live.load(Ordering::Acquire) == 0 {
+    if shared.has_queued_work() || shared.shutdown.load(Ordering::Acquire) {
         shared.idle_count.fetch_sub(1, Ordering::SeqCst);
         return;
     }
@@ -544,11 +875,12 @@ fn park<M: Message>(shared: &Shared<M>, index: usize) {
 /// sends and re-queues / idles / retires it.
 fn run_actor<M: Message>(
     shared: &Shared<M>,
+    cache: &mut Slots<M>,
     index: usize,
     actor: ActorId,
     scratch: &mut Vec<Env<M>>,
 ) {
-    let slot = &shared.slots[actor as usize];
+    let slot = Arc::clone(shared.slot(cache, actor));
     slot.state.store(RUNNING, Ordering::Release);
     let mut dead = false;
     let wm = &shared.worker_metrics[index];
@@ -558,8 +890,10 @@ fn run_actor<M: Message>(
         let body = body_guard.as_mut().expect("actor present");
         let mut ctx = ExecCtx {
             shared,
+            cache: Arc::clone(cache),
             worker: index,
             me: actor,
+            group: Arc::clone(&slot.group),
             pending: Vec::new(),
         };
         if !body.started {
@@ -595,9 +929,11 @@ fn run_actor<M: Message>(
     if dead {
         slot.state.store(DEAD, Ordering::Release);
         slot.mailbox.close();
-        if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _g = shared.idle_lock.lock().expect("idle lock");
-            shared.wake.notify_all();
+        if slot.group.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            slot.group.finish();
+        }
+        if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 && shared.exit_when_idle {
+            shared.request_shutdown();
         }
     } else if !slot.mailbox.is_empty() {
         // Budget exhausted with work left: back of the queue, fair.
@@ -608,7 +944,7 @@ fn run_actor<M: Message>(
         // Close the race with a concurrent deliver that pushed between
         // our emptiness check and the IDLE store.
         if !slot.mailbox.is_empty() {
-            shared.try_schedule(index, actor);
+            shared.try_schedule(cache, index, actor);
         }
     }
 }
@@ -616,8 +952,12 @@ fn run_actor<M: Message>(
 /// The [`Context`] handed to actors running on the pool.
 struct ExecCtx<'a, M: Message> {
     shared: &'a Shared<M>,
+    /// The running actor's own snapshot of the slot table (refreshed
+    /// lazily on out-of-range ids).
+    cache: Slots<M>,
     worker: usize,
     me: ActorId,
+    group: Arc<GroupState>,
     /// Per-destination coalescing buffers, flushed on size or at the end
     /// of the actor's scheduling quantum.
     pending: Vec<(ActorId, Vec<Env<M>>)>,
@@ -628,6 +968,7 @@ struct ExecCtx<'a, M: Message> {
 /// mailbox — the sender is the consumer that would drain it.
 fn flush_buffer<M: Message>(
     shared: &Shared<M>,
+    cache: &mut Slots<M>,
     worker: usize,
     me: ActorId,
     to: ActorId,
@@ -637,15 +978,22 @@ fn flush_buffer<M: Message>(
         shared.worker_metrics[worker]
             .coalesce_batch
             .record(buf.len() as u64);
-        shared.deliver(worker, to, buf, to == me);
+        shared.deliver(cache, worker, to, buf, to == me);
     }
 }
 
 impl<M: Message> ExecCtx<'_, M> {
     fn flush_all(&mut self) {
-        let (shared, worker, me) = (self.shared, self.worker, self.me);
-        for (to, buf) in &mut self.pending {
-            flush_buffer(shared, worker, me, *to, buf);
+        let Self {
+            shared,
+            cache,
+            worker,
+            me,
+            pending,
+            ..
+        } = self;
+        for (to, buf) in pending.iter_mut() {
+            flush_buffer(shared, cache, *worker, *me, *to, buf);
         }
     }
 
@@ -661,11 +1009,18 @@ impl<M: Message> ExecCtx<'_, M> {
                 self.pending.len() - 1
             }
         };
-        let (shared, worker, me) = (self.shared, self.worker, self.me);
-        let (dest, buf) = &mut self.pending[i];
+        let Self {
+            shared,
+            cache,
+            worker,
+            me,
+            pending,
+            ..
+        } = self;
+        let (dest, buf) = &mut pending[i];
         buf.push(env);
         if buf.len() >= COALESCE_FLUSH {
-            flush_buffer(shared, worker, me, *dest, buf);
+            flush_buffer(shared, cache, *worker, *me, *dest, buf);
         }
     }
 }
@@ -681,8 +1036,10 @@ impl<M: Message> Context<M> for ExecCtx<'_, M> {
 
     fn send(&mut self, to: ActorId, msg: M) {
         // Charge the wire bytes exactly as the simulated network does, so
-        // both backends report comparable traffic totals.
+        // both backends report comparable traffic totals — and charge the
+        // sender's group so each query keeps its own traffic ledger.
         self.shared.charge(&msg);
+        self.group.charge(msg.wire_bytes());
         self.buffer(to, Env::Msg { from: self.me, msg });
     }
 
@@ -690,6 +1047,7 @@ impl<M: Message> Context<M> for ExecCtx<'_, M> {
         if delay == SimTime::ZERO {
             // Fast path: a charged self-send, no timer round-trip.
             self.shared.charge(&msg);
+            self.group.charge(msg.wire_bytes());
             self.buffer(self.me, Env::Msg { from: self.me, msg });
             return;
         }
@@ -720,15 +1078,177 @@ impl<M: Message> Context<M> for ExecCtx<'_, M> {
 
     fn stop(&mut self) {
         // Everything this actor sent before stopping must land before the
-        // sentinels, like the old engine's channel FIFO did.
+        // sentinels, like the old engine's channel FIFO did. The sentinels
+        // go to this actor's *own group only*: under concurrent queries,
+        // one query stopping must not quiesce — or drop batches of — any
+        // other query.
         self.flush_all();
-        if !self.shared.stop.swap(true, Ordering::AcqRel) {
-            for id in 0..self.shared.slots.len() {
-                self.shared.slots[id].mailbox.push_control(Env::Stop);
-                self.shared.try_schedule(self.worker, id as ActorId);
-            }
-            let _g = self.shared.idle_lock.lock().expect("idle lock");
-            self.shared.wake.notify_all();
+        if !self.group.stop.swap(true, Ordering::AcqRel) {
+            let Self {
+                shared,
+                cache,
+                worker,
+                group,
+                ..
+            } = self;
+            shared.post_group_sentinels(cache, *worker, group);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct Count(u64);
+    impl Message for Count {
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    /// Relays a counter around a ring of `n` actors starting at `base`.
+    struct RingNode {
+        next: ActorId,
+        limit: u64,
+        initiator: bool,
+    }
+    impl Actor<Count> for RingNode {
+        fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+            if self.initiator {
+                ctx.send(self.next, Count(1));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context<Count>, _from: ActorId, msg: Count) {
+            if msg.0 >= self.limit {
+                ctx.stop();
+            } else {
+                ctx.send(self.next, Count(msg.0 + 1));
+            }
+        }
+    }
+
+    fn ring(base: ActorId, n: u32, limit: u64) -> Vec<Box<dyn Actor<Count>>> {
+        (0..n)
+            .map(|i| {
+                Box::new(RingNode {
+                    next: base + (i + 1) % n,
+                    limit,
+                    initiator: i == 0,
+                }) as Box<dyn Actor<Count>>
+            })
+            .collect()
+    }
+
+    struct StopOnStart;
+    impl Actor<Count> for StopOnStart {
+        fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+            ctx.stop();
+        }
+        fn on_message(&mut self, _c: &mut dyn Context<Count>, _f: ActorId, _m: Count) {}
+    }
+
+    #[test]
+    fn one_groups_stop_does_not_drop_another_groups_messages() {
+        // Regression for the engine-wide stop flag: a query finishing used
+        // to flip every mailbox to droppable and sentinel every actor.
+        // Now group A stopping must leave group B's ring delivering every
+        // hop to its own limit.
+        let cfg = ExecutorConfig {
+            workers: 2,
+            ..ExecutorConfig::default()
+        };
+        let pool: Executor<Count> = Executor::start(&cfg, &MetricsRegistry::disabled());
+        let b = pool.admit_with(4, cfg.mailbox_capacity, |base| ring(base, 4, 300));
+        let a = pool.admit(vec![Box::new(StopOnStart)], cfg.mailbox_capacity);
+        let a_out = pool.wait(&a);
+        let b_out = pool.wait(&b);
+        assert_eq!(a_out.net_messages, 0, "the stopper sent nothing");
+        assert_eq!(
+            b_out.net_messages, 300,
+            "every hop of group B delivered despite group A's stop"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn groups_admitted_after_a_stop_still_run() {
+        let pool: Executor<Count> =
+            Executor::start(&ExecutorConfig::default(), &MetricsRegistry::disabled());
+        let a = pool.admit(vec![Box::new(StopOnStart)], 1024);
+        pool.wait(&a);
+        // Admitted after group A fully quiesced: must be unaffected.
+        let b = pool.admit_with(3, 1024, |base| ring(base, 3, 50));
+        let b_out = pool.wait(&b);
+        assert_eq!(b_out.net_messages, 50);
+        let summary = pool.shutdown();
+        assert_eq!(summary.net_messages, 50);
+    }
+
+    #[test]
+    fn cancel_quiesces_a_group_externally() {
+        // An idle group (no initiator, nothing in flight) never stops by
+        // itself; cancel must retire it promptly.
+        struct Idle;
+        impl Actor<Count> for Idle {
+            fn on_message(&mut self, _c: &mut dyn Context<Count>, _f: ActorId, _m: Count) {}
+        }
+        let pool: Executor<Count> =
+            Executor::start(&ExecutorConfig::default(), &MetricsRegistry::disabled());
+        let adm = pool.admit(vec![Box::new(Idle), Box::new(Idle)], 1024);
+        assert!(
+            pool.wait_timeout(&adm, Duration::from_millis(10)).is_none(),
+            "idle group does not finish on its own"
+        );
+        pool.cancel(&adm);
+        let out = pool
+            .wait_timeout(&adm, Duration::from_secs(10))
+            .expect("cancel retires the group");
+        assert_eq!(out.net_messages, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn per_group_traffic_ledgers_are_disjoint() {
+        let pool: Executor<Count> =
+            Executor::start(&ExecutorConfig::default(), &MetricsRegistry::disabled());
+        let a = pool.admit_with(2, 1024, |base| ring(base, 2, 40));
+        let b = pool.admit_with(2, 1024, |base| ring(base, 2, 70));
+        let (a_out, b_out) = (pool.wait(&a), pool.wait(&b));
+        assert_eq!(a_out.net_messages, 40);
+        assert_eq!(b_out.net_messages, 70);
+        assert_eq!(a_out.net_bytes, 40 * 8);
+        let summary = pool.shutdown();
+        assert_eq!(summary.net_messages, 110, "pool totals are the sum");
+    }
+
+    #[test]
+    fn take_actors_returns_the_groups_actors_in_block_order() {
+        struct Tagged(u64, Arc<AtomicU64>);
+        impl Actor<Count> for Tagged {
+            fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+                self.1.fetch_add(self.0, Ordering::Relaxed);
+                if self.0 == 1 {
+                    ctx.stop();
+                }
+            }
+            fn on_message(&mut self, _c: &mut dyn Context<Count>, _f: ActorId, _m: Count) {}
+        }
+        let started = Arc::new(AtomicU64::new(0));
+        let pool: Executor<Count> =
+            Executor::start(&ExecutorConfig::default(), &MetricsRegistry::disabled());
+        let adm = pool.admit(
+            vec![
+                Box::new(Tagged(1, Arc::clone(&started))),
+                Box::new(Tagged(2, Arc::clone(&started))),
+            ],
+            1024,
+        );
+        pool.wait(&adm);
+        let actors = pool.take_actors(&adm);
+        assert_eq!(actors.len(), 2);
+        assert_eq!(started.load(Ordering::Relaxed), 3, "both actors started");
+        pool.shutdown();
     }
 }

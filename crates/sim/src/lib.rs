@@ -30,8 +30,8 @@ pub mod time;
 
 pub use actor::{Actor, ActorId, Context, Message};
 pub use disk::{DiskConfig, DiskState};
-pub use engine::{Engine, EngineConfig, EngineError, RunSummary, StopReason};
-pub use executor::{ExecutorConfig, ExecutorStats};
+pub use engine::{Engine, EngineConfig, EngineError, GroupSummary, RunSummary, StopReason};
+pub use executor::{Admission, Executor, ExecutorConfig, ExecutorStats, GroupOutcome};
 pub use mailbox::{Mailbox, PushReport};
 pub use net::{NetConfig, Network};
 pub use threaded::{ThreadedEngine, ThreadedSummary};

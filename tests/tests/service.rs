@@ -1,0 +1,185 @@
+//! Service-level suite: concurrent queries on one runtime must behave
+//! exactly like the same queries run alone.
+//!
+//! The deterministic half interleaves queries in one simulation and pins
+//! byte-identical per-query reports against standalone runs. The threaded
+//! half stress-tests staggered admissions — mixed algorithms sharing one
+//! worker pool, one query cancelled mid-stream — and checks every
+//! surviving query's match count against the data-derived reference.
+
+use ehj_core::{
+    expected_matches_for, Algorithm, JoinConfig, JoinError, JoinReport, JoinRunner, JoinService,
+    QueryId, ServiceConfig,
+};
+use std::time::Duration;
+
+/// The comparable rendering of a report: everything except the `*_ns`
+/// batch-timing histograms, which are real wall-clock measurements and
+/// differ even between two standalone runs of the same query.
+fn rendered(mut report: JoinReport) -> String {
+    report
+        .metrics
+        .histograms
+        .retain(|h| !h.name.ends_with("_ns"));
+    format!("{report:?}")
+}
+
+fn small(alg: Algorithm) -> JoinConfig {
+    let mut cfg = JoinConfig::paper_scaled(alg, 2000);
+    let domain = 1 << 12;
+    cfg.r = cfg.r.with_domain(domain);
+    cfg.s = cfg.s.with_domain(domain);
+    cfg.positions = (domain / 4) as u32;
+    cfg
+}
+
+/// Two interleaved queries must produce reports byte-identical to the same
+/// queries run alone: per-query cost accounting, traces and metrics leak
+/// nothing across the shared engine.
+#[test]
+fn interleaved_reports_are_byte_identical_to_standalone_runs() {
+    let cfgs = [small(Algorithm::Split), small(Algorithm::Hybrid)];
+    let alone: Vec<String> = cfgs
+        .iter()
+        .map(|cfg| rendered(JoinRunner::run(cfg).expect("standalone run")))
+        .collect();
+    let together = JoinService::run_interleaved(&cfgs).expect("interleaved batch");
+    assert_eq!(together.len(), 2);
+    for (i, report) in together.iter().enumerate() {
+        let report = report.as_ref().expect("interleaved query completed");
+        assert_eq!(
+            rendered(report.clone()),
+            alone[i],
+            "query {i} ({}) diverged under interleaving",
+            cfgs[i].algorithm.label()
+        );
+    }
+}
+
+/// Same check with every algorithm in one batch — four schedulers, four
+/// source sets and four node fleets coexisting in disjoint actor blocks.
+#[test]
+fn all_four_algorithms_interleave_without_interference() {
+    let cfgs: Vec<JoinConfig> = Algorithm::ALL.iter().map(|&a| small(a)).collect();
+    let together = JoinService::run_interleaved(&cfgs).expect("interleaved batch");
+    for (cfg, report) in cfgs.iter().zip(&together) {
+        let report = report.as_ref().expect("query completed");
+        let alone = JoinRunner::run(cfg).expect("standalone run");
+        assert_eq!(
+            rendered(report.clone()),
+            rendered(alone),
+            "{}",
+            cfg.algorithm.label()
+        );
+    }
+}
+
+/// Staggered concurrent admissions on the threaded service: mixed
+/// algorithms share one pool, every query's matches equal the reference,
+/// and per-query reports stay disjoint (each query's own latency/traffic).
+#[test]
+fn threaded_service_runs_staggered_concurrent_queries() {
+    let service = JoinService::start(ServiceConfig {
+        workers: 4,
+        query_deadline: Duration::from_secs(60),
+        ..ServiceConfig::default()
+    });
+    let mut handles = Vec::new();
+    for i in 0..8u64 {
+        let alg = Algorithm::ALL[i as usize % Algorithm::ALL.len()];
+        let cfg = small(alg);
+        let handle = service.submit(&cfg).expect("admitted");
+        assert_eq!(handle.id, QueryId(i));
+        handles.push((cfg, handle));
+        // Stagger: later queries join while earlier ones are mid-flight.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for (cfg, handle) in handles {
+        let report = service.wait(handle).expect("query completes");
+        assert_eq!(
+            report.matches,
+            expected_matches_for(&cfg),
+            "{} under concurrent load",
+            cfg.algorithm.label()
+        );
+        assert!(report.times.total_secs > 0.0);
+    }
+    service.shutdown();
+}
+
+/// One cancelled query must quiesce without poisoning its neighbours: the
+/// other admitted queries still complete with exact match counts.
+#[test]
+fn cancelling_one_query_does_not_starve_the_rest() {
+    let service = JoinService::start(ServiceConfig {
+        workers: 4,
+        query_deadline: Duration::from_secs(60),
+        ..ServiceConfig::default()
+    });
+    // The victim is deliberately larger so it is still running when the
+    // cancel lands.
+    let mut victim_cfg = small(Algorithm::Hybrid);
+    victim_cfg.r.tuples *= 8;
+    victim_cfg.s.tuples *= 8;
+    let victim = service.submit(&victim_cfg).expect("victim admitted");
+    let survivors: Vec<_> = [
+        Algorithm::Split,
+        Algorithm::Replicated,
+        Algorithm::OutOfCore,
+    ]
+    .into_iter()
+    .map(|alg| {
+        let cfg = small(alg);
+        let handle = service.submit(&cfg).expect("admitted");
+        (cfg, handle)
+    })
+    .collect();
+    service.cancel(&victim);
+    match service.wait(victim) {
+        // Usually the cancel lands mid-flight…
+        Err(JoinError::Cancelled { .. }) => {}
+        // …but a fast machine may finish the victim first; both are legal.
+        Ok(report) => assert_eq!(report.matches, expected_matches_for(&victim_cfg)),
+        Err(other) => panic!("unexpected victim outcome: {other}"),
+    }
+    for (cfg, handle) in survivors {
+        let report = service.wait(handle).expect("survivor completes");
+        assert_eq!(
+            report.matches,
+            expected_matches_for(&cfg),
+            "{} next to a cancelled tenant",
+            cfg.algorithm.label()
+        );
+    }
+    service.shutdown();
+}
+
+/// The quota ledger serialises queries whose combined demand exceeds the
+/// budget: the second query blocks in admission until the first releases.
+#[test]
+fn quota_serialises_oversubscribed_admissions() {
+    let cfg = small(Algorithm::Split);
+    let demand = cfg.cluster.total_hash_memory_bytes();
+    let service = JoinService::start(ServiceConfig {
+        workers: 2,
+        // Room for one query at a time.
+        memory_budget_bytes: Some(demand + demand / 2),
+        admission_patience: Duration::from_secs(30),
+        query_deadline: Duration::from_secs(60),
+        ..ServiceConfig::default()
+    });
+    let first = service.submit(&cfg).expect("first admitted");
+    // Second submission must block until the first finishes and its grant
+    // drops — run it on a helper thread while we drain the first.
+    let waiter = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let handle = service.submit(&cfg).expect("second admitted after release");
+            service.wait(handle).expect("second completes")
+        });
+        let r1 = service.wait(first).expect("first completes");
+        assert_eq!(r1.matches, expected_matches_for(&cfg));
+        h.join().expect("no panic")
+    });
+    assert_eq!(waiter.matches, expected_matches_for(&cfg));
+    service.shutdown();
+}
