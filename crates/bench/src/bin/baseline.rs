@@ -68,6 +68,19 @@
 //!   throughput/latency worse than the committed numbers after scaling
 //!   the floor by this machine's core count (wall-clock is only gated as
 //!   hard as the hardware can deliver).
+//! * **skew record** (`--skew`): sweep the zipf-θ axis (0.5 / 0.9 / 1.2)
+//!   across all four algorithms at smoke scale, running each cell with
+//!   skew-conscious hot-key routing off (the unrouted oracle) and on, and
+//!   write `BENCH_9.json` (or `--out PATH`). Every cell asserts the match
+//!   counts identical, the routed build-load imbalance within
+//!   [`SKEW_MAX_EXPANSION_RATIO`] of the oracle's and the routed network
+//!   traffic within [`SKEW_MAX_NET_RATIO`] ([`SKEW_MAX_NET_RATIO_HEAVY`]
+//!   once θ ≥ 1, where the hot mass itself dominates the traffic).
+//! * **skew check** (`--skew --check PATH`): re-run the sweep, enforce the
+//!   same hard gates and fail on any match-count drift against the
+//!   committed file (matches are deterministic data properties; the
+//!   imbalance/traffic cells move legitimately when routing policy is
+//!   tuned, so only their ratios are gated).
 //!
 //! Simulated phase times, traffic and match counts are deterministic, so
 //! the smoke comparison is meaningful on any machine; the micro benchmark
@@ -116,6 +129,7 @@ fn main() {
     let mut obs = false;
     let mut kernels = false;
     let mut service = false;
+    let mut skew = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -132,6 +146,7 @@ fn main() {
             "--obs" => obs = true,
             "--kernels" => kernels = true,
             "--service" => service = true,
+            "--skew" => skew = true,
             _ => {
                 usage();
             }
@@ -143,6 +158,7 @@ fn main() {
         + usize::from(obs)
         + usize::from(kernels)
         + usize::from(service)
+        + usize::from(skew)
         > 1
     {
         usage();
@@ -157,10 +173,18 @@ fn main() {
         "BENCH_7.json"
     } else if service {
         "BENCH_8.json"
+    } else if skew {
+        "BENCH_9.json"
     } else {
         "BENCH_2.json"
     };
     let out = out.unwrap_or_else(|| default_out.to_owned());
+    if skew {
+        return match check {
+            Some(path) => run_skew_check(&path),
+            None => run_skew_record(&out),
+        };
+    }
     if service {
         return match check {
             Some(path) => run_service_check(&path),
@@ -191,8 +215,9 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: baseline [--threaded | --probe | --obs | --kernels | --service] [--out PATH] | \
-         baseline [--threaded | --probe | --obs | --kernels | --service] --check PATH"
+        "usage: baseline [--threaded | --probe | --obs | --kernels | --service | --skew] \
+         [--out PATH] | \
+         baseline [--threaded | --probe | --obs | --kernels | --service | --skew] --check PATH"
     );
     std::process::exit(2);
 }
@@ -1355,6 +1380,210 @@ fn run_obs_check(path: &str) {
         std::process::exit(1);
     }
     println!("all obs baseline checks passed against {path}");
+}
+
+// --------------------------------------------- skew routing (BENCH_9)
+
+/// Allowed build-load imbalance (max node over mean) of the routed run,
+/// as a multiple of the unrouted oracle's imbalance at the same θ. Hot-key
+/// replication must never concentrate *more* build tuples on one node
+/// than hashing alone did; the slack only absorbs the replicated copies
+/// landing somewhere.
+const SKEW_MAX_EXPANSION_RATIO: f64 = 1.10;
+/// Allowed routed-over-oracle network-byte ratio: sketch shipping plus
+/// the replicated hot build tuples are bounded overhead, not a broadcast.
+const SKEW_MAX_NET_RATIO: f64 = 1.50;
+/// Net allowance at θ ≥ 1, where the hot keys dominate the relation: the
+/// hand-off copies and multi-destination hot probes scale with the hot
+/// mass itself, so the overhead legitimately exceeds the sub-unit bound
+/// (measured worst case 2.39x, hybrid) while staying far from an
+/// all-nodes broadcast.
+const SKEW_MAX_NET_RATIO_HEAVY: f64 = 3.00;
+
+/// The traffic allowance for a θ cell: [`SKEW_MAX_NET_RATIO_HEAVY`] once
+/// the zipf exponent reaches 1, [`SKEW_MAX_NET_RATIO`] below it.
+fn skew_net_allowance(theta: f64) -> f64 {
+    if theta >= 1.0 {
+        SKEW_MAX_NET_RATIO_HEAVY
+    } else {
+        SKEW_MAX_NET_RATIO
+    }
+}
+
+/// One (θ, algorithm) cell: the unrouted oracle against the hot-key run.
+struct SkewCell {
+    matches: u64,
+    off_imbalance: f64,
+    on_imbalance: f64,
+    off_net: u64,
+    on_net: u64,
+    off_total_secs: f64,
+    on_total_secs: f64,
+}
+
+/// Max-over-mean of the per-node build loads (1.0 = perfectly even).
+fn load_imbalance(load: &[u64]) -> f64 {
+    let total: u64 = load.iter().sum();
+    if load.is_empty() || total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / load.len() as f64;
+    load.iter().copied().max().unwrap_or(0) as f64 / mean
+}
+
+/// JSON key segment for one θ (`t0_5`, `t0_9`, `t1_2`).
+fn theta_key(theta: f64) -> String {
+    format!("t{theta}").replace('.', "_")
+}
+
+fn run_skew_cell(alg: Algorithm, theta: f64) -> SkewCell {
+    let run = |hot: bool| -> JoinReport {
+        let cfg = scenarios::zipf(alg, SMOKE_SCALE, theta, hot);
+        JoinRunner::run(&cfg).unwrap_or_else(|e| {
+            eprintln!("skew run failed for {alg:?} theta {theta} (hot={hot}): {e}");
+            std::process::exit(1);
+        })
+    };
+    let off = run(false);
+    let on = run(true);
+    if off.matches != on.matches {
+        eprintln!(
+            "FAIL skew.{}.{}: hot-key routing changed the match count \
+             ({} with routing, {} without)",
+            theta_key(theta),
+            alg_key(alg),
+            on.matches,
+            off.matches
+        );
+        std::process::exit(1);
+    }
+    SkewCell {
+        matches: off.matches,
+        off_imbalance: load_imbalance(&off.load),
+        on_imbalance: load_imbalance(&on.load),
+        off_net: off.net_bytes,
+        on_net: on.net_bytes,
+        off_total_secs: off.times.total_secs,
+        on_total_secs: on.times.total_secs,
+    }
+}
+
+/// The hard gates shared by record and check: routing never concentrates
+/// load beyond the slack and never blows up traffic.
+fn gate_skew_cell(alg: Algorithm, theta: f64, cell: &SkewCell) -> u32 {
+    let mut failures = 0;
+    let key = format!("skew.{}.{}", theta_key(theta), alg_key(alg));
+    let expansion = cell.on_imbalance / cell.off_imbalance.max(f64::MIN_POSITIVE);
+    if expansion > SKEW_MAX_EXPANSION_RATIO {
+        eprintln!(
+            "FAIL {key}.expansion: routed imbalance {:.3} is {expansion:.2}x the \
+             oracle's {:.3} (allowed {SKEW_MAX_EXPANSION_RATIO}x)",
+            cell.on_imbalance, cell.off_imbalance
+        );
+        failures += 1;
+    }
+    let net_ratio = cell.on_net as f64 / (cell.off_net as f64).max(f64::MIN_POSITIVE);
+    let net_allowance = skew_net_allowance(theta);
+    if net_ratio > net_allowance {
+        eprintln!(
+            "FAIL {key}.net_ratio: {net_ratio:.2}x oracle traffic \
+             (allowed {net_allowance}x)"
+        );
+        failures += 1;
+    }
+    failures
+}
+
+fn run_skew_grid() -> (Vec<(Algorithm, f64, SkewCell)>, u32) {
+    let mut grid = Vec::new();
+    let mut failures = 0;
+    for theta in scenarios::ZIPF_AXIS {
+        for alg in Algorithm::ALL {
+            let cell = run_skew_cell(alg, theta);
+            println!(
+                "skew/{}/{}: {} matches, imbalance {:.3} -> {:.3}, \
+                 net {} -> {} B, total {:.4}s -> {:.4}s",
+                theta_key(theta),
+                alg_key(alg),
+                cell.matches,
+                cell.off_imbalance,
+                cell.on_imbalance,
+                cell.off_net,
+                cell.on_net,
+                cell.off_total_secs,
+                cell.on_total_secs
+            );
+            failures += gate_skew_cell(alg, theta, &cell);
+            grid.push((alg, theta, cell));
+        }
+    }
+    (grid, failures)
+}
+
+fn run_skew_record(out: &str) {
+    let (grid, failures) = run_skew_grid();
+    let mut doc = Doc::new();
+    doc.set("schema_version", 1.0);
+    doc.set("skew.scale", SMOKE_SCALE as f64);
+    for (i, &theta) in scenarios::ZIPF_AXIS.iter().enumerate() {
+        doc.set(&format!("skew.thetas.{i}"), theta);
+    }
+    for (alg, theta, cell) in &grid {
+        let prefix = format!("skew.{}.{}", theta_key(*theta), alg_key(*alg));
+        doc.set(&format!("{prefix}.matches"), cell.matches as f64);
+        doc.set(&format!("{prefix}.off_imbalance"), cell.off_imbalance);
+        doc.set(&format!("{prefix}.on_imbalance"), cell.on_imbalance);
+        doc.set(&format!("{prefix}.off_net_bytes"), cell.off_net as f64);
+        doc.set(&format!("{prefix}.on_net_bytes"), cell.on_net as f64);
+        doc.set(&format!("{prefix}.off_total_secs"), cell.off_total_secs);
+        doc.set(&format!("{prefix}.on_total_secs"), cell.on_total_secs);
+    }
+    std::fs::write(out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+    if failures > 0 {
+        eprintln!("{failures} skew gate(s) failed");
+        std::process::exit(1);
+    }
+}
+
+fn run_skew_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let committed = parse_flat_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let (grid, mut failures) = run_skew_grid();
+    // Every number in the grid is a deterministic simulator output:
+    // matches are gated exactly (any drift is a correctness bug), the
+    // imbalance/traffic cells only through the hard ratios above (they
+    // move legitimately when routing policy is tuned).
+    for (alg, theta, cell) in &grid {
+        let key = format!("skew.{}.{}.matches", theta_key(*theta), alg_key(*alg));
+        match committed.get(key.as_str()) {
+            Some(&m) if (cell.matches as f64 - m).abs() < 0.5 => {
+                println!("  ok {key}: {}", cell.matches);
+            }
+            Some(&m) => {
+                eprintln!("FAIL {key}: {} != committed {m}", cell.matches);
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL {key}: missing from {path}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} skew baseline check(s) failed against {path}");
+        std::process::exit(1);
+    }
+    println!("all skew baseline checks passed against {path}");
 }
 
 // ------------------------------------------ multi-tenant service (BENCH_8)

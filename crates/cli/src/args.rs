@@ -57,6 +57,11 @@ pub struct Args {
     pub sigma: Option<f64>,
     /// Zipf theta (None = not zipfian); mutually exclusive with sigma.
     pub zipf: Option<f64>,
+    /// Enable skew-conscious hot-key routing (sketches + replication).
+    pub hot_keys: bool,
+    /// Mirror S's attribute draw so its hot head lands on R's cold tail
+    /// (anti-matched R/S correlation; default is matched heads).
+    pub anti_matched: bool,
     /// Initial join nodes.
     pub initial_nodes: Option<usize>,
     /// Tuple payload bytes.
@@ -99,6 +104,8 @@ impl Default for Args {
             s_tuples: None,
             sigma: None,
             zipf: None,
+            hot_keys: false,
+            anti_matched: false,
             initial_nodes: None,
             payload: None,
             seed: None,
@@ -137,7 +144,12 @@ OPTIONS:
   --r-tuples <N>         override R's size (after scaling)
   --s-tuples <N>         override S's size (after scaling)
   --sigma <F>            gaussian skew (fraction of the domain); omit = uniform
-  --zipf <THETA>         zipfian duplication skew, theta in (0,1)
+  --zipf <THETA>         zipfian duplication skew, theta > 0 (theta >= 1 uses the
+                         exact harmonic inverse-CDF sampler)
+  --hot-keys             skew-conscious routing: heavy-hitter sketches, hot-key
+                         replication and skew-aware reshuffle (--no-hot-keys undoes)
+  --anti-matched         mirror S's attribute draw so its hot head lands on R's
+                         cold tail (--matched restores the aligned default)
   --initial-nodes <N>    join nodes allocated up front (default 4)
   --payload <BYTES>      tuple payload size (default 100)
   --seed <N>             RNG seed
@@ -232,6 +244,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             }
             "--sigma" => args.sigma = Some(parse_num(&value(&mut it, "--sigma")?, "--sigma")?),
             "--zipf" => args.zipf = Some(parse_num(&value(&mut it, "--zipf")?, "--zipf")?),
+            "--hot-keys" => args.hot_keys = true,
+            "--no-hot-keys" => args.hot_keys = false,
+            "--anti-matched" => args.anti_matched = true,
+            "--matched" => args.anti_matched = false,
             "--initial-nodes" => {
                 args.initial_nodes = Some(parse_num(
                     &value(&mut it, "--initial-nodes")?,
@@ -356,7 +372,27 @@ mod tests {
     fn zipf_flag_parses() {
         let a = p("run --zipf 0.9").expect("valid");
         assert_eq!(a.zipf, Some(0.9));
+        assert_eq!(p("run --zipf 1.2").expect("valid").zipf, Some(1.2));
         assert!(p("run --zipf").is_err());
+    }
+
+    #[test]
+    fn hot_keys_flag_parses_with_last_wins() {
+        assert!(!p("run").expect("valid").hot_keys);
+        assert!(p("run --hot-keys").expect("valid").hot_keys);
+        assert!(!p("run --hot-keys --no-hot-keys").expect("valid").hot_keys);
+        assert!(p("run --no-hot-keys --hot-keys").expect("valid").hot_keys);
+    }
+
+    #[test]
+    fn anti_matched_flag_parses_with_last_wins() {
+        assert!(!p("run").expect("valid").anti_matched);
+        assert!(p("run --anti-matched").expect("valid").anti_matched);
+        assert!(
+            !p("run --anti-matched --matched")
+                .expect("valid")
+                .anti_matched
+        );
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub fn config_from_args(args: &Args, algorithm: Algorithm) -> JoinConfig {
         cfg.r.dist = dist;
         cfg.s.dist = dist;
     }
+    if args.hot_keys {
+        cfg.hot_keys = ehj_core::HotKeyConfig::enabled();
+    }
+    if args.anti_matched {
+        cfg.s.correlation = ehj_data::Correlation::AntiMatched;
+    }
     if let Some(n) = args.initial_nodes {
         cfg.initial_nodes = n;
     }
@@ -473,6 +479,41 @@ mod tests {
         let out = execute(&a).expect("service batch");
         assert!(out.contains("concurrent queries"));
         assert!(out.contains("q/s"));
+    }
+
+    #[test]
+    fn hot_keys_flag_flows_into_config() {
+        let a = parse("run --zipf 0.9 --hot-keys");
+        let cfg = config_from_args(&a, Algorithm::Hybrid);
+        assert!(cfg.hot_keys.enabled);
+        assert!(
+            !config_from_args(&parse("run"), Algorithm::Hybrid)
+                .hot_keys
+                .enabled
+        );
+    }
+
+    #[test]
+    fn anti_matched_flag_flows_into_s_spec() {
+        let cfg = config_from_args(&parse("run --zipf 0.9 --anti-matched"), Algorithm::Split);
+        assert_eq!(cfg.s.correlation, ehj_data::Correlation::AntiMatched);
+        assert_eq!(cfg.r.correlation, ehj_data::Correlation::Matched);
+        let plain = config_from_args(&parse("run --zipf 0.9"), Algorithm::Split);
+        assert_eq!(plain.s.correlation, ehj_data::Correlation::Matched);
+    }
+
+    #[test]
+    fn anti_matched_run_verifies_under_zipf() {
+        let a = parse("run --scale 2000 --algorithm hybrid --zipf 0.9 --anti-matched --verify");
+        let out = execute(&a).expect("anti-matched run verifies");
+        assert!(out.contains("total execution time"));
+    }
+
+    #[test]
+    fn hot_key_run_verifies_under_heavy_zipf() {
+        let a = parse("run --scale 2000 --algorithm split --zipf 1.2 --hot-keys --verify");
+        let out = execute(&a).expect("skew-routed run verifies");
+        assert!(out.contains("total execution time"));
     }
 
     #[test]

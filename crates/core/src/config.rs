@@ -102,6 +102,54 @@ impl Default for CostModel {
     }
 }
 
+/// Skew-conscious routing knobs (DESIGN §4i): sources keep space-saving
+/// sketches of the build key stream and ship them to the scheduler, which
+/// may install a [`RoutingTable::HotKeys`](crate::routing::RoutingTable)
+/// overlay replicating the hottest positions' build tuples and
+/// round-robining their probes.
+///
+/// [`HotKeyConfig::default`] is **off**: every existing workload keeps
+/// byte-identical observables unless hot-key routing is asked for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotKeyConfig {
+    /// Master switch; when false no sketches are kept and no overlay is
+    /// ever installed.
+    pub enabled: bool,
+    /// Counters per source-side sketch (the space-saving `k`).
+    pub sketch_capacity: usize,
+    /// Minimum observed build tuples (merged across sources) before the
+    /// scheduler considers installing the overlay — avoids acting on noise.
+    pub min_total: u64,
+    /// Install threshold: the hottest key's estimated share of the build
+    /// stream must exceed this fraction.
+    pub hot_fraction: f64,
+    /// At most this many positions are promoted to the hot set.
+    pub max_hot: usize,
+}
+
+impl Default for HotKeyConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            sketch_capacity: 64,
+            min_total: 8192,
+            hot_fraction: 0.01,
+            max_hot: 32,
+        }
+    }
+}
+
+impl HotKeyConfig {
+    /// The default knobs with the master switch on.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Complete description of one join run.
 #[derive(Debug, Clone)]
 pub struct JoinConfig {
@@ -140,6 +188,8 @@ pub struct JoinConfig {
     /// Whether a node that cannot be relieved (no potential nodes left, or
     /// an unsplittable hot range) falls back to spilling out of core.
     pub allow_spill_fallback: bool,
+    /// Skew-conscious routing knobs (DESIGN §4i; off by default).
+    pub hot_keys: HotKeyConfig,
     /// Which probe kernel join nodes run (DESIGN §4g). Every kernel
     /// produces byte-identical simulated observables; they differ only in
     /// host wall-time. The scalar tuple-at-a-time path and the one-chain
@@ -191,6 +241,7 @@ impl JoinConfig {
             disk: DiskConfig::ide_2004(),
             grace: GraceConfig::default(),
             allow_spill_fallback: true,
+            hot_keys: HotKeyConfig::default(),
             probe_kernel: ProbeKernel::default(),
             max_events: 500_000_000,
             max_sim_time: None,
@@ -287,6 +338,24 @@ impl JoinConfig {
         if self.positions == 0 {
             return Err("positions must be positive".into());
         }
+        if self.hot_keys.enabled {
+            let hk = &self.hot_keys;
+            if hk.sketch_capacity == 0 {
+                return Err("hot_keys.sketch_capacity must be positive".into());
+            }
+            if hk.max_hot == 0 {
+                return Err("hot_keys.max_hot must be positive".into());
+            }
+            if hk.max_hot > hk.sketch_capacity {
+                return Err(format!(
+                    "hot_keys.max_hot ({}) exceeds sketch_capacity ({})",
+                    hk.max_hot, hk.sketch_capacity
+                ));
+            }
+            if !(hk.hot_fraction > 0.0 && hk.hot_fraction < 1.0) {
+                return Err("hot_keys.hot_fraction must lie in (0, 1)".into());
+            }
+        }
         Ok(())
     }
 }
@@ -360,6 +429,16 @@ mod tests {
         let mut cfg = JoinConfig::paper_default(Algorithm::Split);
         cfg.s = cfg.s.with_domain(1);
         assert!(cfg.validate().is_err(), "domain mismatch must fail");
+
+        let mut cfg = JoinConfig::paper_default(Algorithm::Split);
+        cfg.hot_keys = HotKeyConfig::enabled();
+        cfg.hot_keys.max_hot = cfg.hot_keys.sketch_capacity + 1;
+        assert!(cfg.validate().is_err(), "max_hot > capacity must fail");
+        cfg.hot_keys = HotKeyConfig::enabled();
+        cfg.hot_keys.hot_fraction = 1.5;
+        assert!(cfg.validate().is_err(), "hot_fraction >= 1 must fail");
+        cfg.hot_keys = HotKeyConfig::enabled();
+        cfg.validate().expect("enabled defaults must validate");
     }
 
     #[test]

@@ -52,6 +52,8 @@ struct NodeMetrics {
     /// Mean chains concurrently in flight per interleaved-walk round, one
     /// sample per probed batch (wide kernels only).
     interleave_depth: ehj_metrics::Histogram,
+    /// Probe tuples answered from a replicated hot position (DESIGN §4i).
+    hotkey_hits: Counter,
 }
 
 impl NodeMetrics {
@@ -66,6 +68,7 @@ impl NodeMetrics {
             filter_probes: handle.counter(names::NODE_FILTER_PROBES),
             filter_rejections: handle.counter(names::NODE_FILTER_REJECTIONS),
             interleave_depth: handle.histogram(names::NODE_INTERLEAVE_DEPTH),
+            hotkey_hits: handle.counter(names::NODE_HOTKEY_HITS),
         }
     }
 }
@@ -112,6 +115,12 @@ pub struct JoinNode<B: SpillBackend + Default + Send> {
     filter_probes: u64,
     filter_rejections: u64,
     filter_batches: u64,
+    /// Hot-key copies received before this node's own `HotKeyPlan`:
+    /// inserting them early would re-ship a peer's copies during our own
+    /// extraction, so they wait until the plan has been processed.
+    hotkey_stash: Vec<TupleBatch>,
+    /// Whether this node's `HotKeyPlan` has been processed this run.
+    hotkey_plan_seen: bool,
 }
 
 impl<B: SpillBackend + Default + Send> JoinNode<B> {
@@ -153,6 +162,8 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             filter_probes: 0,
             filter_rejections: 0,
             filter_batches: 0,
+            hotkey_stash: Vec::new(),
+            hotkey_plan_seen: false,
         }
     }
 
@@ -386,7 +397,16 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         let mut positions = std::mem::take(&mut self.pos_scratch);
         self.space.bulk_positions(&batch, &mut positions);
         for (&t, &pos) in batch.iter().zip(&positions) {
-            let dest = routing.build_dest_pos(pos);
+            // Hot positions are replicated: a hot tuple landing anywhere is
+            // validly homed, and the post-build hand-off copies it to every
+            // clean participant (DESIGN §4i). Forwarding it would break the
+            // exactly-once-per-replica-set invariant the sources establish.
+            let hot = routing.overlay().is_some_and(|o| o.is_hot(pos));
+            let dest = if hot {
+                self.me
+            } else {
+                routing.build_dest_pos(pos)
+            };
             if dest != self.me {
                 self.scatter_push(dest, t);
                 continue;
@@ -451,7 +471,25 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         let mut inserted: u64 = 0;
         for t in std::mem::take(&mut self.pending) {
             let pos = self.space.position_of(t.join_attr);
-            let dest = routing.build_dest_pos(pos);
+            let hot = routing.overlay().is_some_and(|o| o.is_hot(pos));
+            if hot {
+                // A replicated position is validly homed on any member, so
+                // prefer housing it here; but when the table is full the
+                // tuple must follow the *inner* routing like any other
+                // pending tuple — relief moves inner ownership, never the
+                // overlay, and pinning it here would deadlock the drain.
+                // The receiver houses it where it arrives: still exactly
+                // once.
+                if self.table.insert_pre_hashed(t, pos).is_ok() {
+                    inserted += 1;
+                    continue;
+                }
+            }
+            let dest = if hot {
+                routing.inner().build_dest_pos(pos)
+            } else {
+                routing.build_dest_pos(pos)
+            };
             if dest != self.me {
                 self.scatter_push(dest, t);
             } else {
@@ -519,11 +557,93 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         };
         self.matches += found;
         self.compares += compared;
+        if let Some(o) = self.routing.as_ref().and_then(RoutingTable::overlay) {
+            let hits = tuples
+                .iter()
+                .filter(|t| o.is_hot(self.space.position_of(t.join_attr)))
+                .count() as u64;
+            if hits > 0 {
+                self.metrics.hotkey_hits.add(hits);
+            }
+        }
         ctx.consume_cpu(
             costs.probe_per_tuple * tuples.len() as u64
                 + costs.probe_per_compare * compared
                 + costs.per_match * found,
         );
+    }
+
+    /// Hot-key hand-off (DESIGN §4i): copy — without removing — this
+    /// node's tuples at the hot positions to every other clean participant,
+    /// so each replica ends up with the full build side of the hot keys.
+    /// Stashed copies from peers whose plan raced ahead of ours are
+    /// inserted only after our own extraction, otherwise we would re-ship
+    /// a peer's copies and double-count matches.
+    fn handle_hotkey_plan(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        positions: Vec<u32>,
+        members: Vec<ActorId>,
+    ) {
+        self.hotkey_plan_seen = true;
+        let mut sent: u64 = 0;
+        if self.spill.is_none() && !positions.is_empty() {
+            let scanned = self.table.len();
+            let copies = self.table.collect_positions(&positions);
+            ctx.consume_cpu(self.cfg.costs.route_per_tuple * scanned);
+            if !copies.is_empty() {
+                let batch = TupleBatch::from(copies);
+                let me = self.me;
+                for &m in members.iter().filter(|&&m| m != me) {
+                    self.trace_detail(
+                        ctx,
+                        Phase::Reshuffle,
+                        TraceKind::ReshuffleChunk {
+                            to: m,
+                            tuples: batch.len() as u64,
+                        },
+                    );
+                    sent += batch.len() as u64;
+                    self.send_hotkey_data(ctx, m, batch.clone());
+                }
+            }
+        }
+        ctx.send(self.scheduler, Msg::HotKeyDone { sent_tuples: sent });
+        let stash = std::mem::take(&mut self.hotkey_stash);
+        for batch in stash {
+            self.insert_hotkey_batch(ctx, &batch);
+        }
+    }
+
+    /// Ships a hand-off batch in chunk-sized `HotKeyData` messages. The
+    /// traffic rides the reshuffle lane: it happens in the same barrier
+    /// window and competes with reshuffle transfers for the same links.
+    fn send_hotkey_data(&mut self, ctx: &mut dyn Context<Msg>, to: ActorId, batch: TupleBatch) {
+        let tb = self.tuple_bytes();
+        for chunk in batch.chunks(self.cfg.chunk_tuples) {
+            let n = chunk.len() as u64;
+            self.comm
+                .record(Phase::Reshuffle, CommCategory::ReshuffleTransfer, n, n * tb);
+            self.fwd_chunks[Phase::Reshuffle.index()] += 1;
+            ctx.send(
+                to,
+                Msg::HotKeyData {
+                    tuples: chunk,
+                    tuple_bytes: tb,
+                },
+            );
+        }
+    }
+
+    fn insert_hotkey_batch(&mut self, ctx: &mut dyn Context<Msg>, tuples: &TupleBatch) {
+        ctx.consume_cpu(self.cfg.costs.insert_per_tuple * tuples.len() as u64);
+        if self.spill.is_some() {
+            // Spilled members are excluded from the hand-off, but a racing
+            // spill still needs the copies to land somewhere durable.
+            self.spill_append_build(ctx, tuples);
+        } else {
+            self.table.insert_batch_unchecked(tuples);
+        }
     }
 
     fn handle_reshuffle_data(&mut self, ctx: &mut dyn Context<Msg>, tuples: TupleBatch) {
@@ -613,7 +733,8 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
         // the upper half that arrive before the scheduler's broadcast must
         // be forwarded, not silently re-inserted into a table the probe
         // phase will no longer consult for that subrange.
-        if let Some(RoutingTable::Disjoint(m)) = self.routing.as_mut() {
+        if let Some(RoutingTable::Disjoint(m)) = self.routing.as_mut().map(RoutingTable::inner_mut)
+        {
             m.replace_range(
                 range,
                 vec![
@@ -768,6 +889,19 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             }
             Msg::ReshufflePlan { group, assignments } => {
                 self.handle_reshuffle_plan(ctx, group, assignments);
+            }
+            Msg::HotKeyPlan { positions, members } => {
+                self.handle_hotkey_plan(ctx, positions, members);
+            }
+            Msg::HotKeyData { tuples, .. } => {
+                self.recv_chunks[Phase::Reshuffle.index()] += 1;
+                ctx.consume_cpu(self.cfg.costs.chunk_handling);
+                ctx.send(from, Msg::DataAck);
+                if self.hotkey_plan_seen {
+                    self.insert_hotkey_batch(ctx, &tuples);
+                } else {
+                    self.hotkey_stash.push(tuples);
+                }
             }
             Msg::NoMoreNodes => {
                 if self.cfg.allow_spill_fallback {
@@ -960,6 +1094,142 @@ mod tests {
             } => assert_eq!(tuples.as_slice(), [Tuple::new(2, 700)]),
             other => panic!("expected forwarded data, got {other:?}"),
         }
+    }
+
+    /// Hot-key wrapper over the two-node routing: position 700 (inner says
+    /// OTHER) is hot and replicated on both nodes.
+    fn hot_routing() -> RoutingTable {
+        RoutingTable::HotKeys {
+            overlay: crate::routing::HotKeyOverlay {
+                hot: vec![700],
+                replicas: vec![ME, OTHER],
+                extra: Vec::new(),
+            },
+            inner: Box::new(two_node_routing()),
+        }
+    }
+
+    #[test]
+    fn hot_build_tuples_insert_locally_despite_inner_routing() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 100);
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::RoutingUpdate {
+                routing: hot_routing(),
+                version: 2,
+            },
+        );
+        ctx.sent.clear();
+        // Attr 700 is hot: even though the inner map homes it on OTHER, a
+        // replica keeps it (the hand-off will copy it everywhere later).
+        node.on_message(
+            &mut ctx,
+            1,
+            build_data(vec![Tuple::new(1, 700), Tuple::new(2, 100)]),
+        );
+        assert_eq!(node.resident_tuples(), 2);
+        assert!(
+            ctx.sent.iter().all(|(_, m)| !matches!(m, Msg::Data { .. })),
+            "hot tuple must not be forwarded"
+        );
+    }
+
+    #[test]
+    fn hotkey_plan_copies_hot_tuples_without_removing_them() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 100);
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::RoutingUpdate {
+                routing: hot_routing(),
+                version: 2,
+            },
+        );
+        node.on_message(
+            &mut ctx,
+            1,
+            build_data(vec![Tuple::new(1, 700), Tuple::new(2, 100)]),
+        );
+        ctx.sent.clear();
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::HotKeyPlan {
+                positions: vec![700],
+                members: vec![ME, OTHER],
+            },
+        );
+        // The original stays resident; a copy ships to the other member.
+        assert_eq!(node.resident_tuples(), 2);
+        let shipped: Vec<_> = ctx
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::HotKeyData { .. }))
+            .collect();
+        assert_eq!(shipped.len(), 1);
+        let (to, msg) = shipped[0];
+        assert_eq!(*to, OTHER);
+        match msg {
+            Msg::HotKeyData { tuples, .. } => {
+                assert_eq!(tuples.as_slice(), [Tuple::new(1, 700)]);
+            }
+            other => panic!("expected HotKeyData, got {other:?}"),
+        }
+        assert!(
+            ctx.sent
+                .iter()
+                .any(|(to, m)| *to == SCHED && matches!(m, Msg::HotKeyDone { sent_tuples: 1 })),
+            "HotKeyDone must report the shipped copy"
+        );
+    }
+
+    #[test]
+    fn hotkey_data_stashes_until_own_plan_arrives() {
+        let (mut node, mut ctx) = activated_node(Algorithm::Replicated, 100);
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::RoutingUpdate {
+                routing: hot_routing(),
+                version: 2,
+            },
+        );
+        ctx.sent.clear();
+        // A peer's copy arrives before our own plan: it must wait, or our
+        // extraction would re-ship it and double-count the build side.
+        node.on_message(
+            &mut ctx,
+            OTHER,
+            Msg::HotKeyData {
+                tuples: vec![Tuple::new(7, 700)].into(),
+                tuple_bytes: 116,
+            },
+        );
+        assert_eq!(node.resident_tuples(), 0, "copy stashed, not inserted");
+        node.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::HotKeyPlan {
+                positions: vec![700],
+                members: vec![ME, OTHER],
+            },
+        );
+        assert_eq!(node.resident_tuples(), 1, "stash drains after the plan");
+        assert!(ctx
+            .sent
+            .iter()
+            .any(|(to, m)| *to == SCHED && matches!(m, Msg::HotKeyDone { sent_tuples: 0 })));
+        // Late copies insert directly once the plan has been seen.
+        node.on_message(
+            &mut ctx,
+            OTHER,
+            Msg::HotKeyData {
+                tuples: vec![Tuple::new(8, 700)].into(),
+                tuple_bytes: 116,
+            },
+        );
+        assert_eq!(node.resident_tuples(), 2);
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub(crate) mod testutil;
 pub mod topology;
 
 pub use analysis::OverheadModel;
-pub use config::{Algorithm, BuildSide, CostModel, JoinConfig, ProbeKernel, SplitPolicy};
+pub use config::{
+    Algorithm, BuildSide, CostModel, HotKeyConfig, JoinConfig, ProbeKernel, SplitPolicy,
+};
 pub use msg::{Msg, NodeReport};
 pub use multiway::{MultiwayPlan, MultiwayReport};
 pub use reference::{expected_matches, expected_matches_for};

@@ -2,7 +2,7 @@
 
 use crate::routing::RoutingTable;
 use ehj_data::TupleBatch;
-use ehj_hash::{HashRange, SplitStep};
+use ehj_hash::{HashRange, SpaceSaving, SplitStep};
 use ehj_metrics::{CommCategory, CommCounters, Phase};
 use ehj_sim::{ActorId, Message};
 use ehj_storage::GraceResult;
@@ -98,6 +98,16 @@ pub enum Msg {
         /// `(subrange, owner)` assignments covering the group's range.
         assignments: Vec<(HashRange, ActorId)>,
     },
+    /// Hot-key replication hand-off: the addressed node must copy (not
+    /// remove) its tuples at the listed hot positions to every *other*
+    /// member, so each clean member ends with the full hot build side
+    /// (DESIGN §4i).
+    HotKeyPlan {
+        /// Hot hash positions, sorted ascending.
+        positions: Vec<u32>,
+        /// The clean replica set sharing the hot build tuples.
+        members: Vec<ActorId>,
+    },
     /// No potential nodes remain (or the hot range cannot be split): fall
     /// back to spilling out of core.
     NoMoreNodes,
@@ -173,6 +183,11 @@ pub enum Msg {
         /// Tuples shipped to other members.
         sent_tuples: u64,
     },
+    /// Hot-key hand-off complete at this node.
+    HotKeyDone {
+        /// Hot tuple copies shipped to the other members.
+        sent_tuples: u64,
+    },
     /// Barrier poll reply.
     FlushAck {
         /// Epoch being acknowledged.
@@ -188,6 +203,13 @@ pub enum Msg {
     Report(Box<NodeReport>),
 
     // ---- data sources → scheduler ----
+    /// Cumulative space-saving sketch of this source's build key stream so
+    /// far (replaces, not adds to, the source's previous snapshot at the
+    /// scheduler). Sent at a tuple threshold and then at each doubling.
+    SketchUpdate {
+        /// The source's sketch over hash positions.
+        sketch: SpaceSaving,
+    },
     /// A source finished generating and flushing one phase.
     SourcePhaseDone {
         /// Which phase finished.
@@ -217,6 +239,18 @@ pub enum Msg {
         tuple_bytes: u64,
     },
 
+    /// A batch of hot-key build-tuple *copies* from a peer's hand-off.
+    /// Distinct from [`Msg::Data`] so a receiver that has not yet processed
+    /// its own [`Msg::HotKeyPlan`] can stash the copies and insert them
+    /// only after extracting its own hot set — otherwise it would re-ship a
+    /// peer's copies under threaded timing.
+    HotKeyData {
+        /// The copied tuples.
+        tuples: TupleBatch,
+        /// Row size under the run's schema.
+        tuple_bytes: u64,
+    },
+
     /// Flow-control credit: acknowledges one [`Msg::Data`] chunk back to
     /// its sender (TCP-receive-window emulation; see `source.rs`).
     DataAck,
@@ -235,6 +269,10 @@ impl Message for Msg {
                 tuples,
                 tuple_bytes,
                 ..
+            }
+            | Msg::HotKeyData {
+                tuples,
+                tuple_bytes,
             } => CONTROL_BYTES + tuples.len() as u64 * tuple_bytes,
             Msg::Activate { routing, .. }
             | Msg::RoutingUpdate { routing, .. }
@@ -242,6 +280,10 @@ impl Message for Msg {
             | Msg::StartProbe { routing, .. } => CONTROL_BYTES + routing.wire_bytes(),
             Msg::ReshuffleCounts { histogram, .. } => histogram.wire_bytes(),
             Msg::ReshufflePlan { assignments, .. } => CONTROL_BYTES + 16 * assignments.len() as u64,
+            Msg::HotKeyPlan { positions, members } => {
+                CONTROL_BYTES + 4 * (positions.len() + members.len()) as u64
+            }
+            Msg::SketchUpdate { sketch } => CONTROL_BYTES + sketch.wire_bytes(),
             Msg::SourcePhaseDone { .. } | Msg::Report(_) => 256,
             _ => CONTROL_BYTES,
         }
@@ -283,6 +325,28 @@ mod tests {
             version: 1,
         };
         assert!(large.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn hotkey_messages_charge_their_payloads() {
+        let data = Msg::HotKeyData {
+            tuples: vec![Tuple::new(0, 0); 5].into(),
+            tuple_bytes: 116,
+        };
+        assert_eq!(data.wire_bytes(), CONTROL_BYTES + 580);
+        let plan = Msg::HotKeyPlan {
+            positions: vec![1, 2, 3],
+            members: vec![10, 11],
+        };
+        assert_eq!(plan.wire_bytes(), CONTROL_BYTES + 20);
+        let mut sk = SpaceSaving::new(8);
+        sk.observe(42);
+        let upd = Msg::SketchUpdate { sketch: sk };
+        assert_eq!(upd.wire_bytes(), CONTROL_BYTES + 24);
+        assert_eq!(
+            Msg::HotKeyDone { sent_tuples: 9 }.wire_bytes(),
+            CONTROL_BYTES
+        );
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub enum TimelineKind {
     ReshuffleDone,
     /// The probe phase completed (final reports collected).
     ProbeDone,
+    /// The hot-key overlay was installed (number of hot positions).
+    HotKeysInstalled(u32),
 }
 
 impl TimelineKind {
@@ -43,6 +45,7 @@ impl TimelineKind {
             Self::BuildDone => "build phase complete".to_owned(),
             Self::ReshuffleDone => "reshuffle complete".to_owned(),
             Self::ProbeDone => "probe phase complete".to_owned(),
+            Self::HotKeysInstalled(k) => format!("hot-key overlay installed ({k} positions)"),
         }
     }
 }

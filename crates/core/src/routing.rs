@@ -15,10 +15,62 @@
 //! * [`RoutingTable::Buckets`] — linear-hashing buckets: the split-based
 //!   algorithm (the `(i, split pointer)` pair the scheduler broadcasts,
 //!   §4.2.1).
+//!
+//! A fourth shape, [`RoutingTable::HotKeys`], is an *overlay* wrapped
+//! around any of the three: a short sorted list of hot positions whose
+//! build tuples are round-robined across (and later replicated to) a
+//! replica set, with probes for those positions round-robined too. Cold
+//! positions fall through to the wrapped inner table (DESIGN §4i).
 
 use ehj_data::JoinAttr;
 use ehj_hash::{BucketMap, PositionSpace, RangeMap, ReplicaMap};
 use ehj_sim::ActorId;
+
+/// The hot-position overlay installed by the scheduler when source-side
+/// sketches report heavy hitters (DESIGN §4i).
+///
+/// During the build phase, a hot tuple goes to exactly **one** replica
+/// (round-robin by the caller-supplied ticket) — replication happens once,
+/// in a post-barrier hand-off, so each clean replica ends with exactly one
+/// copy of every hot build tuple. During the probe phase each hot probe
+/// tuple is answered by one replica (round-robin) plus every member of
+/// `extra` (spilled nodes whose grace join must still see the tuple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotKeyOverlay {
+    /// Hot hash positions, sorted ascending (binary-searched per tuple).
+    pub hot: Vec<u32>,
+    /// Nodes sharing the hot build tuples; round-robin targets.
+    pub replicas: Vec<ActorId>,
+    /// Nodes that additionally receive every hot probe tuple (spilled
+    /// members answering from disk). Empty during the build phase.
+    pub extra: Vec<ActorId>,
+}
+
+impl HotKeyOverlay {
+    /// Whether `pos` is one of the replicated hot positions.
+    #[must_use]
+    pub fn is_hot(&self, pos: u32) -> bool {
+        self.hot.binary_search(&pos).is_ok()
+    }
+
+    /// The single destination for a hot tuple under round-robin ticket
+    /// `ticket` (any monotone per-caller counter).
+    #[must_use]
+    pub fn pick(&self, ticket: u64) -> ActorId {
+        self.replicas[(ticket % self.replicas.len() as u64) as usize]
+    }
+
+    /// Appends a hot probe tuple's destinations: one answering replica by
+    /// round-robin ticket — when any clean member exists — plus every
+    /// spilled extra. With no clean members at all (every participant went
+    /// out of core), the extras alone cover the scattered hot build side.
+    pub fn push_probe_dests(&self, ticket: u64, out: &mut Vec<ActorId>) {
+        if !self.replicas.is_empty() {
+            out.push(self.pick(ticket));
+        }
+        out.extend_from_slice(&self.extra);
+    }
+}
 
 /// One routing table, versioned by the scheduler.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +81,13 @@ pub enum RoutingTable {
     Replica(ReplicaMap<ActorId>),
     /// Linear-hashing bucket map.
     Buckets(BucketMap<ActorId>),
+    /// Hot-position overlay over one of the three base shapes.
+    HotKeys {
+        /// The replicated hot positions and their destinations.
+        overlay: HotKeyOverlay,
+        /// Base table answering every cold position.
+        inner: Box<RoutingTable>,
+    },
 }
 
 impl RoutingTable {
@@ -49,6 +108,15 @@ impl RoutingTable {
             // Linear hashing subdivides the position space ("disjoint
             // subranges of hash values", §4), so it addresses positions.
             Self::Buckets(m) => m.route(pos as u64),
+            // Ticketless callers get a deterministic replica; the source
+            // hot path round-robins via `HotKeyOverlay::pick` instead.
+            Self::HotKeys { overlay, inner } => {
+                if overlay.is_hot(pos) {
+                    overlay.pick(pos as u64)
+                } else {
+                    inner.build_dest_pos(pos)
+                }
+            }
         }
     }
 
@@ -69,6 +137,42 @@ impl RoutingTable {
             Self::Buckets(m) => {
                 out.push(m.route(pos as u64));
             }
+            Self::HotKeys { overlay, inner } => {
+                if overlay.is_hot(pos) {
+                    overlay.push_probe_dests(pos as u64, out);
+                } else {
+                    inner.probe_dests_pos(pos, out);
+                }
+            }
+        }
+    }
+
+    /// The hot-key overlay, when one is installed.
+    #[must_use]
+    pub fn overlay(&self) -> Option<&HotKeyOverlay> {
+        match self {
+            Self::HotKeys { overlay, .. } => Some(overlay),
+            _ => None,
+        }
+    }
+
+    /// The base table a hot-key overlay wraps (self when none is
+    /// installed). Algorithm-specific table surgery — replica extension,
+    /// bucket splits, range bisection, reshuffle installs — always operates
+    /// on the base shape.
+    #[must_use]
+    pub fn inner(&self) -> &RoutingTable {
+        match self {
+            Self::HotKeys { inner, .. } => inner,
+            other => other,
+        }
+    }
+
+    /// Mutable [`Self::inner`].
+    pub fn inner_mut(&mut self) -> &mut RoutingTable {
+        match self {
+            Self::HotKeys { inner, .. } => inner,
+            other => other,
         }
     }
 
@@ -85,6 +189,15 @@ impl RoutingTable {
             Self::Disjoint(m) => m.owners(),
             Self::Replica(m) => m.all_nodes(),
             Self::Buckets(m) => m.distinct_owners(),
+            Self::HotKeys { overlay, inner } => {
+                let mut nodes = inner.all_nodes();
+                for &n in overlay.replicas.iter().chain(&overlay.extra) {
+                    if !nodes.contains(&n) {
+                        nodes.push(n);
+                    }
+                }
+                nodes
+            }
         }
     }
 
@@ -99,6 +212,11 @@ impl RoutingTable {
                 .map(|e| 12 + 4 * e.owners.len() as u64)
                 .sum(),
             Self::Buckets(m) => 16 + 4 * m.bucket_count() as u64,
+            Self::HotKeys { overlay, inner } => {
+                4 * overlay.hot.len() as u64
+                    + 4 * (overlay.replicas.len() + overlay.extra.len()) as u64
+                    + inner.wire_bytes()
+            }
         }
     }
 }
@@ -179,6 +297,87 @@ mod tests {
                 assert_eq!(a, b);
             }
         }
+    }
+
+    fn hot_table() -> RoutingTable {
+        RoutingTable::HotKeys {
+            overlay: HotKeyOverlay {
+                hot: vec![20, 40],
+                replicas: vec![10, 11, 12],
+                extra: vec![],
+            },
+            inner: Box::new(RoutingTable::Disjoint(RangeMap::partitioned(
+                100,
+                &[10, 11, 12, 13],
+            ))),
+        }
+    }
+
+    #[test]
+    fn hot_keys_cold_positions_fall_through() {
+        let t = hot_table();
+        let sp = space();
+        let inner = RoutingTable::Disjoint(RangeMap::partitioned(100, &[10, 11, 12, 13]));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for attr in [0u64, 19, 21, 39, 41, 99] {
+            assert_eq!(t.build_dest(&sp, attr), inner.build_dest(&sp, attr));
+            t.probe_dests(&sp, attr, &mut a);
+            inner.probe_dests(&sp, attr, &mut b);
+            assert_eq!(a, b, "cold attr {attr} must route like the base table");
+        }
+    }
+
+    #[test]
+    fn hot_keys_hot_positions_route_to_one_replica() {
+        let t = hot_table();
+        let sp = space();
+        let d = t.build_dest(&sp, 20);
+        assert!([10, 11, 12].contains(&d));
+        let mut dests = Vec::new();
+        t.probe_dests(&sp, 40, &mut dests);
+        assert_eq!(dests.len(), 1, "no extras: one replica answers the probe");
+        assert!([10, 11, 12].contains(&dests[0]));
+    }
+
+    #[test]
+    fn hot_keys_extras_ride_along_on_probes() {
+        let mut t = hot_table();
+        if let RoutingTable::HotKeys { overlay, .. } = &mut t {
+            overlay.extra = vec![15];
+        }
+        let sp = space();
+        let mut dests = Vec::new();
+        t.probe_dests(&sp, 20, &mut dests);
+        assert!(dests.contains(&15), "spilled member must see hot probes");
+        assert_eq!(dests.len(), 2);
+        t.probe_dests(&sp, 21, &mut dests);
+        assert_eq!(dests, vec![10], "cold probes skip the extras");
+        assert!(t.all_nodes().contains(&15));
+    }
+
+    #[test]
+    fn hot_keys_inner_accessors_see_through() {
+        let mut t = hot_table();
+        assert!(t.overlay().is_some());
+        assert!(matches!(t.inner(), RoutingTable::Disjoint(_)));
+        assert!(matches!(t.inner_mut(), RoutingTable::Disjoint(_)));
+        let plain = RoutingTable::Buckets(BucketMap::new(vec![1], 100));
+        assert!(plain.overlay().is_none());
+        assert!(matches!(plain.inner(), RoutingTable::Buckets(_)));
+    }
+
+    #[test]
+    fn hot_overlay_round_robin_covers_all_replicas() {
+        let o = HotKeyOverlay {
+            hot: vec![5],
+            replicas: vec![7, 8, 9],
+            extra: vec![],
+        };
+        let picked: Vec<ActorId> = (0..6).map(|t| o.pick(t)).collect();
+        assert_eq!(picked, vec![7, 8, 9, 7, 8, 9]);
+        assert!(o.is_hot(5));
+        assert!(!o.is_hot(6));
     }
 
     #[test]

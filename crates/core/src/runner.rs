@@ -453,7 +453,8 @@ pub(crate) fn build_query_actors<B: SpillBackend + Default + Send + 'static>(
     let mut actors: Vec<Box<dyn Actor<Msg>>> = Vec::with_capacity(topo.actor_count());
     actors.push(Box::new(
         Scheduler::new(Arc::clone(cfg), topo.clone(), Arc::clone(result))
-            .with_tracer(tracer.clone()),
+            .with_tracer(tracer.clone())
+            .with_metrics(&registry.handle_for(0)),
     ));
     for i in 0..cfg.sources {
         actors.push(Box::new(

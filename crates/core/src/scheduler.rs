@@ -17,11 +17,14 @@
 use crate::config::{Algorithm, JoinConfig, SplitPolicy};
 use crate::msg::{Msg, NodeReport};
 use crate::report::{JoinReport, TimelineEvent, TimelineKind};
-use crate::routing::RoutingTable;
+use crate::routing::{HotKeyOverlay, RoutingTable};
 use crate::topology::Topology;
 use ehj_cluster::SchedulerBook;
-use ehj_hash::{greedy_equal_partition, BucketMap, HashRange, RangeMap, ReplicaMap};
-use ehj_metrics::{CommCounters, FaultField, Phase, PhaseTimes, TraceKind, Tracer};
+use ehj_hash::{skew_aware_partition, BucketMap, HashRange, RangeMap, ReplicaMap, SpaceSaving};
+use ehj_metrics::registry::names;
+use ehj_metrics::{
+    CommCounters, FaultField, Gauge, MetricsHandle, Phase, PhaseTimes, TraceKind, Tracer,
+};
 use ehj_sim::{Actor, ActorId, Context, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -44,6 +47,37 @@ struct RangeBisectOp {
     started: SimTime,
     full_actor: ActorId,
     new_actor: ActorId,
+}
+
+/// State of the hot-key hand-off round (DESIGN §4i): after the build
+/// barrier (and the hybrid's reshuffle, which *moves* tuples and so must
+/// run first), every clean participant copies its tuples at the hot
+/// positions to every other, so each ends up with the full hot build side.
+struct HotKeyHandoff {
+    /// The replicated hot positions, sorted ascending.
+    hot: Vec<u32>,
+    /// Clean (non-spilled) participants; the probe overlay's replica set.
+    members: Vec<ActorId>,
+    /// `HotKeyDone` replies required before the reshuffle barrier settles.
+    expected: usize,
+    done: usize,
+}
+
+/// The scheduler's registry instruments (no-ops until attached).
+struct SchedMetrics {
+    /// Number of positions promoted to the hot set at install time.
+    sketch_topk: Gauge,
+    /// Replica-set / probe fan-out sizes observed at install and probe.
+    hotkey_fanout: ehj_metrics::Histogram,
+}
+
+impl SchedMetrics {
+    fn new(handle: &MetricsHandle) -> Self {
+        Self {
+            sketch_topk: handle.gauge(names::SCHED_SKETCH_TOPK),
+            hotkey_fanout: handle.histogram(names::SCHED_HOTKEY_FANOUT),
+        }
+    }
 }
 
 struct Group {
@@ -95,6 +129,15 @@ pub struct Scheduler {
     acks_pending: u64,
     // reshuffle
     groups: Vec<Group>,
+    // hot-key routing (DESIGN §4i)
+    /// Latest cumulative sketch per source (replaced wholesale on every
+    /// snapshot, so re-merging never double-counts).
+    sketches: std::collections::HashMap<ActorId, SpaceSaving>,
+    /// Whether the hot-key overlay has been installed this run (at most
+    /// once: the hot set is frozen at install time).
+    hotkey_installed: bool,
+    hotkey_handoff: Option<HotKeyHandoff>,
+    metrics: SchedMetrics,
     // timings
     build_done_at: SimTime,
     reshuffle_done_at: SimTime,
@@ -156,6 +199,10 @@ impl Scheduler {
             acks_fwd: 0,
             acks_pending: 0,
             groups: Vec::new(),
+            sketches: std::collections::HashMap::new(),
+            hotkey_installed: false,
+            hotkey_handoff: None,
+            metrics: SchedMetrics::new(&MetricsHandle::disabled()),
             build_done_at: SimTime::ZERO,
             reshuffle_done_at: SimTime::ZERO,
             timeline: Vec::new(),
@@ -171,6 +218,13 @@ impl Scheduler {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches registry instruments (hot-set size, fan-out histogram).
+    #[must_use]
+    pub fn with_metrics(mut self, handle: &MetricsHandle) -> Self {
+        self.metrics = SchedMetrics::new(handle);
         self
     }
 
@@ -224,6 +278,10 @@ impl Scheduler {
     // ---- expansion ----
 
     fn handle_memory_full(&mut self, ctx: &mut dyn Context<Msg>, from: ActorId) {
+        // A full node under a skewed stream is the overlay's cue: install
+        // it (if the sketches justify one) before recruiting, so the hot
+        // keys stop concentrating on the reporter while relief is staged.
+        self.maybe_install_overlay(ctx);
         if self.cfg.algorithm == Algorithm::OutOfCore {
             return; // The baseline never expands; nodes spill on their own.
         }
@@ -232,6 +290,161 @@ impl Scheduler {
             self.overflow_queue.push_back(from);
         }
         self.process_overflows(ctx);
+    }
+
+    // ---- hot-key routing (DESIGN §4i) ----
+
+    /// Accepts a source's cumulative sketch snapshot. Snapshots replace
+    /// the source's previous slot wholesale, so the merged view never
+    /// double-counts a tuple.
+    fn handle_sketch_update(
+        &mut self,
+        ctx: &mut dyn Context<Msg>,
+        from: ActorId,
+        sketch: SpaceSaving,
+    ) {
+        if !self.cfg.hot_keys.enabled {
+            return;
+        }
+        let cap = self.cfg.hot_keys.sketch_capacity as u64;
+        if sketch.len() as u64 > cap {
+            self.protocol_fault(ctx, FaultField::SketchSize, sketch.len() as u64, cap);
+            return;
+        }
+        self.sketches.insert(from, sketch);
+        self.maybe_install_overlay(ctx);
+    }
+
+    /// Installs the hot-key overlay when the merged sketches show a key
+    /// hot enough to be worth replicating. At most once per run, and only
+    /// during the build phase (the hand-off that makes the replica sets
+    /// consistent runs at the build/reshuffle barrier).
+    fn maybe_install_overlay(&mut self, ctx: &mut dyn Context<Msg>) {
+        let knobs = self.cfg.hot_keys;
+        if !knobs.enabled || self.hotkey_installed || self.phase != SchedPhase::Build {
+            return;
+        }
+        // Merge in source-id order: the min-count filler makes the merge
+        // order-sensitive on tied counters, and hash-map iteration order
+        // would leak nondeterminism into the promoted hot set.
+        let mut by_source: Vec<(&ActorId, &SpaceSaving)> = self.sketches.iter().collect();
+        by_source.sort_unstable_by_key(|&(id, _)| id);
+        let mut merged: Option<SpaceSaving> = None;
+        for (_, sk) in by_source {
+            match merged.as_mut() {
+                Some(m) => m.merge(sk),
+                None => merged = Some(sk.clone()),
+            }
+        }
+        let Some(merged) = merged else { return };
+        if merged.total() < knobs.min_total {
+            return;
+        }
+        // Promote the top keys whose *guaranteed* count (estimate minus
+        // over-count error) clears the share threshold — the conservative
+        // side of the space-saving bounds, so a uniform stream cannot
+        // promote anything by noise.
+        let threshold = (knobs.hot_fraction * merged.total() as f64).ceil() as u64;
+        let mut hot: Vec<u32> = merged
+            .top_k()
+            .into_iter()
+            .take(knobs.max_hot)
+            .filter(|&(key, count, err)| {
+                key < u64::from(self.cfg.positions) && count - err > threshold
+            })
+            .map(|(key, _, _)| key as u32)
+            .collect();
+        if hot.is_empty() {
+            return;
+        }
+        hot.sort_unstable();
+        hot.dedup();
+        let spilled = &self.spilled_actors;
+        let replicas: Vec<ActorId> = self
+            .active_actors()
+            .into_iter()
+            .filter(|a| !spilled.contains(a))
+            .collect();
+        if replicas.is_empty() {
+            return;
+        }
+        self.hotkey_installed = true;
+        self.metrics.sketch_topk.add(hot.len() as i64);
+        self.metrics.hotkey_fanout.record(replicas.len() as u64);
+        self.record(ctx, TimelineKind::HotKeysInstalled(hot.len() as u32));
+        self.trace(
+            ctx,
+            TraceKind::HotKeysInstalled {
+                hot: hot.len() as u64,
+                replicas: replicas.len() as u64,
+            },
+        );
+        let inner = self.routing.clone();
+        self.routing = RoutingTable::HotKeys {
+            overlay: HotKeyOverlay {
+                hot,
+                replicas,
+                extra: Vec::new(),
+            },
+            inner: Box::new(inner),
+        };
+        // Routing changed mid-build: pendings re-route, chunks may still
+        // move — the barrier must not settle on pre-install flush counts.
+        self.barrier_dirty = true;
+        self.broadcast_routing(ctx);
+    }
+
+    /// Starts the hot-key hand-off round, if one is due and has not run:
+    /// every clean participant copies its hot-position tuples to every
+    /// other. Returns true when replies are outstanding (the caller stays
+    /// in the reshuffle phase until the barrier settles again).
+    fn start_hotkey_handoff(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
+        if self.hotkey_handoff.is_some() {
+            return false; // already ran
+        }
+        let Some(overlay) = self.routing.overlay() else {
+            return false;
+        };
+        let hot = overlay.hot.clone();
+        let spilled = &self.spilled_actors;
+        let members: Vec<ActorId> = self
+            .active_actors()
+            .into_iter()
+            .filter(|a| !spilled.contains(a))
+            .collect();
+        if members.len() < 2 {
+            // A lone clean member already holds every hot tuple (and with
+            // none, the probe overlay is dropped): record a completed
+            // hand-off so start_probe still sees the hot set.
+            self.hotkey_handoff = Some(HotKeyHandoff {
+                hot,
+                members,
+                expected: 0,
+                done: 0,
+            });
+            return false;
+        }
+        // The hand-off traffic rides the reshuffle lane; its flush rounds
+        // count reshuffle-phase chunks only.
+        self.sources_done = 0;
+        self.src_sent_chunks = 0;
+        let expected = members.len();
+        for &m in &members {
+            ctx.send(
+                m,
+                Msg::HotKeyPlan {
+                    positions: hot.clone(),
+                    members: members.clone(),
+                },
+            );
+        }
+        self.hotkey_handoff = Some(HotKeyHandoff {
+            hot,
+            members,
+            expected,
+            done: 0,
+        });
+        true
     }
 
     /// A node's pending queue drained before its queued report was
@@ -275,7 +488,7 @@ impl Scheduler {
             Algorithm::Replicated | Algorithm::Hybrid => {
                 // Skip stale reports: the node must still be the active
                 // replica of some range.
-                let is_active = match &self.routing {
+                let is_active = match self.routing.inner() {
                     RoutingTable::Replica(m) => {
                         m.entries().iter().any(|e| e.active() == full_actor)
                     }
@@ -294,7 +507,7 @@ impl Scheduler {
                 self.expansions += 1;
                 self.record(ctx, TimelineKind::Recruited(new_node.0));
                 self.trace(ctx, TraceKind::Recruited { node: new_node.0 });
-                let RoutingTable::Replica(m) = &mut self.routing else {
+                let RoutingTable::Replica(m) = self.routing.inner_mut() else {
                     unreachable!();
                 };
                 let range = m.replicate(full_actor, new_actor);
@@ -327,7 +540,7 @@ impl Scheduler {
                     // The pointer bucket cannot split if its owner already
                     // went out of core (the bucket's contents are on disk).
                     // Expansion is over: the reporter must spill too.
-                    let pointer_owner = match &self.routing {
+                    let pointer_owner = match self.routing.inner() {
                         RoutingTable::Buckets(m) => m.owner_of_bucket(m.split_ptr()),
                         _ => unreachable!("linear-pointer split uses bucket routing"),
                     };
@@ -348,7 +561,7 @@ impl Scheduler {
                     self.record(ctx, TimelineKind::Recruited(new_node.0));
                     self.trace(ctx, TraceKind::Recruited { node: new_node.0 });
                     let (step, old_owner, pointer) = {
-                        let RoutingTable::Buckets(m) = &mut self.routing else {
+                        let RoutingTable::Buckets(m) = self.routing.inner_mut() else {
                             unreachable!("linear-pointer split uses bucket routing");
                         };
                         let (step, old_owner) = m.split(new_actor);
@@ -381,7 +594,7 @@ impl Scheduler {
                     self.lp_inflight.insert(step.old, ctx.now());
                 }
                 SplitPolicy::RangeBisect => {
-                    let RoutingTable::Disjoint(m) = &self.routing else {
+                    let RoutingTable::Disjoint(m) = self.routing.inner() else {
                         unreachable!("range-bisect split uses disjoint routing");
                     };
                     let Some(range) = m.range_of_owner(full_actor) else {
@@ -459,7 +672,7 @@ impl Scheduler {
         if ok {
             self.record(ctx, TimelineKind::RangeSplit(cut));
             self.expansions += 1;
-            let RoutingTable::Disjoint(m) = &mut self.routing else {
+            let RoutingTable::Disjoint(m) = self.routing.inner_mut() else {
                 unreachable!();
             };
             let range = m
@@ -495,11 +708,16 @@ impl Scheduler {
         };
         let reshuffle_ready = self.phase != SchedPhase::Reshuffle
             || self.groups.iter().all(|g| g.done == g.members.len());
+        let handoff_ready = self
+            .hotkey_handoff
+            .as_ref()
+            .is_none_or(|h| h.done >= h.expected);
         (self.sources_done >= sources_needed)
             && self.overflow_queue.is_empty()
             && self.lp_inflight.is_empty()
             && self.rb_op.is_none()
             && reshuffle_ready
+            && handoff_ready
     }
 
     fn maybe_start_flush(&mut self, ctx: &mut dyn Context<Msg>) {
@@ -574,12 +792,22 @@ impl Scheduler {
                 self.trace(ctx, TraceKind::PhaseDone);
                 if self.cfg.algorithm == Algorithm::Hybrid && self.start_reshuffle(ctx) {
                     self.phase = SchedPhase::Reshuffle;
+                } else if self.start_hotkey_handoff(ctx) {
+                    // Hand-off only: borrow the reshuffle phase for its
+                    // barrier (the copies ride the reshuffle lane).
+                    self.phase = SchedPhase::Reshuffle;
                 } else {
                     self.reshuffle_done_at = ctx.now();
                     self.start_probe(ctx);
                 }
             }
             SchedPhase::Reshuffle => {
+                // The hybrid's redistribution *moves* tuples, so the
+                // hot-key hand-off (which copies them) must run after it —
+                // as a second round under the same reshuffle barrier.
+                if self.start_hotkey_handoff(ctx) {
+                    return;
+                }
                 self.reshuffle_done_at = ctx.now();
                 self.record(ctx, TimelineKind::ReshuffleDone);
                 self.trace(ctx, TraceKind::PhaseDone);
@@ -606,7 +834,7 @@ impl Scheduler {
     /// range; the surviving in-memory members still rebalance among
     /// themselves when there are at least two of them.
     fn start_reshuffle(&mut self, ctx: &mut dyn Context<Msg>) -> bool {
-        let RoutingTable::Replica(m) = &self.routing else {
+        let RoutingTable::Replica(m) = self.routing.inner() else {
             return false;
         };
         let spilled = &self.spilled_actors;
@@ -689,6 +917,22 @@ impl Scheduler {
             self.protocol_fault(ctx, FaultField::ReshuffleCounts, counts.len() as u64, bound);
             return;
         }
+        // Hot positions inside this group's range are replicated by the
+        // overlay, not owned by any single member: the planner zeroes them
+        // so the cold mass is what gets equalized (with no overlay this is
+        // byte-identical to the greedy equal partition).
+        let hot_local: Vec<usize> = self
+            .routing
+            .overlay()
+            .map(|o| {
+                let range = self.groups[gid as usize].range;
+                o.hot
+                    .iter()
+                    .filter(|&&p| p >= range.start && p < range.end)
+                    .map(|&p| (p - range.start) as usize)
+                    .collect()
+            })
+            .unwrap_or_default();
         let g = &mut self.groups[gid as usize];
         for (acc, c) in g.hist.iter_mut().zip(counts) {
             *acc += c;
@@ -697,8 +941,9 @@ impl Scheduler {
         if g.replies < g.members.len() {
             return;
         }
-        // Global sum complete: run the greedy equal partition (§4.2.3).
-        let parts = greedy_equal_partition(&g.hist, g.members.len());
+        // Global sum complete: run the skew-aware partition (§4.2.3 +
+        // DESIGN §4i).
+        let parts = skew_aware_partition(&g.hist, g.members.len(), &hot_local);
         g.assignments = parts
             .iter()
             .zip(&g.members)
@@ -744,7 +989,7 @@ impl Scheduler {
     /// replica set was skipped (a spilled member) stay replicated and keep
     /// probe broadcast semantics so spilled build tuples are still probed.
     fn install_reshuffled_routing(&mut self) {
-        let RoutingTable::Replica(m) = &self.routing else {
+        let RoutingTable::Replica(m) = self.routing.inner() else {
             return;
         };
         let mut entries: Vec<ehj_hash::ReplicaEntry<ActorId>> = Vec::new();
@@ -773,10 +1018,43 @@ impl Scheduler {
         self.src_sent_chunks = 0;
         // "The lists of working and full join nodes are merged" (§4.1.2).
         self.book.merge_full_into_working();
-        let routing = self
+        // Cold routing: the reshuffled assignments when the hybrid ran a
+        // redistribution, otherwise the build table sans any hot overlay.
+        let base = self
             .probe_routing
             .clone()
-            .unwrap_or_else(|| self.routing.clone());
+            .unwrap_or_else(|| self.routing.inner().clone());
+        let routing = match self.hotkey_handoff.as_ref() {
+            // Post-hand-off, every clean member holds the full hot build
+            // side: each hot probe goes to one member (round-robin) plus
+            // every spilled node, whose private hot tuples live on disk.
+            // With no clean members at all (every participant went out of
+            // core), the hot build side is scattered across the spill
+            // partitions and the extras alone must carry each hot probe.
+            Some(h) => {
+                let spilled = &self.spilled_actors;
+                let extra: Vec<ActorId> = self
+                    .active_actors()
+                    .into_iter()
+                    .filter(|a| spilled.contains(a))
+                    .collect();
+                if h.members.is_empty() && extra.is_empty() {
+                    base
+                } else {
+                    let rr = u64::from(!h.members.is_empty());
+                    self.metrics.hotkey_fanout.record(rr + extra.len() as u64);
+                    RoutingTable::HotKeys {
+                        overlay: HotKeyOverlay {
+                            hot: h.hot.clone(),
+                            replicas: h.members.clone(),
+                            extra,
+                        },
+                        inner: Box::new(base),
+                    }
+                }
+            }
+            None => base,
+        };
         self.version += 1;
         for &s in &self.topo.sources {
             ctx.send(
@@ -914,6 +1192,13 @@ impl Actor<Msg> for Scheduler {
                 self.handle_reshuffle_counts(ctx, group, histogram.counts);
             }
             Msg::ReshuffleDone { group, .. } => self.handle_reshuffle_done(ctx, group),
+            Msg::SketchUpdate { sketch } => self.handle_sketch_update(ctx, from, sketch),
+            Msg::HotKeyDone { .. } => {
+                if let Some(h) = self.hotkey_handoff.as_mut() {
+                    h.done += 1;
+                }
+                self.maybe_start_flush(ctx);
+            }
             Msg::Report(r) => self.handle_report(ctx, *r),
             _ => {}
         }
@@ -1352,6 +1637,138 @@ mod tests {
         );
         assert!(matches!(ctx.sent_to(N0).last(), Some(Msg::NoMoreNodes)));
         assert_eq!(sched.expansions, 0);
+    }
+
+    // ---- hot-key routing (DESIGN §4i) ----
+
+    fn hot_setup(algorithm: Algorithm, initial: usize) -> (Scheduler, ScriptCtx) {
+        let mut cfg = JoinConfig::paper_scaled(algorithm, 1000);
+        cfg.cluster = ClusterSpec::homogeneous(NODES, 1 << 20);
+        cfg.initial_nodes = initial;
+        cfg.sources = SOURCES;
+        cfg.hot_keys = crate::config::HotKeyConfig::enabled();
+        cfg.hot_keys.min_total = 100;
+        let topo = Topology::standard(SOURCES, NODES);
+        let slot = Arc::new(Mutex::new(None));
+        let mut sched = Scheduler::new(Arc::new(cfg), topo, slot);
+        let mut ctx = ScriptCtx::new(0);
+        sched.on_start(&mut ctx);
+        ctx.sent.clear();
+        (sched, ctx)
+    }
+
+    fn skewed_sketch() -> SpaceSaving {
+        let mut sk = SpaceSaving::new(8);
+        sk.observe_n(700, 500);
+        sk.observe_n(10, 20);
+        sk
+    }
+
+    #[test]
+    fn skewed_sketch_installs_overlay_and_broadcasts() {
+        let (mut sched, mut ctx) = hot_setup(Algorithm::Replicated, 2);
+        sched.on_message(
+            &mut ctx,
+            SRC,
+            Msg::SketchUpdate {
+                sketch: skewed_sketch(),
+            },
+        );
+        let overlay = sched.routing.overlay().expect("overlay installed");
+        assert!(overlay.hot.contains(&700));
+        assert_eq!(overlay.replicas, vec![N0, N1]);
+        assert!(overlay.extra.is_empty(), "no extras during build");
+        assert!(
+            ctx.sent
+                .iter()
+                .any(|(to, m)| *to == SRC && matches!(m, Msg::RoutingUpdate { .. })),
+            "sources must learn the overlay"
+        );
+        assert_eq!(sched.expansions, 0, "an overlay is not an expansion");
+    }
+
+    #[test]
+    fn uniform_sketch_never_installs_an_overlay() {
+        let (mut sched, mut ctx) = hot_setup(Algorithm::Replicated, 2);
+        let mut sk = SpaceSaving::new(64);
+        for key in 0..64u64 {
+            sk.observe_n(key, 2); // 128 total, no key clears its share
+        }
+        sched.on_message(&mut ctx, SRC, Msg::SketchUpdate { sketch: sk });
+        assert!(sched.routing.overlay().is_none());
+        assert_eq!(ctx.count(|m| matches!(m, Msg::RoutingUpdate { .. })), 0);
+    }
+
+    #[test]
+    fn replacing_a_sketch_snapshot_never_double_counts() {
+        let (mut sched, mut ctx) = hot_setup(Algorithm::Replicated, 2);
+        // Two cumulative snapshots from the same source: only the latest
+        // counts. 80 observed tuples stay under min_total = 100.
+        let mut first = SpaceSaving::new(8);
+        first.observe_n(700, 60);
+        let mut second = SpaceSaving::new(8);
+        second.observe_n(700, 80);
+        sched.on_message(&mut ctx, SRC, Msg::SketchUpdate { sketch: first });
+        sched.on_message(&mut ctx, SRC, Msg::SketchUpdate { sketch: second });
+        assert!(
+            sched.routing.overlay().is_none(),
+            "60 + 80 would clear min_total; a replaced snapshot must not"
+        );
+    }
+
+    #[test]
+    fn oversized_sketch_is_a_protocol_fault() {
+        let (mut sched, mut ctx) = hot_setup(Algorithm::Replicated, 2);
+        let mut sk = SpaceSaving::new(1024);
+        for key in 0..1024u64 {
+            sk.observe(key);
+        }
+        sched.on_message(&mut ctx, SRC, Msg::SketchUpdate { sketch: sk });
+        assert!(ctx.stopped, "a sketch beyond the configured capacity");
+        assert!(sched.routing.overlay().is_none());
+    }
+
+    #[test]
+    fn handoff_runs_at_the_build_barrier_and_probe_gets_the_overlay() {
+        let (mut sched, mut ctx) = hot_setup(Algorithm::Replicated, 2);
+        sched.on_message(
+            &mut ctx,
+            SRC,
+            Msg::SketchUpdate {
+                sketch: skewed_sketch(),
+            },
+        );
+        ctx.sent.clear();
+        drive_build_to_probe(&mut sched, &mut ctx, 20, 10);
+        // Build barrier settled: the hand-off round starts, not the probe.
+        let plans: Vec<ActorId> = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| matches!(m, Msg::HotKeyPlan { .. }).then_some(*to))
+            .collect();
+        assert_eq!(plans, vec![N0, N1]);
+        assert_eq!(ctx.count(|m| matches!(m, Msg::StartProbe { .. })), 0);
+        ctx.sent.clear();
+        for &member in &[N0, N1] {
+            sched.on_message(&mut ctx, member, Msg::HotKeyDone { sent_tuples: 5 });
+        }
+        // Hand-off barrier: both members report balanced reshuffle-lane
+        // chunk counts (each shipped one chunk, each received one).
+        ack_all(&mut sched, &mut ctx, 1, 1);
+        let probe_routing = ctx
+            .sent
+            .iter()
+            .find_map(|(_, m)| match m {
+                Msg::StartProbe { routing, .. } => Some(routing.clone()),
+                _ => None,
+            })
+            .expect("probe starts after the hand-off");
+        let overlay = probe_routing.overlay().expect("probe overlay");
+        assert_eq!(overlay.hot.first(), Some(&10));
+        assert!(overlay.hot.contains(&700));
+        assert_eq!(overlay.replicas, vec![N0, N1]);
+        assert!(overlay.extra.is_empty(), "no spilled members here");
+        assert!(matches!(probe_routing.inner(), RoutingTable::Replica(_)));
     }
 }
 

@@ -27,7 +27,7 @@ use crate::config::JoinConfig;
 use crate::msg::Msg;
 use crate::routing::RoutingTable;
 use ehj_data::{SourceGenerator, Tuple, TupleBatch};
-use ehj_hash::PositionSpace;
+use ehj_hash::{PositionSpace, SpaceSaving};
 use ehj_metrics::{CommCategory, CommCounters, Phase, TraceKind, Tracer};
 use ehj_sim::{Actor, ActorId, Context, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -74,6 +74,15 @@ pub struct DataSource {
     /// Bulk-hash output buffer: one routed position per generated tuple,
     /// reused across generation batches.
     pos_scratch: Vec<u32>,
+    /// Space-saving sketch over routed build positions (hot-key detection,
+    /// DESIGN §4i). `None` unless `cfg.hot_keys.enabled`.
+    sketch: Option<SpaceSaving>,
+    /// Observed-tuple count at which the next cumulative sketch snapshot
+    /// goes to the scheduler (doubles after each send).
+    sketch_next_send: u64,
+    /// Round-robin ticket for hot-position routing, seeded by the source
+    /// index so concurrent sources start on different replicas.
+    hot_ticket: u64,
     tracer: Tracer,
 }
 
@@ -103,6 +112,9 @@ impl DataSource {
             comm: CommCounters::new(chunk),
             dest_scratch: Vec::new(),
             pos_scratch: Vec::new(),
+            sketch: None,
+            sketch_next_send: u64::MAX,
+            hot_ticket: index as u64,
             tracer: Tracer::off(),
         }
     }
@@ -136,6 +148,16 @@ impl DataSource {
         self.gen_paused = false;
         self.draining = false;
         self.phase_done_sent = false;
+        if phase == Phase::Build && self.cfg.hot_keys.enabled {
+            self.sketch = Some(SpaceSaving::new(self.cfg.hot_keys.sketch_capacity));
+            // First snapshot once this source alone has seen its share of
+            // the global install threshold; then at every doubling.
+            self.sketch_next_send =
+                (self.cfg.hot_keys.min_total / self.cfg.sources as u64).max(256);
+        } else {
+            self.sketch = None;
+            self.sketch_next_send = u64::MAX;
+        }
         let spec = match phase {
             Phase::Build => self.cfg.build_spec(),
             Phase::Probe => self.cfg.probe_spec(),
@@ -223,8 +245,14 @@ impl DataSource {
         if self.phase != Phase::Build {
             return;
         }
+        // Drain in destination-id order: hash-map iteration order would
+        // otherwise leak into the re-routed tuple sequence — and from there
+        // into table fill order and every downstream simulated observable.
+        let mut queues: Vec<(&ActorId, &mut VecDeque<TupleBatch>)> =
+            self.blocked.iter_mut().collect();
+        queues.sort_unstable_by_key(|&(id, _)| id);
         let mut parked: Vec<Tuple> = Vec::new();
-        for q in self.blocked.values_mut() {
+        for (_, q) in queues {
             for batch in q.drain(..) {
                 parked.extend_from_slice(&batch);
             }
@@ -247,12 +275,33 @@ impl DataSource {
         // routing shapes below address the precomputed positions.
         self.space.bulk_positions(&tuples, &mut positions);
         for (&t, &pos) in tuples.iter().zip(&positions) {
+            // Hot positions are round-robined per source ticket: one copy
+            // per build tuple (replication happens in the post-barrier
+            // hand-off), one answering replica per probe tuple plus any
+            // spilled extras.
+            let hot = routing.overlay().filter(|o| o.is_hot(pos));
             match self.phase {
                 Phase::Build => {
+                    if let Some(sk) = self.sketch.as_mut() {
+                        sk.observe(pos as u64);
+                    }
                     dests.clear();
-                    dests.push(routing.build_dest_pos(pos));
+                    match hot {
+                        Some(o) => {
+                            self.hot_ticket += 1;
+                            dests.push(o.pick(self.hot_ticket));
+                        }
+                        None => dests.push(routing.build_dest_pos(pos)),
+                    }
                 }
-                Phase::Probe => routing.probe_dests_pos(pos, &mut dests),
+                Phase::Probe => match hot {
+                    Some(o) => {
+                        self.hot_ticket += 1;
+                        dests.clear();
+                        o.push_probe_dests(self.hot_ticket, &mut dests);
+                    }
+                    None => routing.probe_dests_pos(pos, &mut dests),
+                },
                 Phase::Reshuffle => unreachable!(),
             }
             routed += dests.len() as u64;
@@ -280,6 +329,15 @@ impl DataSource {
             self.routing = Some(routing);
         }
         ctx.consume_cpu(self.cfg.costs.route_per_tuple * routed);
+        if let Some(sk) = self.sketch.as_ref() {
+            if sk.total() >= self.sketch_next_send {
+                // Cumulative snapshot: the scheduler replaces this source's
+                // previous slot, so resending the whole sketch never
+                // double-counts.
+                ctx.send(self.scheduler, Msg::SketchUpdate { sketch: sk.clone() });
+                self.sketch_next_send = self.sketch_next_send.saturating_mul(2);
+            }
+        }
         if fanout_tuples > 0 {
             // One aggregated event per generation batch keeps the trace
             // proportional to batches, not tuples.
@@ -642,6 +700,81 @@ mod tests {
         assert_eq!(src.routing_version, 5);
         run_gen(&mut src, &mut ctx);
         assert!(data_tuples_to(&ctx, NODE_A) > 0, "v5 routing still applies");
+    }
+
+    #[test]
+    fn hot_key_sources_sketch_and_round_robin_builds() {
+        let mut c = (*cfg(2000, 50)).clone();
+        c.hot_keys = crate::config::HotKeyConfig::enabled();
+        c.hot_keys.min_total = 512;
+        let mut src = DataSource::new(Arc::new(c), 0, SCHED);
+        let mut ctx = ScriptCtx::new(ME);
+        // Cold positions all belong to NODE_A; the hot tenth round-robins
+        // over {A, B}.
+        let routing = RoutingTable::HotKeys {
+            overlay: crate::routing::HotKeyOverlay {
+                hot: (0..100).collect(),
+                replicas: vec![NODE_A, NODE_B],
+                extra: vec![],
+            },
+            inner: Box::new(RoutingTable::Disjoint(RangeMap::partitioned(
+                1000,
+                &[NODE_A],
+            ))),
+        };
+        src.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::StartBuild {
+                routing,
+                version: 1,
+            },
+        );
+        run_gen(&mut src, &mut ctx);
+        let mut guard = 0;
+        while ctx.count(|m| matches!(m, Msg::SourcePhaseDone { .. })) == 0 {
+            src.on_message(&mut ctx, NODE_A, Msg::DataAck);
+            src.on_message(&mut ctx, NODE_B, Msg::DataAck);
+            run_gen(&mut src, &mut ctx);
+            guard += 1;
+            assert!(guard < 10_000, "drain must terminate");
+        }
+        assert_eq!(
+            data_tuples_to(&ctx, NODE_A) + data_tuples_to(&ctx, NODE_B),
+            2000,
+            "hot routing must not duplicate or drop build tuples"
+        );
+        assert!(
+            data_tuples_to(&ctx, NODE_B) > 0,
+            "round-robin must spread hot tuples to the second replica"
+        );
+        let sketches = ctx
+            .sent
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Msg::SketchUpdate { sketch } if *to == SCHED => Some(sketch.clone()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert!(!sketches.is_empty(), "threshold crossed: sketch must ship");
+        let last = sketches.last().unwrap();
+        assert_eq!(last.total(), 2000, "snapshots are cumulative");
+    }
+
+    #[test]
+    fn sketches_stay_off_by_default() {
+        let mut src = DataSource::new(cfg(1000, 50), 0, SCHED);
+        let mut ctx = ScriptCtx::new(ME);
+        src.on_message(
+            &mut ctx,
+            SCHED,
+            Msg::StartBuild {
+                routing: two_node_routing(),
+                version: 1,
+            },
+        );
+        run_gen(&mut src, &mut ctx);
+        assert_eq!(ctx.count(|m| matches!(m, Msg::SketchUpdate { .. })), 0);
     }
 
     #[test]

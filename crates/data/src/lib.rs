@@ -32,7 +32,7 @@ pub mod tuple;
 pub use batch::TupleBatch;
 pub use chunk::{Chunk, ChunkBuffer, ChunkSet, CHUNK_HEADER_BYTES, DEFAULT_CHUNK_TUPLES};
 pub use dist::{Distribution, JoinAttrSampler, DEFAULT_ATTR_DOMAIN};
-pub use gen::{RelationSpec, SourceGenerator, TupleGenerator};
+pub use gen::{Correlation, RelationSpec, SourceGenerator, TupleGenerator};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use schema::Schema;
 pub use tuple::{JoinAttr, MatchPair, MaterializedTuple, Payload, Tuple, TupleIndex};

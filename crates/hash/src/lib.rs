@@ -8,7 +8,10 @@
 //!   (`h_i`/`h_{i+1}` pairs, split pointer, bucket-to-owner map);
 //! * [`range`] — contiguous hash-range partitioning with replica lists for
 //!   the replication-based and hybrid algorithms;
-//! * [`partition`] — the hybrid reshuffle's greedy equal-load heuristic;
+//! * [`partition`] — the hybrid reshuffle's greedy equal-load heuristic and
+//!   its skew-aware variant;
+//! * [`sketch`] — the space-saving heavy-hitter sketch behind hot-key
+//!   detection (DESIGN §4i);
 //! * [`table`] — the per-node, memory-accounted flat-arena hash table;
 //! * [`kernels`] — data-parallel probe kernels (SWAR/SIMD tag scans, the
 //!   interleaved chain walker's lane count) and the runtime selector;
@@ -24,14 +27,16 @@ pub mod kernels;
 pub mod linear;
 pub mod partition;
 pub mod range;
+pub mod sketch;
 pub mod table;
 
 pub use chained::ChainedTable;
 pub use hasher::{AttrHasher, PositionSpace};
 pub use kernels::{ProbeKernel, ProbeScratch};
 pub use linear::{BucketMap, SplitStep};
-pub use partition::{greedy_equal_partition, part_loads};
+pub use partition::{greedy_equal_partition, part_loads, skew_aware_partition};
 pub use range::{HashRange, RangeMap, ReplicaEntry, ReplicaMap};
+pub use sketch::SpaceSaving;
 pub use table::{
     filter_fingerprint, BatchProbeStats, JoinHashTable, ProbeResult, TableFull,
     ENTRY_OVERHEAD_BYTES,

@@ -42,6 +42,32 @@ pub fn greedy_equal_partition(counts: &[u64], k: usize) -> Vec<(usize, usize)> {
     cuts.windows(2).map(|w| (w[0], w[1])).collect()
 }
 
+/// Skew-aware variant of [`greedy_equal_partition`]: cells listed in
+/// `hot` (range-local indices, any order) are *excluded* from the load
+/// balance before the greedy prefix walk places the cuts. The hot cells'
+/// tuples are replicated across the whole member set by the hot-key
+/// overlay and their probes round-robined, so counting them inside one
+/// contiguous part would concentrate load the overlay has already spread.
+///
+/// With `hot` empty the output is identical to [`greedy_equal_partition`]
+/// on the same inputs, so cold-only workloads keep byte-identical plans.
+///
+/// # Panics
+/// Panics if `k == 0`.
+#[must_use]
+pub fn skew_aware_partition(counts: &[u64], k: usize, hot: &[usize]) -> Vec<(usize, usize)> {
+    if hot.is_empty() {
+        return greedy_equal_partition(counts, k);
+    }
+    let mut cold: Vec<u64> = counts.to_vec();
+    for &i in hot {
+        if let Some(c) = cold.get_mut(i) {
+            *c = 0;
+        }
+    }
+    greedy_equal_partition(&cold, k)
+}
+
 /// Load (sum of counts) of each part returned by [`greedy_equal_partition`].
 #[must_use]
 pub fn part_loads(counts: &[u64], parts: &[(usize, usize)]) -> Vec<u64> {
@@ -147,5 +173,42 @@ mod tests {
     #[should_panic(expected = "at least one part")]
     fn zero_parts_panics() {
         let _ = greedy_equal_partition(&[1], 0);
+    }
+
+    #[test]
+    fn skew_aware_without_hot_cells_is_identical() {
+        let counts: Vec<u64> = (0..200).map(|i| (i * 7 + 3) % 31).collect();
+        for k in [1usize, 3, 8] {
+            assert_eq!(
+                skew_aware_partition(&counts, k, &[]),
+                greedy_equal_partition(&counts, k)
+            );
+        }
+    }
+
+    #[test]
+    fn skew_aware_ignores_hot_cells_in_the_balance() {
+        // One dominant cell: the plain greedy puts everything else in one
+        // part; excluding it balances the cold remainder evenly.
+        let mut counts = vec![10u64; 100];
+        counts[50] = 100_000;
+        let parts = skew_aware_partition(&counts, 4, &[50]);
+        check_cover(&counts, &parts);
+        let mut cold = counts.clone();
+        cold[50] = 0;
+        let cold_loads = part_loads(&cold, &parts);
+        for &l in &cold_loads {
+            assert!(
+                l.abs_diff(990 / 4) <= 10,
+                "cold load {l} not near-even in {cold_loads:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_aware_tolerates_out_of_range_hot_indices() {
+        let counts = vec![5u64; 10];
+        let parts = skew_aware_partition(&counts, 2, &[999]);
+        assert_eq!(parts, greedy_equal_partition(&counts, 2));
     }
 }

@@ -740,6 +740,21 @@ impl JoinHashTable {
         self.compact(|slot| pred(slot.pos))
     }
 
+    /// Copies (without removing) every tuple whose position appears in the
+    /// *sorted* `positions` list — the hot-key replication hand-off, where
+    /// the shipper keeps its own copy so each clean node ends up with the
+    /// full hot build side. One arena scan with a binary search per slot:
+    /// `O(len · log |positions|)`.
+    #[must_use]
+    pub fn collect_positions(&self, positions: &[u32]) -> Vec<Tuple> {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        self.slots
+            .iter()
+            .filter(|slot| positions.binary_search(&slot.pos).is_ok())
+            .map(|slot| slot.tuple)
+            .collect()
+    }
+
     /// Iterates all stored tuples in arena (insertion) order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.slots.iter().map(|slot| &slot.tuple)
@@ -855,6 +870,23 @@ mod tests {
         assert_eq!(t.len(), 7);
         assert_eq!(t.probe(10).matches, 0);
         assert_eq!(t.probe(0).matches, 1);
+    }
+
+    #[test]
+    fn collect_positions_copies_without_removing() {
+        let mut t = table(100);
+        for i in 0..10u64 {
+            t.insert(Tuple::new(i, i * 10)).unwrap(); // positions 0,10,20,...
+        }
+        t.insert(Tuple::new(99, 20)).unwrap(); // second tuple at position 20
+        let got = t.collect_positions(&[20, 50]);
+        assert_eq!(got.len(), 3, "two at 20, one at 50");
+        assert!(got
+            .iter()
+            .all(|tp| tp.join_attr == 20 || tp.join_attr == 50));
+        assert_eq!(t.len(), 11, "collect must not remove anything");
+        assert_eq!(t.probe(20).matches, 2);
+        assert!(t.collect_positions(&[]).is_empty());
     }
 
     #[test]

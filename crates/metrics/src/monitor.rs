@@ -52,6 +52,21 @@ pub fn sample_kind(snapshot: &MetricsSnapshot, seq: u64) -> TraceKind {
         .histograms
         .get(names::NODE_INTERLEAVE_DEPTH)
         .map_or(0, |h| h.percentile(50.0));
+    let hotkey_hits = snapshot
+        .counters
+        .get(names::NODE_HOTKEY_HITS)
+        .copied()
+        .unwrap_or(0);
+    let sketch_topk = snapshot
+        .gauges
+        .get(names::SCHED_SKETCH_TOPK)
+        .copied()
+        .unwrap_or(0)
+        .max(0) as u64;
+    let hotkey_fanout = snapshot
+        .histograms
+        .get(names::SCHED_HOTKEY_FANOUT)
+        .map_or(0, |h| h.max);
     TraceKind::MetricsSample {
         seq,
         occupancy,
@@ -60,6 +75,9 @@ pub fn sample_kind(snapshot: &MetricsSnapshot, seq: u64) -> TraceKind {
         filter_probes,
         filter_rejections,
         interleave_depth,
+        hotkey_hits,
+        sketch_topk,
+        hotkey_fanout,
     }
 }
 
@@ -143,6 +161,9 @@ mod tests {
         h.counter(names::NODE_FILTER_PROBES).add(500);
         h.counter(names::NODE_FILTER_REJECTIONS).add(450);
         h.histogram(names::NODE_INTERLEAVE_DEPTH).record(6);
+        h.counter(names::NODE_HOTKEY_HITS).add(12);
+        h.gauge(names::SCHED_SKETCH_TOPK).add(8);
+        h.histogram(names::SCHED_HOTKEY_FANOUT).record(4);
         let kind = sample_kind(&reg.snapshot(), 3);
         assert_eq!(
             kind,
@@ -154,6 +175,9 @@ mod tests {
                 filter_probes: 500,
                 filter_rejections: 450,
                 interleave_depth: 6,
+                hotkey_hits: 12,
+                sketch_topk: 8,
+                hotkey_fanout: 4,
             }
         );
     }

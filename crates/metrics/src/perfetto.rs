@@ -105,6 +105,9 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Option<ClockKind>) -> Str
             filter_probes,
             filter_rejections,
             interleave_depth,
+            hotkey_hits,
+            sketch_topk,
+            hotkey_fanout,
             ..
         } = ev.kind
         {
@@ -115,6 +118,9 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Option<ClockKind>) -> Str
                 ("probe filter probes", filter_probes),
                 ("probe tag rejections", filter_rejections),
                 ("interleave depth (p50)", interleave_depth),
+                ("hotkey probe hits", hotkey_hits),
+                ("sketch top-k size", sketch_topk),
+                ("hotkey fan-out", hotkey_fanout),
             ] {
                 lines.push((
                     ts,
@@ -203,6 +209,9 @@ mod tests {
                     filter_probes: 100,
                     filter_rejections: 90,
                     interleave_depth: 5,
+                    hotkey_hits: 7,
+                    sketch_topk: 3,
+                    hotkey_fanout: 2,
                 },
             ),
         ];

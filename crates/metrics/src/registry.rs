@@ -681,6 +681,15 @@ pub mod names {
     /// Histogram: mean chains concurrently in flight per interleaved-walk
     /// round, one sample per probed batch (wide kernels only).
     pub const NODE_INTERLEAVE_DEPTH: &str = "node.probe_interleave_depth";
+    /// Counter: probe tuples answered from a replicated hot position
+    /// (DESIGN §4i).
+    pub const NODE_HOTKEY_HITS: &str = "node.hotkey_hits";
+    /// Gauge: monitored entries in the scheduler's merged heavy-hitter
+    /// sketch.
+    pub const SCHED_SKETCH_TOPK: &str = "sched.sketch_topk_size";
+    /// Histogram: replication fan-out (clean members receiving copies) per
+    /// hot-key hand-off.
+    pub const SCHED_HOTKEY_FANOUT: &str = "sched.hotkey_fanout";
 }
 
 #[cfg(test)]

@@ -235,6 +235,14 @@ pub enum TraceKind {
         /// Tuples moved.
         tuples: u64,
     },
+    /// The scheduler promoted heavy-hitter positions to a replicated hot
+    /// set and installed the routing overlay (DESIGN §4i).
+    HotKeysInstalled {
+        /// Number of positions promoted to the hot set.
+        hot: u64,
+        /// Size of the replica set sharing the hot build tuples.
+        replicas: u64,
+    },
     /// Probe tuples were broadcast to multiple replicas (detail level).
     ProbeFanout {
         /// Tuples routed to more than one destination in this batch.
@@ -288,6 +296,13 @@ pub enum TraceKind {
         filter_rejections: u64,
         /// Median chains concurrently in flight in the interleaved walker.
         interleave_depth: u64,
+        /// Cumulative probe tuples answered from replicated hot positions
+        /// (DESIGN §4i; zero when hot-key routing is off).
+        hotkey_hits: u64,
+        /// Monitored entries in the scheduler's merged heavy-hitter sketch.
+        sketch_topk: u64,
+        /// Latest hot-key replication fan-out (clean members per hand-off).
+        hotkey_fanout: u64,
     },
     /// A malformed or stale control message was rejected instead of
     /// applied: the value arrived off the wire, failed validation against
@@ -317,6 +332,9 @@ pub enum FaultField {
     /// A reshuffle count vector whose length does not match the group's
     /// histogram width.
     ReshuffleCounts,
+    /// A source sketch whose monitored-entry count exceeds the configured
+    /// sketch capacity.
+    SketchSize,
 }
 
 impl FaultField {
@@ -326,6 +344,7 @@ impl FaultField {
         match self {
             Self::ReshuffleGroup => "reshuffle_group",
             Self::ReshuffleCounts => "reshuffle_counts",
+            Self::SketchSize => "sketch_size",
         }
     }
 
@@ -335,6 +354,7 @@ impl FaultField {
         match s {
             "reshuffle_group" => Some(Self::ReshuffleGroup),
             "reshuffle_counts" => Some(Self::ReshuffleCounts),
+            "sketch_size" => Some(Self::SketchSize),
             _ => None,
         }
     }
@@ -358,6 +378,7 @@ impl TraceKind {
             Self::SpillFetch { .. } => "spill_fetch",
             Self::ReshufflePlanned { .. } => "reshuffle_planned",
             Self::ReshuffleChunk { .. } => "reshuffle_chunk",
+            Self::HotKeysInstalled { .. } => "hot_keys_installed",
             Self::ProbeFanout { .. } => "probe_fanout",
             Self::PhaseDone => "phase_done",
             Self::ProbeFilterStats { .. } => "probe_filter_stats",
@@ -407,6 +428,9 @@ impl TraceKind {
             Self::ReshuffleChunk { to, tuples } => {
                 format!("reshuffle moved {tuples} tuples to actor {to}")
             }
+            Self::HotKeysInstalled { hot, replicas } => {
+                format!("hot-key overlay installed: {hot} positions on {replicas} replicas")
+            }
             Self::ProbeFanout { tuples, copies } => {
                 format!("probe fan-out: {tuples} tuples -> {copies} copies")
             }
@@ -437,10 +461,14 @@ impl TraceKind {
                 filter_probes,
                 filter_rejections,
                 interleave_depth,
+                hotkey_hits,
+                sketch_topk,
+                hotkey_fanout,
             } => format!(
                 "metrics sample {seq}: {occupancy} arena tuples, mailbox hwm {depth_hwm}, \
                  busy {busy_ns}ns, filter {filter_rejections}/{filter_probes} rejected, \
-                 interleave depth {interleave_depth}"
+                 interleave depth {interleave_depth}, hotkey hits {hotkey_hits}, \
+                 sketch top-k {sketch_topk}, fan-out {hotkey_fanout}"
             ),
             Self::ProtocolFault {
                 field,
@@ -519,6 +547,9 @@ impl TraceEvent {
             TraceKind::ReshuffleChunk { to, tuples } => {
                 let _ = write!(out, ",\"to\":{to},\"tuples\":{tuples}");
             }
+            TraceKind::HotKeysInstalled { hot, replicas } => {
+                let _ = write!(out, ",\"hot\":{hot},\"replicas\":{replicas}");
+            }
             TraceKind::ProbeFanout { tuples, copies } => {
                 let _ = write!(out, ",\"tuples\":{tuples},\"copies\":{copies}");
             }
@@ -555,13 +586,18 @@ impl TraceEvent {
                 filter_probes,
                 filter_rejections,
                 interleave_depth,
+                hotkey_hits,
+                sketch_topk,
+                hotkey_fanout,
             } => {
                 let _ = write!(
                     out,
                     ",\"seq\":{seq},\"occupancy\":{occupancy},\"depth_hwm\":{depth_hwm},\
                      \"busy_ns\":{busy_ns},\"filter_probes\":{filter_probes},\
                      \"filter_rejections\":{filter_rejections},\
-                     \"interleave_depth\":{interleave_depth}"
+                     \"interleave_depth\":{interleave_depth},\
+                     \"hotkey_hits\":{hotkey_hits},\"sketch_topk\":{sketch_topk},\
+                     \"hotkey_fanout\":{hotkey_fanout}"
                 );
             }
             TraceKind::ProtocolFault {
@@ -655,6 +691,10 @@ impl TraceEvent {
                 to: num32("to")?,
                 tuples: num("tuples")?,
             },
+            "hot_keys_installed" => TraceKind::HotKeysInstalled {
+                hot: num("hot")?,
+                replicas: num("replicas")?,
+            },
             "probe_fanout" => TraceKind::ProbeFanout {
                 tuples: num("tuples")?,
                 copies: num("copies")?,
@@ -683,6 +723,9 @@ impl TraceEvent {
                 filter_probes: num("filter_probes").unwrap_or(0),
                 filter_rejections: num("filter_rejections").unwrap_or(0),
                 interleave_depth: num("interleave_depth").unwrap_or(0),
+                hotkey_hits: num("hotkey_hits").unwrap_or(0),
+                sketch_topk: num("sketch_topk").unwrap_or(0),
+                hotkey_fanout: num("hotkey_fanout").unwrap_or(0),
             },
             "protocol_fault" => TraceKind::ProtocolFault {
                 field: FaultField::parse(text("field")?)?,
@@ -1142,6 +1185,7 @@ pub const fn lane_marker(kind: &TraceKind) -> char {
         TraceKind::Spill { .. } => 'v',
         TraceKind::SpillFetch { .. } => '^',
         TraceKind::ReshufflePlanned { .. } | TraceKind::ReshuffleChunk { .. } => '#',
+        TraceKind::HotKeysInstalled { .. } => 'H',
         TraceKind::ProbeFanout { .. } => 'f',
         TraceKind::ProbeFilterStats { .. } => 'p',
         TraceKind::PhaseDone => '|',
@@ -1259,6 +1303,10 @@ mod tests {
                 members: 3,
             },
             TraceKind::ReshuffleChunk { to: 11, tuples: 42 },
+            TraceKind::HotKeysInstalled {
+                hot: 16,
+                replicas: 4,
+            },
             TraceKind::ProbeFanout {
                 tuples: 10,
                 copies: 20,
@@ -1285,6 +1333,9 @@ mod tests {
                 filter_probes: 10_000,
                 filter_rejections: 9_000,
                 interleave_depth: 7,
+                hotkey_hits: 42,
+                sketch_topk: 16,
+                hotkey_fanout: 3,
             },
             TraceKind::EngineStop {
                 reason: StopCause::Completed,
@@ -1309,6 +1360,39 @@ mod tests {
                 TraceEvent::from_json_line(&line).unwrap_or_else(|| panic!("must parse: {line}"));
             assert_eq!(back, ev, "round trip of {line}");
         }
+    }
+
+    #[test]
+    fn pre_hotkey_metrics_samples_parse_at_zero_defaults() {
+        // A sample rendered before the hot-key counters existed must keep
+        // parsing, with the new fields defaulting to zero.
+        let old = "{\"t_ns\":5,\"node\":0,\"phase\":\"probe\",\"kind\":\"metrics_sample\",\
+                   \"seq\":1,\"occupancy\":9,\"depth_hwm\":2,\"busy_ns\":77}";
+        let ev = TraceEvent::from_json_line(old).expect("old sample must parse");
+        assert_eq!(
+            ev.kind,
+            TraceKind::MetricsSample {
+                seq: 1,
+                occupancy: 9,
+                depth_hwm: 2,
+                busy_ns: 77,
+                filter_probes: 0,
+                filter_rejections: 0,
+                interleave_depth: 0,
+                hotkey_hits: 0,
+                sketch_topk: 0,
+                hotkey_fanout: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn sketch_size_fault_field_round_trips() {
+        assert_eq!(FaultField::SketchSize.name(), "sketch_size");
+        assert_eq!(
+            FaultField::parse("sketch_size"),
+            Some(FaultField::SketchSize)
+        );
     }
 
     #[test]

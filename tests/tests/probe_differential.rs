@@ -110,6 +110,63 @@ fn probe_kernels_are_byte_identical_when_table_fits() {
     }
 }
 
+/// Hot-key routing (DESIGN §4i) replicates the build side of the heavy
+/// hitters and round-robins their probe tuples; the join it computes must
+/// be the same join. For every algorithm and skew level, the run with the
+/// overlay enabled must produce exactly the match count of the untouched
+/// oracle run — and under a uniform stream the overlay must never install,
+/// leaving every simulated observable byte-identical.
+#[test]
+fn hot_key_routing_preserves_exact_match_counts() {
+    let dists = [
+        ("uniform", Distribution::Uniform),
+        ("zipf-0.5", Distribution::Zipf { theta: 0.5 }),
+        ("zipf-0.99", Distribution::Zipf { theta: 0.99 }),
+    ];
+    for alg in Algorithm::ALL {
+        for (name, dist) in dists {
+            let mut off = base(alg);
+            off.r.dist = dist;
+            off.s.dist = dist;
+            off.probe_kernel = ProbeKernel::Scalar;
+            let mut on = off.clone();
+            on.hot_keys = ehj_core::HotKeyConfig::enabled();
+            let label = format!("{}/{name}", alg.label());
+            let oracle = JoinRunner::run(&off).expect("oracle run must complete");
+            let routed = JoinRunner::run(&on).expect("hot-key run must complete");
+            assert_eq!(
+                oracle.matches, routed.matches,
+                "{label}: hot-key routing changed the match count"
+            );
+            if matches!(dist, Distribution::Uniform) {
+                // No heavy hitter clears the install threshold: the join
+                // itself must be untouched (sketch shipping adds a few
+                // control-lane bytes, but no tuple moves differently).
+                assert_eq!(oracle.compares, routed.compares, "{label}: compares");
+                assert_eq!(oracle.load, routed.load, "{label}: load vectors");
+                assert_eq!(oracle.disk_bytes, routed.disk_bytes, "{label}: disk bytes");
+                assert_eq!(
+                    oracle.build_tuples, routed.build_tuples,
+                    "{label}: build placement"
+                );
+            }
+            // The batched kernels must agree with the scalar oracle under
+            // the overlay exactly as they do without it.
+            let mut on_swar = on.clone();
+            on_swar.probe_kernel = ProbeKernel::Swar;
+            let swar = JoinRunner::run(&on_swar).expect("swar run must complete");
+            assert_eq!(
+                routed.matches, swar.matches,
+                "{label}: kernels diverge under the overlay"
+            );
+            assert_eq!(
+                routed.compares, swar.compares,
+                "{label}: kernel compares diverge under the overlay"
+            );
+        }
+    }
+}
+
 #[test]
 fn probe_kernels_are_byte_identical_with_fibonacci_hashing() {
     // The bulk-hash kernel's multiplicative path feeds routing and probing.
