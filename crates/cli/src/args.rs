@@ -91,6 +91,14 @@ pub struct Args {
     pub queries: usize,
     /// Service-wide hash-memory quota in bytes (None = unlimited).
     pub memory_budget: Option<u64>,
+    /// Scheduling weights assigned to the service's queries round-robin
+    /// (empty = every tenant at weight 1).
+    pub weights: Vec<u64>,
+    /// Latency-targeted admission budget in milliseconds (None = admit on
+    /// quota alone).
+    pub latency_budget_ms: Option<u64>,
+    /// Tuples per resumable probe slice (None = whole-batch probes).
+    pub probe_slice: Option<usize>,
 }
 
 impl Default for Args {
@@ -120,6 +128,9 @@ impl Default for Args {
             probe_kernel: None,
             queries: 8,
             memory_budget: None,
+            weights: Vec::new(),
+            latency_budget_ms: None,
+            probe_slice: None,
         }
     }
 }
@@ -168,6 +179,14 @@ OPTIONS:
                          round-robin across replicated/split/hybrid/ooc)
   --memory-budget <BYTES>  service: hash-memory quota shared by all queries; admissions
                          beyond the budget block until earlier queries release
+  --weights <W1,W2,..>   service: scheduling weights assigned to queries round-robin
+                         (e.g. 1,1,8 gives every third query an 8x share of worker
+                         time under deficit-weighted round-robin)
+  --latency-budget-ms <N>  service: refuse admissions whose predicted p99 latency
+                         would exceed N milliseconds (latency-targeted admission)
+  --probe-slice <N>      probe batches in resumable N-tuple slices so the scheduler
+                         can preempt long probes mid-batch (default: whole batches;
+                         simulated observables are identical either way)
   --help
 ";
 
@@ -307,6 +326,34 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                     &value(&mut it, "--memory-budget")?,
                     "--memory-budget",
                 )?);
+            }
+            "--weights" => {
+                let v = value(&mut it, "--weights")?;
+                let weights: Vec<u64> = v
+                    .split(',')
+                    .map(|w| parse_num(w.trim(), "--weights"))
+                    .collect::<Result<_, _>>()?;
+                if weights.is_empty() || weights.contains(&0) {
+                    return Err("--weights needs positive comma-separated weights".into());
+                }
+                args.weights = weights;
+            }
+            "--latency-budget-ms" => {
+                let n: u64 = parse_num(
+                    &value(&mut it, "--latency-budget-ms")?,
+                    "--latency-budget-ms",
+                )?;
+                if n == 0 {
+                    return Err("--latency-budget-ms must be positive".into());
+                }
+                args.latency_budget_ms = Some(n);
+            }
+            "--probe-slice" => {
+                let n: usize = parse_num(&value(&mut it, "--probe-slice")?, "--probe-slice")?;
+                if n == 0 {
+                    return Err("--probe-slice must be positive".into());
+                }
+                args.probe_slice = Some(n);
             }
             "--help" | "-h" => {
                 args.command = Command::Help;
@@ -469,6 +516,24 @@ mod tests {
         assert_eq!(d.memory_budget, None);
         assert!(p("service --queries 0").is_err());
         assert!(p("service --memory-budget lots").is_err());
+    }
+
+    #[test]
+    fn scheduling_flags_parse() {
+        let a =
+            p("service --weights 1,1,8 --latency-budget-ms 250 --probe-slice 2048").expect("valid");
+        assert_eq!(a.weights, vec![1, 1, 8]);
+        assert_eq!(a.latency_budget_ms, Some(250));
+        assert_eq!(a.probe_slice, Some(2048));
+        let d = p("service").expect("valid");
+        assert!(d.weights.is_empty());
+        assert_eq!(d.latency_budget_ms, None);
+        assert_eq!(d.probe_slice, None);
+        assert!(p("service --weights").is_err());
+        assert!(p("service --weights 1,x").is_err());
+        assert!(p("service --weights 1,0").is_err());
+        assert!(p("service --latency-budget-ms 0").is_err());
+        assert!(p("service --probe-slice 0").is_err());
     }
 
     #[test]

@@ -293,7 +293,16 @@ fn sweep(args: &Args, axis: &str) -> Result<String, String> {
 /// them onto one shared worker pool and reports wall-clock throughput.
 fn service(args: &Args) -> Result<String, String> {
     let cfgs: Vec<JoinConfig> = (0..args.queries)
-        .map(|i| config_from_args(args, Algorithm::ALL[i % Algorithm::ALL.len()]))
+        .map(|i| {
+            let mut cfg = config_from_args(args, Algorithm::ALL[i % Algorithm::ALL.len()]);
+            if !args.weights.is_empty() {
+                cfg.tenant_weight = args.weights[i % args.weights.len()];
+            }
+            if let Some(slice) = args.probe_slice {
+                cfg.probe_slice = slice;
+            }
+            cfg
+        })
         .collect();
     let (reports, summary) = match args.backend {
         Backend::Simulated => {
@@ -318,6 +327,7 @@ fn service(args: &Args) -> Result<String, String> {
                 memory_budget_bytes: args.memory_budget,
                 trace_level: args.trace_level,
                 metrics: !args.no_metrics,
+                latency_budget: args.latency_budget_ms.map(std::time::Duration::from_millis),
                 ..ServiceConfig::default()
             });
             let started = std::time::Instant::now();

@@ -197,6 +197,18 @@ pub struct JoinConfig {
     /// [`ProbeKernel::Simd`] needs the `simd` cargo feature and falls back
     /// to SWAR elsewhere.
     pub probe_kernel: ProbeKernel,
+    /// Scheduling weight of this query's actor group on a shared executor
+    /// (multi-tenant service): its share of worker time relative to other
+    /// admitted queries under deficit-weighted round-robin. Minimum 1;
+    /// ignored by standalone runs, which own the whole pool.
+    pub tenant_weight: u64,
+    /// Tuples per resumable probe slice. `0` (default) processes each
+    /// probe batch whole; a positive value makes long probe batches
+    /// preemptible on the threaded executor — the join node parks a
+    /// cursor between slices when the scheduler asks it to yield. Slice
+    /// accounting is additive, so simulated observables are byte-identical
+    /// for any slicing.
+    pub probe_slice: usize,
     /// Simulation event budget (safety valve).
     pub max_events: u64,
     /// Optional virtual-time budget for the simulated backend; exceeding it
@@ -243,6 +255,8 @@ impl JoinConfig {
             allow_spill_fallback: true,
             hot_keys: HotKeyConfig::default(),
             probe_kernel: ProbeKernel::default(),
+            tenant_weight: 1,
+            probe_slice: 0,
             max_events: 500_000_000,
             max_sim_time: None,
         }
@@ -337,6 +351,9 @@ impl JoinConfig {
         }
         if self.positions == 0 {
             return Err("positions must be positive".into());
+        }
+        if self.tenant_weight == 0 {
+            return Err("tenant_weight must be at least 1".into());
         }
         if self.hot_keys.enabled {
             let hk = &self.hot_keys;

@@ -54,6 +54,9 @@ struct NodeMetrics {
     interleave_depth: ehj_metrics::Histogram,
     /// Probe tuples answered from a replicated hot position (DESIGN §4i).
     hotkey_hits: Counter,
+    /// Tuples per resumable probe slice (recorded only when slicing is
+    /// configured).
+    slice_tuples: ehj_metrics::Histogram,
 }
 
 impl NodeMetrics {
@@ -69,8 +72,17 @@ impl NodeMetrics {
             filter_rejections: handle.counter(names::NODE_FILTER_REJECTIONS),
             interleave_depth: handle.histogram(names::NODE_INTERLEAVE_DEPTH),
             hotkey_hits: handle.counter(names::NODE_HOTKEY_HITS),
+            slice_tuples: handle.histogram(names::SCHED_SLICE_TUPLES),
         }
     }
+}
+
+/// A probe batch being processed in resumable slices: the cursor is the
+/// continuation. Parked between slices when the scheduler asks the node to
+/// yield; the executor resumes it before draining the mailbox again.
+struct ParkedProbe {
+    tuples: TupleBatch,
+    cursor: usize,
 }
 
 /// One join process. `B` selects the spill backend: in-memory under the
@@ -121,6 +133,9 @@ pub struct JoinNode<B: SpillBackend + Default + Send> {
     hotkey_stash: Vec<TupleBatch>,
     /// Whether this node's `HotKeyPlan` has been processed this run.
     hotkey_plan_seen: bool,
+    /// An in-flight sliced probe batch, parked between slices when the
+    /// scheduler preempts this node (see [`JoinConfig::probe_slice`]).
+    parked_probe: Option<ParkedProbe>,
 }
 
 impl<B: SpillBackend + Default + Send> JoinNode<B> {
@@ -164,6 +179,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             filter_batches: 0,
             hotkey_stash: Vec::new(),
             hotkey_plan_seen: false,
+            parked_probe: None,
         }
     }
 
@@ -514,10 +530,10 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
     }
 
     fn handle_probe(&mut self, ctx: &mut dyn Context<Msg>, tuples: TupleBatch) {
-        let _timer = self.metrics.probe_ns.start_timer();
         self.metrics.batch_tuples.record(tuples.len() as u64);
         let costs = self.cfg.costs;
         if let Some(grace) = self.spill.as_mut() {
+            let _timer = self.metrics.probe_ns.start_timer();
             ctx.consume_cpu(costs.route_per_tuple * tuples.len() as u64);
             let bytes = grace.append_probe(&tuples);
             let fragments = grace.fragments() as u64;
@@ -525,13 +541,54 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             self.trace_detail(ctx, Phase::Probe, TraceKind::Spill { bytes, fragments });
             return;
         }
+        // The executor resumes parked work before delivering the next
+        // message, so a new batch can never land on top of a parked one.
+        debug_assert!(self.parked_probe.is_none(), "probe batch while parked");
+        self.parked_probe = Some(ParkedProbe { tuples, cursor: 0 });
+        self.run_parked_probe(ctx);
+    }
+
+    /// Processes the parked probe batch in `probe_slice`-sized resumable
+    /// slices (the whole batch at once when slicing is off), parking the
+    /// cursor again if the scheduler asks this node to yield between
+    /// slices. Every per-slice cost and counter is additive in the tuple
+    /// ranges, so any slicing produces byte-identical simulated
+    /// observables — proved by the sliced-vs-whole differential tests.
+    fn run_parked_probe(&mut self, ctx: &mut dyn Context<Msg>) {
+        let _timer = self.metrics.probe_ns.start_timer();
+        while let Some(parked) = self.parked_probe.take() {
+            let remaining = parked.tuples.len() - parked.cursor;
+            let step = match self.cfg.probe_slice {
+                0 => remaining,
+                s => s.min(remaining),
+            };
+            let slice = parked.tuples.slice(parked.cursor, step);
+            self.probe_slice(ctx, &slice);
+            if self.cfg.probe_slice > 0 {
+                self.metrics.slice_tuples.record(step as u64);
+            }
+            if parked.cursor + step < parked.tuples.len() {
+                self.parked_probe = Some(ParkedProbe {
+                    cursor: parked.cursor + step,
+                    ..parked
+                });
+                if ctx.should_yield() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Probes one slice of a batch and accounts for exactly that slice.
+    fn probe_slice(&mut self, ctx: &mut dyn Context<Msg>, tuples: &TupleBatch) {
+        let costs = self.cfg.costs;
         let (compared, found) = if self.cfg.probe_kernel == ProbeKernel::Scalar {
             // Scalar oracle: tuple-at-a-time, kept for differential tests.
             // Deliberately outside the kernel dispatch so it records no
             // filter stats (the oracle has no filter).
             let mut compared: u64 = 0;
             let mut found: u64 = 0;
-            for t in &tuples {
+            for t in tuples {
                 let r = self.table.probe(t.join_attr);
                 compared += r.compared;
                 found += r.matches;
@@ -541,7 +598,7 @@ impl<B: SpillBackend + Default + Send> JoinNode<B> {
             let mut scratch = std::mem::take(&mut self.probe_scratch);
             let stats = self
                 .table
-                .probe_batch_with(&tuples, &mut scratch, self.cfg.probe_kernel);
+                .probe_batch_with(tuples, &mut scratch, self.cfg.probe_kernel);
             self.probe_scratch = scratch;
             self.filter_probes += stats.probes;
             self.filter_rejections += stats.rejections;
@@ -950,6 +1007,14 @@ impl<B: SpillBackend + Default + Send> Actor<Msg> for JoinNode<B> {
 
     // Delay charging for queued boot messages: they were already paid for
     // when dispatched from `activate`.
+
+    fn has_parked_work(&self) -> bool {
+        self.parked_probe.is_some()
+    }
+
+    fn on_resume(&mut self, ctx: &mut dyn Context<Msg>) {
+        self.run_parked_probe(ctx);
+    }
 }
 
 #[cfg(test)]

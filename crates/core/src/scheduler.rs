@@ -30,8 +30,16 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::sync::Mutex;
 
-/// Delay between barrier re-polls while chunks are still in flight.
+/// Delay between barrier re-polls while chunks are still in flight, on the
+/// simulated backend — part of the modelled virtual-time observables, so it
+/// must stay stable across releases.
 const FLUSH_RETRY_DELAY: SimTime = SimTime::from_millis(1);
+
+/// Barrier re-poll delay on wall-clock backends. There the delay is pure
+/// added latency on every query's critical path (each unsettled barrier
+/// round eats a full poll period), so it is kept just long enough to let
+/// in-flight acks drain.
+const FLUSH_RETRY_DELAY_WALL: SimTime = SimTime::from_micros(20);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SchedPhase {
@@ -778,7 +786,12 @@ impl Scheduler {
         if settled {
             self.advance_phase(ctx);
         } else {
-            ctx.schedule(FLUSH_RETRY_DELAY, Msg::RetryFlush);
+            let delay = if ctx.virtual_time() {
+                FLUSH_RETRY_DELAY
+            } else {
+                FLUSH_RETRY_DELAY_WALL
+            };
+            ctx.schedule(delay, Msg::RetryFlush);
         }
     }
 

@@ -29,13 +29,16 @@ use crate::config::JoinConfig;
 use crate::report::JoinReport;
 use crate::runner::{build_query_actors, Backend, JoinError, RunOptions, TraceHarness};
 use crate::topology::Topology;
-use ehj_cluster::QuotaLedger;
-use ehj_metrics::{sample_once, ClockKind, MetricsRegistry, MetricsReport, StopCause, TraceLevel};
+use ehj_cluster::{QuotaError, QuotaGrant, QuotaLedger};
+use ehj_metrics::registry::names;
+use ehj_metrics::{
+    sample_once, ClockKind, Histogram, MetricsRegistry, MetricsReport, StopCause, TraceLevel,
+};
 use ehj_sim::{Admission, Engine, EngineConfig, Executor, ExecutorConfig, StopReason};
 use ehj_storage::{FileBackend, MemBackend};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::msg::Msg;
 
@@ -69,6 +72,11 @@ pub struct ServiceConfig {
     pub trace_level: TraceLevel,
     /// Whether each query gets a live metrics registry.
     pub metrics: bool,
+    /// Latency-targeted admission: refuse (after the admission patience)
+    /// submissions whose predicted completion latency — the service's
+    /// observed p99 scaled by the post-admission inflight-to-worker ratio
+    /// — would exceed this budget. `None` admits on quota alone.
+    pub latency_budget: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +89,7 @@ impl Default for ServiceConfig {
             query_deadline: Duration::from_secs(120),
             trace_level: TraceLevel::Summary,
             metrics: true,
+            latency_budget: None,
         }
     }
 }
@@ -106,6 +115,28 @@ pub struct JoinService {
     quota: Option<QuotaLedger>,
     cfg: ServiceConfig,
     next_query: AtomicU64,
+    /// Query-latency histogram feeding latency-targeted admission, minted
+    /// from a service-scoped registry (per-query registries stay separate).
+    latency: Histogram,
+    /// Admitted-but-unfinished query count plus the condvar completions
+    /// signal, so a gated submission can re-evaluate its prediction.
+    inflight: Arc<(Mutex<usize>, Condvar)>,
+}
+
+/// Holds one slot of the service's inflight count for a query's lifetime;
+/// dropping it (when the query's group retires) decrements the count and
+/// wakes submissions parked on the latency gate.
+struct InflightGuard {
+    inflight: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.inflight;
+        let mut count = lock.lock().expect("inflight gate");
+        *count = count.saturating_sub(1);
+        cv.notify_all();
+    }
 }
 
 impl JoinService {
@@ -121,11 +152,16 @@ impl JoinService {
         // carry the meaningful (join-side) metrics instead.
         let executor = Executor::start(&exec_cfg, &MetricsRegistry::disabled());
         let quota = cfg.memory_budget_bytes.map(QuotaLedger::new);
+        let latency = MetricsRegistry::new()
+            .handle()
+            .histogram(names::SERVICE_QUERY_LATENCY_NS);
         Self {
             executor,
             quota,
             cfg,
             next_query: AtomicU64::new(0),
+            latency,
+            inflight: Arc::new((Mutex::new(0), Condvar::new())),
         }
     }
 
@@ -135,26 +171,115 @@ impl JoinService {
         self.executor.workers()
     }
 
+    /// The service's observed p99 query latency scaled by what the
+    /// inflight-to-worker ratio would become if one more query were
+    /// admitted — the load model behind latency-targeted admission. Zero
+    /// until the first query completes (a cold service admits freely).
+    fn predicted_latency_ns(&self, inflight: usize) -> u64 {
+        let snap = self.latency.snapshot();
+        if snap.count == 0 {
+            return 0;
+        }
+        let p99 = snap.percentile(99.0);
+        let workers = self.executor.workers().max(1);
+        let load = ((inflight + 1) as f64 / workers as f64).max(1.0);
+        (p99 as f64 * load) as u64
+    }
+
+    /// Latency-targeted admission: holds the submission until its
+    /// predicted latency fits the budget *and* the memory quota is free
+    /// (probed without parking, so the prediction is re-evaluated on
+    /// every wakeup), or until the admission patience expires.
+    fn admit_latency_gated(
+        &self,
+        demand: u64,
+        budget: Duration,
+    ) -> Result<(Option<QuotaGrant>, InflightGuard), JoinError> {
+        let budget_ns = u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX);
+        let deadline = Instant::now() + self.cfg.admission_patience;
+        let (lock, cv) = &*self.inflight;
+        let mut count = lock.lock().expect("inflight gate");
+        loop {
+            let predicted = self.predicted_latency_ns(*count);
+            if predicted <= budget_ns {
+                let grant = match &self.quota {
+                    None => None,
+                    Some(ledger) => match ledger.try_reserve(demand) {
+                        Ok(grant) => Some(grant),
+                        Err(e @ QuotaError::Oversized { .. }) => {
+                            return Err(JoinError::Admission(e.to_string()));
+                        }
+                        Err(QuotaError::TimedOut { .. }) => {
+                            // Quota held by running queries: park below and
+                            // re-probe when a completion signals the gate.
+                            let left = deadline.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                return Err(JoinError::Admission(format!(
+                                    "timed out waiting for {demand} bytes under a latency gate"
+                                )));
+                            }
+                            let (guard, _timeout) =
+                                cv.wait_timeout(count, left).expect("inflight gate");
+                            count = guard;
+                            continue;
+                        }
+                    },
+                };
+                *count += 1;
+                return Ok((
+                    grant,
+                    InflightGuard {
+                        inflight: Arc::clone(&self.inflight),
+                    },
+                ));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(JoinError::Admission(format!(
+                    "predicted p99 of {predicted}ns exceeds the {budget_ns}ns latency budget \
+                     ({count} queries inflight on {} workers)",
+                    self.executor.workers()
+                )));
+            }
+            let (guard, _timeout) = cv.wait_timeout(count, left).expect("inflight gate");
+            count = guard;
+        }
+    }
+
     /// Admits one query: validates its configuration, reserves its memory
     /// quota (blocking up to the admission patience), and starts its
-    /// actors on the shared executor. Returns immediately after admission;
-    /// the query runs concurrently with every other admitted query.
+    /// actors on the shared executor with the configuration's scheduling
+    /// weight. Returns immediately after admission; the query runs
+    /// concurrently with every other admitted query.
+    ///
+    /// With a [`ServiceConfig::latency_budget`] set, admission also
+    /// requires the predicted post-admission p99 to fit the budget; the
+    /// submission waits (up to the patience) for running queries to
+    /// finish, then is refused.
     ///
     /// # Errors
     /// [`JoinError::Config`] on validation failure, [`JoinError::Admission`]
-    /// when the quota cannot be reserved.
+    /// when the quota cannot be reserved or the latency budget would be
+    /// blown.
     pub fn submit(&self, cfg: &JoinConfig) -> Result<QueryHandle, JoinError> {
         cfg.validate().map_err(JoinError::Config)?;
-        let grant = match &self.quota {
-            Some(ledger) => Some(
-                ledger
-                    .reserve(
-                        cfg.cluster.total_hash_memory_bytes(),
-                        self.cfg.admission_patience,
-                    )
-                    .map_err(|e| JoinError::Admission(e.to_string()))?,
-            ),
-            None => None,
+        let demand = cfg.cluster.total_hash_memory_bytes();
+        let (grant, inflight) = match self.cfg.latency_budget {
+            Some(budget) => {
+                let (grant, guard) = self.admit_latency_gated(demand, budget)?;
+                (grant, Some(guard))
+            }
+            None => {
+                let grant = match &self.quota {
+                    Some(ledger) => Some(
+                        ledger
+                            .reserve(demand, self.cfg.admission_patience)
+                            .map_err(|e| JoinError::Admission(e.to_string()))?,
+                    ),
+                    None => None,
+                };
+                (grant, None)
+            }
         };
         let id = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
         let cfg = Arc::new(cfg.clone());
@@ -172,20 +297,24 @@ impl JoinService {
             MetricsRegistry::disabled()
         };
         let count = 1 + cfg.sources + cfg.cluster.len();
-        let admission = self
-            .executor
-            .admit_with(count, self.cfg.mailbox_capacity, |base| {
+        let admission = self.executor.admit_weighted(
+            count,
+            self.cfg.mailbox_capacity,
+            cfg.tenant_weight,
+            |base| {
                 let topo = Topology::with_base(base, cfg.sources, cfg.cluster.len());
                 // Rebase the tracer so the query's trace stays in its own
                 // 0-based actor namespace wherever its id block landed.
                 let tracer = harness.tracer.rebased(base);
                 build_query_actors::<FileBackend>(&cfg, &topo, &result, &tracer, &registry)
-            });
-        if let Some(grant) = grant {
-            // The grant frees when the query *completes*, not when the
-            // caller reaps the handle — a submitter streaming admissions
-            // must not be able to wedge the ledger with unreaped handles.
-            admission.hold_until_done(Box::new(grant));
+            },
+        );
+        if grant.is_some() || inflight.is_some() {
+            // The grant (and inflight slot) frees when the query
+            // *completes*, not when the caller reaps the handle — a
+            // submitter streaming admissions must not be able to wedge the
+            // ledger (or the latency gate) with unreaped handles.
+            admission.hold_until_done(Box::new((grant, inflight)));
         }
         Ok(QueryHandle {
             id,
@@ -238,6 +367,9 @@ impl JoinService {
             }
         };
         let end = u64::try_from(outcome.elapsed.as_nanos()).unwrap_or(u64::MAX);
+        // Feed the admission gate's latency estimate — every completed
+        // query counts, reaped or cancelled alike.
+        self.latency.record(end);
         let report = handle.result.lock().expect("report lock").take();
         let Some(mut report) = report else {
             handle.harness.finish(end, StopCause::Quiescent, None);
@@ -465,6 +597,52 @@ mod tests {
         assert_eq!(r1.matches, want);
         assert_eq!(r2.matches, want);
         assert!(r1.times.total_secs > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn latency_budget_refuses_once_observed_p99_exceeds_it() {
+        let service = JoinService::start(ServiceConfig {
+            workers: 2,
+            // One nanosecond: any real completion blows it.
+            latency_budget: Some(Duration::from_nanos(1)),
+            admission_patience: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        let cfg = quick(Algorithm::Hybrid);
+        // A cold service has no latency samples yet, so the first query
+        // admits freely and seeds the estimate.
+        let first = service.run(&cfg).expect("cold service admits");
+        assert_eq!(first.matches, expected_matches_for(&cfg));
+        // Now the observed p99 is a real (multi-microsecond) latency, far
+        // over the 1ns budget: the gate must refuse after the patience.
+        let err = match service.submit(&cfg) {
+            Ok(_) => panic!("hot service must refuse under a 1ns budget"),
+            Err(e) => e,
+        };
+        let JoinError::Admission(msg) = err else {
+            panic!("expected admission refusal, got {err:?}");
+        };
+        assert!(msg.contains("latency budget"), "unexpected message: {msg}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn weighted_tenants_share_the_pool_and_keep_their_counts() {
+        let service = JoinService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let mut heavy = quick(Algorithm::Split);
+        heavy.tenant_weight = 8;
+        heavy.probe_slice = 64;
+        let light = quick(Algorithm::Replicated);
+        let h1 = service.submit(&heavy).expect("admitted");
+        let h2 = service.submit(&light).expect("admitted");
+        let r1 = service.wait(h1).expect("heavy completes");
+        let r2 = service.wait(h2).expect("light completes");
+        assert_eq!(r1.matches, expected_matches_for(&heavy));
+        assert_eq!(r2.matches, expected_matches_for(&light));
         service.shutdown();
     }
 

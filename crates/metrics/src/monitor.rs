@@ -67,6 +67,24 @@ pub fn sample_kind(snapshot: &MetricsSnapshot, seq: u64) -> TraceKind {
         .histograms
         .get(names::SCHED_HOTKEY_FANOUT)
         .map_or(0, |h| h.max);
+    let sched_picks = snapshot
+        .counters
+        .get(names::SCHED_PICKS)
+        .copied()
+        .unwrap_or(0);
+    let preemptions = snapshot
+        .counters
+        .get(names::SCHED_PREEMPTIONS)
+        .copied()
+        .unwrap_or(0);
+    let slice_tuples = snapshot
+        .histograms
+        .get(names::SCHED_SLICE_TUPLES)
+        .map_or(0, |h| h.percentile(50.0));
+    let group_deficit = snapshot
+        .histograms
+        .get(names::SCHED_GROUP_DEFICIT)
+        .map_or(0, |h| h.percentile(50.0));
     TraceKind::MetricsSample {
         seq,
         occupancy,
@@ -78,6 +96,10 @@ pub fn sample_kind(snapshot: &MetricsSnapshot, seq: u64) -> TraceKind {
         hotkey_hits,
         sketch_topk,
         hotkey_fanout,
+        sched_picks,
+        preemptions,
+        slice_tuples,
+        group_deficit,
     }
 }
 
@@ -164,6 +186,12 @@ mod tests {
         h.counter(names::NODE_HOTKEY_HITS).add(12);
         h.gauge(names::SCHED_SKETCH_TOPK).add(8);
         h.histogram(names::SCHED_HOTKEY_FANOUT).record(4);
+        h.counter(names::SCHED_PICKS).add(300);
+        h.counter(names::SCHED_PREEMPTIONS).add(9);
+        // Sub-resolution values: the histogram stores them exactly, so the
+        // p50 read-back is the recorded value.
+        h.histogram(names::SCHED_SLICE_TUPLES).record(17);
+        h.histogram(names::SCHED_GROUP_DEFICIT).record(25);
         let kind = sample_kind(&reg.snapshot(), 3);
         assert_eq!(
             kind,
@@ -178,6 +206,10 @@ mod tests {
                 hotkey_hits: 12,
                 sketch_topk: 8,
                 hotkey_fanout: 4,
+                sched_picks: 300,
+                preemptions: 9,
+                slice_tuples: 17,
+                group_deficit: 25,
             }
         );
     }

@@ -108,6 +108,10 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Option<ClockKind>) -> Str
             hotkey_hits,
             sketch_topk,
             hotkey_fanout,
+            sched_picks,
+            preemptions,
+            slice_tuples,
+            group_deficit,
             ..
         } = ev.kind
         {
@@ -121,6 +125,10 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Option<ClockKind>) -> Str
                 ("hotkey probe hits", hotkey_hits),
                 ("sketch top-k size", sketch_topk),
                 ("hotkey fan-out", hotkey_fanout),
+                ("scheduler picks", sched_picks),
+                ("probe preemptions", preemptions),
+                ("slice tuples (p50)", slice_tuples),
+                ("group deficit (p50)", group_deficit),
             ] {
                 lines.push((
                     ts,
@@ -212,6 +220,10 @@ mod tests {
                     hotkey_hits: 7,
                     sketch_topk: 3,
                     hotkey_fanout: 2,
+                    sched_picks: 40,
+                    preemptions: 1,
+                    slice_tuples: 16,
+                    group_deficit: 8,
                 },
             ),
         ];

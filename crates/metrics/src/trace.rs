@@ -303,6 +303,14 @@ pub enum TraceKind {
         sketch_topk: u64,
         /// Latest hot-key replication fan-out (clean members per hand-off).
         hotkey_fanout: u64,
+        /// Cumulative deficit-weighted round-robin group picks by workers.
+        sched_picks: u64,
+        /// Cumulative probe slices preempted for a competing group.
+        preemptions: u64,
+        /// Median tuples per resumable probe slice (sliced probes only).
+        slice_tuples: u64,
+        /// Median remaining deficit of picked groups (clamped at zero).
+        group_deficit: u64,
     },
     /// A malformed or stale control message was rejected instead of
     /// applied: the value arrived off the wire, failed validation against
@@ -464,11 +472,17 @@ impl TraceKind {
                 hotkey_hits,
                 sketch_topk,
                 hotkey_fanout,
+                sched_picks,
+                preemptions,
+                slice_tuples,
+                group_deficit,
             } => format!(
                 "metrics sample {seq}: {occupancy} arena tuples, mailbox hwm {depth_hwm}, \
                  busy {busy_ns}ns, filter {filter_rejections}/{filter_probes} rejected, \
                  interleave depth {interleave_depth}, hotkey hits {hotkey_hits}, \
-                 sketch top-k {sketch_topk}, fan-out {hotkey_fanout}"
+                 sketch top-k {sketch_topk}, fan-out {hotkey_fanout}, \
+                 sched {sched_picks} picks / {preemptions} preemptions, \
+                 slice p50 {slice_tuples}, deficit p50 {group_deficit}"
             ),
             Self::ProtocolFault {
                 field,
@@ -589,6 +603,10 @@ impl TraceEvent {
                 hotkey_hits,
                 sketch_topk,
                 hotkey_fanout,
+                sched_picks,
+                preemptions,
+                slice_tuples,
+                group_deficit,
             } => {
                 let _ = write!(
                     out,
@@ -597,7 +615,9 @@ impl TraceEvent {
                      \"filter_rejections\":{filter_rejections},\
                      \"interleave_depth\":{interleave_depth},\
                      \"hotkey_hits\":{hotkey_hits},\"sketch_topk\":{sketch_topk},\
-                     \"hotkey_fanout\":{hotkey_fanout}"
+                     \"hotkey_fanout\":{hotkey_fanout},\"sched_picks\":{sched_picks},\
+                     \"preemptions\":{preemptions},\"slice_tuples\":{slice_tuples},\
+                     \"group_deficit\":{group_deficit}"
                 );
             }
             TraceKind::ProtocolFault {
@@ -726,6 +746,10 @@ impl TraceEvent {
                 hotkey_hits: num("hotkey_hits").unwrap_or(0),
                 sketch_topk: num("sketch_topk").unwrap_or(0),
                 hotkey_fanout: num("hotkey_fanout").unwrap_or(0),
+                sched_picks: num("sched_picks").unwrap_or(0),
+                preemptions: num("preemptions").unwrap_or(0),
+                slice_tuples: num("slice_tuples").unwrap_or(0),
+                group_deficit: num("group_deficit").unwrap_or(0),
             },
             "protocol_fault" => TraceKind::ProtocolFault {
                 field: FaultField::parse(text("field")?)?,
@@ -1336,6 +1360,10 @@ mod tests {
                 hotkey_hits: 42,
                 sketch_topk: 16,
                 hotkey_fanout: 3,
+                sched_picks: 900,
+                preemptions: 12,
+                slice_tuples: 64,
+                group_deficit: 128,
             },
             TraceKind::EngineStop {
                 reason: StopCause::Completed,
@@ -1382,6 +1410,10 @@ mod tests {
                 hotkey_hits: 0,
                 sketch_topk: 0,
                 hotkey_fanout: 0,
+                sched_picks: 0,
+                preemptions: 0,
+                slice_tuples: 0,
+                group_deficit: 0,
             }
         );
     }

@@ -86,6 +86,28 @@ pub trait Context<M: Message> {
     /// dropped. Sends are charged to the traffic totals either way — the
     /// drop happens at the receiver, past the wire.
     fn stop(&mut self);
+
+    /// Whether a long-running handler should park its remaining work and
+    /// yield the worker. Cooperative preemption point: an actor processing
+    /// a large batch in resumable slices calls this between slices; each
+    /// call charges one slice quantum against the actor's group scheduling
+    /// deficit on the threaded executor. Backends without a scheduler to
+    /// yield to (the deterministic engine, the thread-per-actor runtime)
+    /// always answer `false`, so a sliced handler completes in one call
+    /// there — with identical accounting, since slice costs are additive.
+    fn should_yield(&mut self) -> bool {
+        false
+    }
+
+    /// Whether [`Context::now`] is **virtual** time. Timer-driven polling
+    /// protocols key their cadence off this: under simulation a retry delay
+    /// is part of the modelled observables and must stay stable, while on a
+    /// wall-clock backend the same delay is pure added latency and may be
+    /// shortened freely. Defaults to `true` (the simulated semantics);
+    /// wall-clock backends override.
+    fn virtual_time(&self) -> bool {
+        true
+    }
 }
 
 /// A state machine driven by messages.
@@ -96,4 +118,17 @@ pub trait Actor<M: Message>: Send {
     /// Handles one message. `from` is the sending actor (or `me()` for
     /// self-scheduled timers).
     fn on_message(&mut self, ctx: &mut dyn Context<M>, from: ActorId, msg: M);
+
+    /// Whether this actor parked a resumable slice of work (a handler that
+    /// honoured [`Context::should_yield`] mid-batch). The threaded executor
+    /// keeps such an actor scheduled and calls [`Actor::on_resume`] before
+    /// draining its mailbox again, so a parked slice always completes ahead
+    /// of later messages — including a stop sentinel.
+    fn has_parked_work(&self) -> bool {
+        false
+    }
+
+    /// Continues parked work. Must make forward progress (at least one
+    /// slice) per call; may park again if [`Context::should_yield`] says so.
+    fn on_resume(&mut self, _ctx: &mut dyn Context<M>) {}
 }

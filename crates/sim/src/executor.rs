@@ -6,12 +6,26 @@
 //!
 //! * each actor owns a bounded batch [`Mailbox`] with producer-side
 //!   backpressure (see [`crate::mailbox`]);
-//! * each worker owns a run queue of ready actors. Newly-readied actors go
-//!   to the *front* of the readying worker's queue (a LIFO slot: the
-//!   freshly-sent-to actor's cache lines are hot), re-queued actors that
-//!   exhausted their message budget go to the *back* (fairness), and idle
-//!   workers steal from the back of a randomly-chosen victim's queue so a
-//!   hot join node cannot starve the rest of the cluster;
+//! * run queues are **per group per worker**: workers pick the next group
+//!   by deficit-weighted round-robin (each admission carries a scheduling
+//!   weight; a group's deficit is refilled weight-proportionally and
+//!   drained by the work its actors do), then pop/steal *within* that
+//!   group — newly-readied actors go to the *front* of the readying
+//!   worker's queue (a LIFO slot: the freshly-sent-to actor's cache lines
+//!   are hot), re-queued actors that exhausted their message budget go to
+//!   the *back* (fairness), and idle workers steal from the back of a
+//!   randomly-chosen victim's queue of the chosen group. Deficit charges
+//!   are byte-proportional and paid per message, and an exhausted group
+//!   is preempted at the next message boundary whenever a rival group has
+//!   work queued, so a tenant's share of worker time tracks its weight —
+//!   not its message volume or its batch sizes;
+//! * long probe batches are cooperatively preemptible: a handler that
+//!   slices its work checks [`Context::should_yield`] between slices (each
+//!   check charges a slice quantum against the group's deficit) and parks a
+//!   resumable cursor when told to yield. The executor re-queues the actor
+//!   and always resumes parked work *before* draining the mailbox again,
+//!   so preemption never reorders or drops tuples — even against a stop
+//!   sentinel;
 //! * timers live in per-worker wheels (binary heaps). A worker fires its
 //!   own due timers every loop iteration and sweeps *all* wheels at steal
 //!   points, so a busy owner never delays another worker's deadline by
@@ -49,7 +63,7 @@ use ehj_metrics::registry::names;
 use ehj_metrics::{Counter, Histogram, MetricsRegistry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -68,6 +82,22 @@ const COALESCE_DESTS: usize = 16;
 
 /// Upper bound on one idle park (re-checks exit conditions and timers).
 const MAX_PARK: Duration = Duration::from_millis(20);
+
+/// Deficit units granted per unit of group weight at each refill round.
+/// One processed message costs one unit plus one unit per
+/// [`DEFICIT_BYTES_PER_UNIT`] of payload, one probe slice costs
+/// [`SLICE_DEFICIT_COST`] units.
+const GROUP_QUANTUM: i64 = 256;
+
+/// Deficit units one resumable probe slice charges (a slice is a batch of
+/// tuples, heavier than a control message).
+const SLICE_DEFICIT_COST: i64 = 4;
+
+/// Payload bytes that cost one extra deficit unit. Charging by bytes
+/// rather than by message count is what makes the weights mean *work*: a
+/// tenant shipping fat tuple batches exhausts its round after a few
+/// messages, while the same round covers hundreds of control messages.
+const DEFICIT_BYTES_PER_UNIT: u64 = 1024;
 
 const IDLE: u8 = 0;
 const QUEUED: u8 = 1;
@@ -141,6 +171,9 @@ struct WorkerMetrics {
     steal_count: Counter,
     mailbox_depth: Histogram,
     coalesce_batch: Histogram,
+    sched_picks: Counter,
+    preempt_count: Counter,
+    group_deficit: Histogram,
 }
 
 impl WorkerMetrics {
@@ -155,6 +188,9 @@ impl WorkerMetrics {
             steal_count: handle.counter(names::EXEC_STEALS),
             mailbox_depth: handle.histogram(names::EXEC_MAILBOX_DEPTH),
             coalesce_batch: handle.histogram(names::EXEC_COALESCE_BATCH),
+            sched_picks: handle.counter(names::SCHED_PICKS),
+            preempt_count: handle.counter(names::SCHED_PREEMPTIONS),
+            group_deficit: handle.histogram(names::SCHED_GROUP_DEFICIT),
         }
     }
 
@@ -176,6 +212,20 @@ impl WorkerMetrics {
 struct GroupState {
     /// The group's dense actor-id block.
     members: Vec<ActorId>,
+    /// Scheduling weight: this group's share of worker time relative to
+    /// other runnable groups (deficit-weighted round-robin). Minimum 1.
+    weight: u64,
+    /// Remaining deficit units this round. Drained by processed messages
+    /// and probe slices, refilled `weight * GROUP_QUANTUM` at a time when
+    /// no runnable group has any deficit left. Clamped at minus one full
+    /// quantum so a solo group's overdraw stays bounded.
+    deficit: AtomicI64,
+    /// This group's ready actors, one queue per worker (the DRR scheduler
+    /// picks a group first, then pops/steals within it).
+    queues: Vec<Mutex<VecDeque<ActorId>>>,
+    /// Ready actors across all of this group's queues (fast runnable
+    /// check; updated under the owning queue's lock).
+    queued: AtomicUsize,
     /// Set by the group's own [`Context::stop`] (or an external cancel):
     /// deliveries *to this group* switch to non-blocking from then on.
     stop: AtomicBool,
@@ -198,6 +248,59 @@ impl GroupState {
     fn charge(&self, bytes: u64) {
         self.net_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.net_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pushes a ready actor into this group's queue for `worker` (front
+    /// when `hot`).
+    fn push_ready(&self, worker: usize, actor: ActorId, hot: bool) {
+        let mut q = self.queues[worker].lock().expect("group run queue");
+        if hot {
+            q.push_front(actor);
+        } else {
+            q.push_back(actor);
+        }
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        drop(q);
+    }
+
+    fn pop_ready(&self, worker: usize) -> Option<ActorId> {
+        let mut q = self.queues[worker].lock().expect("group run queue");
+        let actor = q.pop_front();
+        if actor.is_some() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        actor
+    }
+
+    fn steal_ready(&self, victim: usize) -> Option<ActorId> {
+        let mut q = self.queues[victim].lock().expect("group run queue");
+        let actor = q.pop_back();
+        if actor.is_some() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        actor
+    }
+
+    /// Charges `units` of work against the group's deficit, clamped at
+    /// minus one full quantum (bounded carryover, classic DRR).
+    fn charge_deficit(&self, units: i64) {
+        let floor = -(self.weight as i64 * GROUP_QUANTUM);
+        let _ = self
+            .deficit
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+                Some((d - units).max(floor))
+            });
+    }
+
+    /// Grants a fresh weight-proportional round of deficit (capped at one
+    /// full quantum so racing refills cannot bank extra rounds).
+    fn refill_deficit(&self) {
+        let add = self.weight as i64 * GROUP_QUANTUM;
+        let _ = self
+            .deficit
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+                Some((d + add).min(add))
+            });
     }
 
     fn finish(&self) {
@@ -252,11 +355,24 @@ impl<M> Ord for Armed<M> {
 /// index into an owned `Arc`.
 type Slots<M> = Arc<Vec<Arc<Slot<M>>>>;
 
+/// The published group table: live groups only (finished groups are pruned
+/// at the next admission), re-published as a whole. Workers hold a local
+/// snapshot refreshed via a version counter, so steady-state scheduling
+/// never takes the publish lock.
+type Groups = Arc<Vec<Arc<GroupState>>>;
+
 struct Shared<M: Message> {
     /// Publish point of the slot table (cold path: admissions and snapshot
     /// refreshes only).
     slots: Mutex<Slots<M>>,
-    queues: Vec<Mutex<VecDeque<ActorId>>>,
+    /// Publish point of the group table (see [`Groups`]).
+    groups: Mutex<Groups>,
+    /// Bumped on every group-table publish; workers compare against their
+    /// snapshot's version before scanning.
+    groups_version: AtomicU64,
+    /// Global round-robin cursor over the group table (fairness of the
+    /// scan start, not correctness).
+    rr_cursor: AtomicUsize,
     timers: Vec<Mutex<BinaryHeap<Reverse<Armed<M>>>>>,
     idle_lock: Mutex<()>,
     wake: Condvar,
@@ -276,12 +392,24 @@ struct Shared<M: Message> {
     parks: AtomicU64,
     overflows: AtomicU64,
     timer_fires: AtomicU64,
+    sched_picks: AtomicU64,
+    preemptions: AtomicU64,
     worker_metrics: Vec<WorkerMetrics>,
 }
 
 impl<M: Message> Shared<M> {
     fn snapshot(&self) -> Slots<M> {
         Arc::clone(&self.slots.lock().expect("slot table"))
+    }
+
+    /// Refreshes a worker's `(version, table)` group snapshot if a newer
+    /// table was published.
+    fn groups_snapshot(&self, cache: &mut (u64, Groups)) {
+        let version = self.groups_version.load(Ordering::Acquire);
+        if cache.0 != version {
+            cache.1 = Arc::clone(&self.groups.lock().expect("group table"));
+            cache.0 = version;
+        }
     }
 
     /// Looks `id` up in `cache`, refreshing the snapshot if the id is past
@@ -293,18 +421,11 @@ impl<M: Message> Shared<M> {
         &cache[id as usize]
     }
 
-    /// Pushes `actor` into `worker`'s run queue (front when `hot`: the
-    /// LIFO slot for freshly-readied work) and wakes a parked worker if
-    /// any. The caller must own the transition into `QUEUED`.
-    fn enqueue_ready(&self, worker: usize, actor: ActorId, hot: bool) {
-        {
-            let mut q = self.queues[worker].lock().expect("run queue");
-            if hot {
-                q.push_front(actor);
-            } else {
-                q.push_back(actor);
-            }
-        }
+    /// Pushes `actor` into its group's run queue for `worker` (front when
+    /// `hot`: the LIFO slot for freshly-readied work) and wakes a parked
+    /// worker if any. The caller must own the transition into `QUEUED`.
+    fn enqueue_ready(&self, group: &GroupState, worker: usize, actor: ActorId, hot: bool) {
+        group.push_ready(worker, actor, hot);
         if self.idle_count.load(Ordering::SeqCst) > 0 {
             let _g = self.idle_lock.lock().expect("idle lock");
             self.wake.notify_one();
@@ -319,7 +440,8 @@ impl<M: Message> Shared<M> {
             .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
-            self.enqueue_ready(worker, actor, true);
+            let group = Arc::clone(&slot.group);
+            self.enqueue_ready(&group, worker, actor, true);
         }
     }
 
@@ -414,9 +536,17 @@ impl<M: Message> Shared<M> {
     }
 
     fn has_queued_work(&self) -> bool {
-        self.queues
+        let groups = Arc::clone(&self.groups.lock().expect("group table"));
+        groups.iter().any(|g| g.queued.load(Ordering::SeqCst) > 0)
+    }
+
+    /// Whether any group other than `me` has runnable work (the
+    /// competition check behind a preemption decision).
+    fn other_group_runnable(&self, me: &Arc<GroupState>) -> bool {
+        let groups = Arc::clone(&self.groups.lock().expect("group table"));
+        groups
             .iter()
-            .any(|q| !q.lock().expect("run queue").is_empty())
+            .any(|g| !Arc::ptr_eq(g, me) && g.queued.load(Ordering::SeqCst) > 0)
     }
 
     /// Flips the shutdown flag and wakes every parked worker.
@@ -499,7 +629,9 @@ impl<M: Message> Executor<M> {
         let workers = cfg.effective_workers().max(1);
         let shared = Arc::new(Shared {
             slots: Mutex::new(Arc::new(Vec::new())),
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            groups: Mutex::new(Arc::new(Vec::new())),
+            groups_version: AtomicU64::new(0),
+            rr_cursor: AtomicUsize::new(0),
             timers: (0..workers)
                 .map(|_| Mutex::new(BinaryHeap::new()))
                 .collect(),
@@ -518,6 +650,8 @@ impl<M: Message> Executor<M> {
             parks: AtomicU64::new(0),
             overflows: AtomicU64::new(0),
             timer_fires: AtomicU64::new(0),
+            sched_picks: AtomicU64::new(0),
+            preemptions: AtomicU64::new(0),
             worker_metrics: (0..workers)
                 .map(|w| WorkerMetrics::new(metrics, w))
                 .collect(),
@@ -550,7 +684,7 @@ impl<M: Message> Executor<M> {
 
     /// Admits a group of `count` actors built by `build`, which receives
     /// the base actor id of the new block (ids `base .. base + count`).
-    /// The admitted actors start immediately.
+    /// The admitted actors start immediately, at scheduling weight 1.
     ///
     /// # Panics
     /// Panics if `build` returns a different number of actors.
@@ -558,7 +692,27 @@ impl<M: Message> Executor<M> {
     where
         F: FnOnce(ActorId) -> Vec<Box<dyn Actor<M>>>,
     {
+        self.admit_weighted(count, mailbox_capacity, 1, build)
+    }
+
+    /// [`Executor::admit_with`] with an explicit scheduling weight: the
+    /// group's share of worker time relative to other runnable groups
+    /// under deficit-weighted round-robin (`0` is treated as `1`).
+    ///
+    /// # Panics
+    /// Panics if `build` returns a different number of actors.
+    pub fn admit_weighted<F>(
+        &self,
+        count: usize,
+        mailbox_capacity: usize,
+        weight: u64,
+        build: F,
+    ) -> Admission
+    where
+        F: FnOnce(ActorId) -> Vec<Box<dyn Actor<M>>>,
+    {
         let shared = &self.shared;
+        let weight = weight.max(1);
         let group;
         let base;
         {
@@ -568,6 +722,14 @@ impl<M: Message> Executor<M> {
             assert_eq!(actors.len(), count, "admitted actor count mismatch");
             group = Arc::new(GroupState {
                 members: (base..base + count as ActorId).collect(),
+                weight,
+                // A fresh group starts with one full round of deficit so
+                // it is immediately runnable.
+                deficit: AtomicI64::new(weight as i64 * GROUP_QUANTUM),
+                queues: (0..shared.workers)
+                    .map(|_| Mutex::new(VecDeque::new()))
+                    .collect(),
+                queued: AtomicUsize::new(0),
                 stop: AtomicBool::new(false),
                 live: AtomicUsize::new(count),
                 net_bytes: AtomicU64::new(0),
@@ -592,6 +754,17 @@ impl<M: Message> Executor<M> {
             }));
             shared.live.fetch_add(count, Ordering::AcqRel);
             *published = Arc::new(next);
+            // Publish the group table with finished groups pruned, so the
+            // scheduler's scan stays bounded by *concurrent* groups.
+            let mut table = shared.groups.lock().expect("group table");
+            let mut live: Vec<Arc<GroupState>> = table
+                .iter()
+                .filter(|g| g.live.load(Ordering::Acquire) > 0)
+                .cloned()
+                .collect();
+            live.push(Arc::clone(&group));
+            *table = Arc::new(live);
+            shared.groups_version.fetch_add(1, Ordering::Release);
         }
         if count == 0 {
             group.finish();
@@ -599,7 +772,7 @@ impl<M: Message> Executor<M> {
             // Seed the start tasks round-robin so `on_start` work spreads
             // over the pool from the first instant.
             for (id, q) in (base..base + count as ActorId).zip((0..shared.workers).cycle()) {
-                shared.queues[q].lock().expect("run queue").push_back(id);
+                group.push_ready(q, id, false);
             }
             let _g = shared.idle_lock.lock().expect("idle lock");
             shared.wake.notify_all();
@@ -790,13 +963,14 @@ fn worker_loop<M: Message>(shared: &Shared<M>, index: usize) {
     let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((index as u64 + 1) << 17);
     let mut scratch: Vec<Env<M>> = Vec::with_capacity(DEQUEUE_BATCH);
     let mut cache: Slots<M> = shared.snapshot();
+    let mut groups: (u64, Groups) = (0, Arc::new(Vec::new()));
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         // Own timers first: cheap, usually empty.
         shared.fire_wheel(&mut cache, index, index);
-        if let Some(actor) = next_task(shared, index, &mut rng) {
+        if let Some(actor) = next_task(shared, index, &mut rng, &mut groups) {
             run_actor(shared, &mut cache, index, actor, &mut scratch);
             continue;
         }
@@ -813,17 +987,77 @@ fn worker_loop<M: Message>(shared: &Shared<M>, index: usize) {
     }
 }
 
-/// Pops ready work: own queue front first, then the back of a randomly
-/// chosen victim's queue.
-fn next_task<M: Message>(shared: &Shared<M>, index: usize, rng: &mut u64) -> Option<ActorId> {
-    if let Some(a) = shared.queues[index].lock().expect("run queue").pop_front() {
-        return Some(a);
-    }
-    let n = shared.queues.len();
-    if n <= 1 {
+/// Picks the next ready actor by deficit-weighted round-robin across the
+/// runnable groups, then pops/steals within the chosen group. When every
+/// runnable group has exhausted its deficit, each is granted a fresh
+/// weight-proportional round and the scan retries once.
+fn next_task<M: Message>(
+    shared: &Shared<M>,
+    index: usize,
+    rng: &mut u64,
+    groups: &mut (u64, Groups),
+) -> Option<ActorId> {
+    shared.groups_snapshot(groups);
+    let table = &groups.1;
+    let n = table.len();
+    if n == 0 {
         return None;
     }
     let wm = &shared.worker_metrics[index];
+    for attempt in 0..2 {
+        let start = if n > 1 {
+            shared.rr_cursor.fetch_add(1, Ordering::Relaxed) % n
+        } else {
+            0
+        };
+        let mut runnable = false;
+        for k in 0..n {
+            let group = &table[(start + k) % n];
+            if group.queued.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            runnable = true;
+            let deficit = group.deficit.load(Ordering::Acquire);
+            if deficit <= 0 {
+                continue;
+            }
+            if let Some(actor) = pop_within_group(shared, group, index, rng, wm) {
+                shared.sched_picks.fetch_add(1, Ordering::Relaxed);
+                wm.sched_picks.add(1);
+                wm.group_deficit.record(deficit.max(0) as u64);
+                return Some(actor);
+            }
+        }
+        if !runnable {
+            return None;
+        }
+        if attempt == 0 {
+            for group in table.iter() {
+                if group.queued.load(Ordering::SeqCst) > 0 {
+                    group.refill_deficit();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Pops ready work from one group: own queue front first, then the back
+/// of a randomly chosen victim's queue (stealing stays intra-group).
+fn pop_within_group<M: Message>(
+    shared: &Shared<M>,
+    group: &GroupState,
+    index: usize,
+    rng: &mut u64,
+    wm: &WorkerMetrics,
+) -> Option<ActorId> {
+    if let Some(a) = group.pop_ready(index) {
+        return Some(a);
+    }
+    let n = group.queues.len();
+    if n <= 1 {
+        return None;
+    }
     wm.steal_attempts.add(1);
     // Xorshift-randomized victim order (no external RNG dependency).
     *rng ^= *rng << 13;
@@ -835,7 +1069,7 @@ fn next_task<M: Message>(shared: &Shared<M>, index: usize, rng: &mut u64) -> Opt
         if victim == index {
             continue;
         }
-        if let Some(a) = shared.queues[victim].lock().expect("run queue").pop_back() {
+        if let Some(a) = group.steal_ready(victim) {
             shared.steals.fetch_add(1, Ordering::Relaxed);
             wm.steal_count.add(1);
             return Some(a);
@@ -883,6 +1117,7 @@ fn run_actor<M: Message>(
     let slot = Arc::clone(shared.slot(cache, actor));
     slot.state.store(RUNNING, Ordering::Release);
     let mut dead = false;
+    let mut preempted = false;
     let wm = &shared.worker_metrics[index];
     let busy_from = wm.clock();
     {
@@ -900,14 +1135,24 @@ fn run_actor<M: Message>(
             body.started = true;
             body.actor.on_start(&mut ctx);
         }
+        // A parked resumable slice runs before any further dequeue: work
+        // that entered the mailbox ahead of later messages — including a
+        // stop sentinel — completes first, so preemption never reorders
+        // or drops tuples.
+        if body.actor.has_parked_work() {
+            body.actor.on_resume(&mut ctx);
+            preempted = body.actor.has_parked_work();
+        }
         let mut processed = 0usize;
-        'budget: while processed < MSG_BUDGET {
+        'budget: while !preempted && processed < MSG_BUDGET {
             scratch.clear();
             let room = DEQUEUE_BATCH.min(MSG_BUDGET - processed);
             if slot.mailbox.pop_batch(scratch, room) == 0 {
                 break;
             }
-            for env in scratch.drain(..) {
+            let mut iter = scratch.drain(..);
+            loop {
+                let Some(env) = iter.next() else { break };
                 match env {
                     Env::Stop => {
                         // Everything behind the sentinel is dropped, which
@@ -916,8 +1161,36 @@ fn run_actor<M: Message>(
                         break 'budget;
                     }
                     Env::Msg { from, msg } => {
+                        // Byte-proportional deficit charge, paid as the
+                        // work happens so an exhausted group is preempted
+                        // at the next message boundary — not after a full
+                        // [`MSG_BUDGET`] run of fat batches.
+                        let cost = 1 + (msg.wire_bytes() / DEFICIT_BYTES_PER_UNIT) as i64;
                         body.actor.on_message(&mut ctx, from, msg);
                         processed += 1;
+                        slot.group.charge_deficit(cost);
+                        if body.actor.has_parked_work() {
+                            // The handler yielded mid-batch: hand the
+                            // unprocessed tail back to the mailbox front
+                            // and give up the worker.
+                            preempted = true;
+                            let leftover: Vec<Env<M>> = iter.collect();
+                            slot.mailbox.requeue_front(leftover);
+                            break 'budget;
+                        }
+                        if slot.group.deficit.load(Ordering::Acquire) <= 0
+                            && shared.other_group_runnable(&slot.group)
+                        {
+                            // Out of deficit with a rival group waiting:
+                            // yield the worker (work-conserving — a solo
+                            // group keeps running on an empty pool).
+                            shared.preemptions.fetch_add(1, Ordering::Relaxed);
+                            wm.preempt_count.add(1);
+                            preempted = true;
+                            let leftover: Vec<Env<M>> = iter.collect();
+                            slot.mailbox.requeue_front(leftover);
+                            break 'budget;
+                        }
                     }
                 }
             }
@@ -935,10 +1208,11 @@ fn run_actor<M: Message>(
         if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 && shared.exit_when_idle {
             shared.request_shutdown();
         }
-    } else if !slot.mailbox.is_empty() {
-        // Budget exhausted with work left: back of the queue, fair.
+    } else if preempted || !slot.mailbox.is_empty() {
+        // Preempted or budget exhausted with work left: back of the
+        // queue, fair.
         slot.state.store(QUEUED, Ordering::Release);
-        shared.enqueue_ready(index, actor, false);
+        shared.enqueue_ready(&slot.group, index, actor, false);
     } else {
         slot.state.store(IDLE, Ordering::Release);
         // Close the race with a concurrent deliver that pushed between
@@ -965,12 +1239,17 @@ struct ExecCtx<'a, M: Message> {
 
 /// Flushes one destination's coalesced buffer (leaves it empty, keeping
 /// the allocation). A self-send must never park on the sender's own full
-/// mailbox — the sender is the consumer that would drain it.
+/// mailbox — the sender is the consumer that would drain it. Backpressure
+/// parks also yield to rival tenants: a worker never sleeps on one
+/// group's full mailbox while another group has work queued — the full
+/// ring overflows instead (bounded upstream by the source credit
+/// windows) and the worker's time goes to the group that can use it.
 fn flush_buffer<M: Message>(
     shared: &Shared<M>,
     cache: &mut Slots<M>,
     worker: usize,
     me: ActorId,
+    group: &Arc<GroupState>,
     to: ActorId,
     buf: &mut Vec<Env<M>>,
 ) {
@@ -978,7 +1257,8 @@ fn flush_buffer<M: Message>(
         shared.worker_metrics[worker]
             .coalesce_batch
             .record(buf.len() as u64);
-        shared.deliver(cache, worker, to, buf, to == me);
+        let no_wait = to == me || shared.other_group_runnable(group);
+        shared.deliver(cache, worker, to, buf, no_wait);
     }
 }
 
@@ -989,11 +1269,11 @@ impl<M: Message> ExecCtx<'_, M> {
             cache,
             worker,
             me,
+            group,
             pending,
-            ..
         } = self;
         for (to, buf) in pending.iter_mut() {
-            flush_buffer(shared, cache, *worker, *me, *to, buf);
+            flush_buffer(shared, cache, *worker, *me, group, *to, buf);
         }
     }
 
@@ -1014,13 +1294,13 @@ impl<M: Message> ExecCtx<'_, M> {
             cache,
             worker,
             me,
+            group,
             pending,
-            ..
         } = self;
         let (dest, buf) = &mut pending[i];
         buf.push(env);
         if buf.len() >= COALESCE_FLUSH {
-            flush_buffer(shared, cache, *worker, *me, *dest, buf);
+            flush_buffer(shared, cache, *worker, *me, group, *dest, buf);
         }
     }
 }
@@ -1037,9 +1317,19 @@ impl<M: Message> Context<M> for ExecCtx<'_, M> {
     fn send(&mut self, to: ActorId, msg: M) {
         // Charge the wire bytes exactly as the simulated network does, so
         // both backends report comparable traffic totals — and charge the
-        // sender's group so each query keeps its own traffic ledger.
+        // sender's group so each query keeps its own traffic ledger. The
+        // bytes also drain the sender's scheduling deficit: producing a
+        // fat batch costs worker time on the *sending* side (generation,
+        // hashing, routing), and charging it here is what lets the
+        // scheduler preempt a source that fans out heavy data from cheap
+        // control messages.
+        let bytes = msg.wire_bytes();
         self.shared.charge(&msg);
-        self.group.charge(msg.wire_bytes());
+        self.group.charge(bytes);
+        let cost = (bytes / DEFICIT_BYTES_PER_UNIT) as i64;
+        if cost > 0 {
+            self.group.charge_deficit(cost);
+        }
         self.buffer(to, Env::Msg { from: self.me, msg });
     }
 
@@ -1068,6 +1358,10 @@ impl<M: Message> Context<M> for ExecCtx<'_, M> {
         // Real computation takes real time on this backend.
     }
 
+    fn virtual_time(&self) -> bool {
+        false
+    }
+
     fn disk_read(&mut self, _bytes: u64) {
         // Real I/O (if any) is performed by the storage backend itself.
     }
@@ -1092,6 +1386,24 @@ impl<M: Message> Context<M> for ExecCtx<'_, M> {
                 ..
             } = self;
             shared.post_group_sentinels(cache, *worker, group);
+        }
+    }
+
+    fn should_yield(&mut self) -> bool {
+        // Every slice drains the group's deficit, whether or not it ends
+        // up yielding — slicing is how a heavy probe pays for its share.
+        self.group.charge_deficit(SLICE_DEFICIT_COST);
+        if self.group.deficit.load(Ordering::Acquire) > 0 {
+            return false;
+        }
+        // Out of deficit: preempt only if some other group actually wants
+        // this worker; a solo tenant keeps running (work-conserving).
+        if self.shared.other_group_runnable(&self.group) {
+            self.shared.preemptions.fetch_add(1, Ordering::Relaxed);
+            self.shared.worker_metrics[self.worker].preempt_count.add(1);
+            true
+        } else {
+            false
         }
     }
 }
@@ -1221,6 +1533,175 @@ mod tests {
         assert_eq!(a_out.net_bytes, 40 * 8);
         let summary = pool.shutdown();
         assert_eq!(summary.net_messages, 110, "pool totals are the sum");
+    }
+
+    /// Processes `Count(n)` as `n` work units in resumable slices of
+    /// `slice`, honouring [`Context::should_yield`] between slices.
+    struct Slicer {
+        slice: u64,
+        parked: Option<u64>,
+        done: Arc<AtomicU64>,
+    }
+
+    impl Slicer {
+        fn run(&mut self, ctx: &mut dyn Context<Count>) {
+            while let Some(rem) = self.parked {
+                let step = rem.min(self.slice);
+                self.done.fetch_add(step, Ordering::Relaxed);
+                self.parked = (rem > step).then_some(rem - step);
+                if self.parked.is_some() && ctx.should_yield() {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Actor<Count> for Slicer {
+        fn on_message(&mut self, ctx: &mut dyn Context<Count>, _from: ActorId, msg: Count) {
+            assert!(self.parked.is_none(), "resumed before new work");
+            self.parked = Some(msg.0);
+            self.run(ctx);
+        }
+        fn has_parked_work(&self) -> bool {
+            self.parked.is_some()
+        }
+        fn on_resume(&mut self, ctx: &mut dyn Context<Count>) {
+            self.run(ctx);
+        }
+    }
+
+    /// Sends the slicer its workload, then stops the group from a timer —
+    /// the sentinel lands while the slicer is likely mid-slice.
+    struct TimedStopper {
+        target: ActorId,
+        units: u64,
+    }
+
+    impl Actor<Count> for TimedStopper {
+        fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+            ctx.send(self.target, Count(self.units));
+            ctx.schedule(SimTime::from_nanos(3_000_000), Count(0));
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context<Count>, _f: ActorId, _m: Count) {
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn stop_sentinel_mid_slice_completes_parked_work() {
+        // A competing group keeps the pool contended so the slicer's group
+        // really runs out of deficit and parks between slices; the stop
+        // sentinel then lands *behind* the in-flight batch. The batch was
+        // delivered before the sentinel, so every one of its units must be
+        // processed before the group retires — no lost tuples, no stall.
+        let cfg = ExecutorConfig {
+            workers: 1,
+            ..ExecutorConfig::default()
+        };
+        let pool: Executor<Count> = Executor::start(&cfg, &MetricsRegistry::disabled());
+        let competitor = pool.admit_with(2, cfg.mailbox_capacity, |base| ring(base, 2, 50_000));
+        let done = Arc::new(AtomicU64::new(0));
+        let units = 100_000u64;
+        let done_in = Arc::clone(&done);
+        let group = pool.admit_with(2, cfg.mailbox_capacity, move |base| {
+            vec![
+                Box::new(TimedStopper {
+                    target: base + 1,
+                    units,
+                }) as Box<dyn Actor<Count>>,
+                Box::new(Slicer {
+                    slice: 64,
+                    parked: None,
+                    done: done_in,
+                }),
+            ]
+        });
+        let out = pool
+            .wait_timeout(&group, Duration::from_secs(30))
+            .expect("group with a parked slice still retires");
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            units,
+            "work delivered before the sentinel completed exactly"
+        );
+        assert!(out.net_messages >= 2, "workload send plus the timer fire");
+        pool.wait(&competitor);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancel_mid_slice_completes_parked_work() {
+        let cfg = ExecutorConfig {
+            workers: 1,
+            ..ExecutorConfig::default()
+        };
+        let pool: Executor<Count> = Executor::start(&cfg, &MetricsRegistry::disabled());
+        let competitor = pool.admit_with(2, cfg.mailbox_capacity, |base| ring(base, 2, 50_000));
+        let done = Arc::new(AtomicU64::new(0));
+        let units = 100_000u64;
+        let done_in = Arc::clone(&done);
+        struct Feeder {
+            target: ActorId,
+            units: u64,
+        }
+        impl Actor<Count> for Feeder {
+            fn on_start(&mut self, ctx: &mut dyn Context<Count>) {
+                ctx.send(self.target, Count(self.units));
+            }
+            fn on_message(&mut self, _c: &mut dyn Context<Count>, _f: ActorId, _m: Count) {}
+        }
+        let group = pool.admit_with(2, cfg.mailbox_capacity, move |base| {
+            vec![
+                Box::new(Feeder {
+                    target: base + 1,
+                    units,
+                }) as Box<dyn Actor<Count>>,
+                Box::new(Slicer {
+                    slice: 64,
+                    parked: None,
+                    done: done_in,
+                }),
+            ]
+        });
+        // External cancel races the sliced processing; the workload was
+        // enqueued ahead of the sentinels either way.
+        thread::sleep(Duration::from_millis(1));
+        pool.cancel(&group);
+        pool.wait_timeout(&group, Duration::from_secs(30))
+            .expect("cancelled group with a parked slice retires");
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            units,
+            "cancel mid-slice drops nothing delivered before the sentinel"
+        );
+        pool.wait(&competitor);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn solo_sliced_group_never_parks_and_weights_plumb_through() {
+        // With no competing group the yield check is work-conserving: the
+        // whole sliced workload completes in one scheduling of the actor.
+        let done = Arc::new(AtomicU64::new(0));
+        let done_in = Arc::clone(&done);
+        let pool: Executor<Count> =
+            Executor::start(&ExecutorConfig::default(), &MetricsRegistry::disabled());
+        let group = pool.admit_weighted(2, 1024, 8, move |base| {
+            vec![
+                Box::new(TimedStopper {
+                    target: base + 1,
+                    units: 10_000,
+                }) as Box<dyn Actor<Count>>,
+                Box::new(Slicer {
+                    slice: 16,
+                    parked: None,
+                    done: done_in,
+                }),
+            ]
+        });
+        pool.wait(&group);
+        assert_eq!(done.load(Ordering::Relaxed), 10_000);
+        pool.shutdown();
     }
 
     #[test]

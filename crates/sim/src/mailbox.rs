@@ -140,6 +140,25 @@ impl<T> Mailbox<T> {
         n
     }
 
+    /// Returns already-popped items to the *front* of the queue, preserving
+    /// their original order. Only the single consumer calls this (to hand
+    /// back the unprocessed tail of a dequeue batch when it is preempted
+    /// mid-batch), and producers only ever append — so FIFO order is
+    /// preserved end to end. Items are dropped if the mailbox closed while
+    /// they were checked out, exactly like a late push.
+    pub fn requeue_front(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("mailbox lock");
+        if inner.closed {
+            return;
+        }
+        for item in items.into_iter().rev() {
+            inner.ring.push_front(item);
+        }
+    }
+
     /// Whether any items are queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -225,6 +244,32 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(mb.pop_batch(&mut out, 10), 1);
         assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn requeue_front_restores_fifo_order() {
+        let mb = Mailbox::new(16);
+        let mut batch: Vec<u32> = (0..8).collect();
+        mb.push_batch(&mut batch, false);
+        let mut out = Vec::new();
+        mb.pop_batch(&mut out, 8);
+        // Consumer processed 0..3, got preempted, hands 3..8 back.
+        let leftover: Vec<u32> = out.split_off(3);
+        mb.requeue_front(leftover);
+        let mut more = vec![8u32, 9];
+        mb.push_batch(&mut more, false);
+        let mut rest = Vec::new();
+        mb.pop_batch(&mut rest, 100);
+        assert_eq!(rest, (3..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn requeue_front_on_closed_mailbox_drops() {
+        let mb = Mailbox::new(4);
+        mb.close();
+        mb.requeue_front(vec![1u32, 2]);
+        let mut out = Vec::new();
+        assert_eq!(mb.pop_batch(&mut out, 10), 0);
     }
 
     #[test]

@@ -167,6 +167,66 @@ fn hot_key_routing_preserves_exact_match_counts() {
     }
 }
 
+/// Preemptible probe slices (DESIGN §4j) cut a probe batch into resumable
+/// chunks so the scheduler can interleave tenants mid-batch. Per-slice
+/// costs are additive — the same multiply-and-sum the whole batch charges
+/// — so every simulated observable must be byte-identical whether a batch
+/// is probed whole or in slices, at any slice length, under any kernel.
+fn assert_sliced_probe_matches_whole(cfg: &JoinConfig) {
+    let label = cfg.algorithm.label();
+    for kernel in [ProbeKernel::Scalar, ProbeKernel::Swar] {
+        let mut whole = cfg.clone();
+        whole.probe_kernel = kernel;
+        whole.probe_slice = 0;
+        // 7 is deliberately odd and far below the batch size: nearly every
+        // batch splits, and the last slice is ragged.
+        let mut sliced = whole.clone();
+        sliced.probe_slice = 7;
+        let a = JoinRunner::run(&whole).expect("whole-batch run must complete");
+        let b = JoinRunner::run(&sliced).expect("sliced run must complete");
+        assert_eq!(a.matches, b.matches, "{label}/{kernel}: matches diverge");
+        assert_eq!(a.compares, b.compares, "{label}/{kernel}: compares diverge");
+        assert_eq!(
+            a.net_bytes, b.net_bytes,
+            "{label}/{kernel}: network traffic diverges"
+        );
+        assert_eq!(
+            a.disk_bytes, b.disk_bytes,
+            "{label}/{kernel}: disk traffic diverges"
+        );
+        assert_eq!(
+            a.sim_events, b.sim_events,
+            "{label}/{kernel}: event counts diverge"
+        );
+        assert_eq!(
+            a.times, b.times,
+            "{label}/{kernel}: simulated phase times diverge"
+        );
+        assert_eq!(
+            a.build_tuples, b.build_tuples,
+            "{label}/{kernel}: build placement diverges"
+        );
+        assert_eq!(a.load, b.load, "{label}/{kernel}: load vectors diverge");
+    }
+}
+
+#[test]
+fn sliced_probes_are_byte_identical_to_whole_batches() {
+    for alg in Algorithm::ALL {
+        assert_sliced_probe_matches_whole(&base(alg));
+    }
+}
+
+#[test]
+fn sliced_probes_are_byte_identical_under_skew() {
+    for alg in Algorithm::ALL {
+        let mut cfg = base(alg);
+        cfg.r.dist = Distribution::Zipf { theta: 0.8 };
+        cfg.s.dist = Distribution::Zipf { theta: 0.8 };
+        assert_sliced_probe_matches_whole(&cfg);
+    }
+}
+
 #[test]
 fn probe_kernels_are_byte_identical_with_fibonacci_hashing() {
     // The bulk-hash kernel's multiplicative path feeds routing and probing.
